@@ -1,0 +1,186 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its table/figure
+// from scratch (fresh simulator, CPU, engines) and reports the headline
+// quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation and prints paper-comparable numbers
+// (e.g. Fig9a reports avg_saving_I_pct / avg_saving_U_pct next to the
+// paper's 31.9% / 78.0%).
+package greenweb
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/harness"
+)
+
+func BenchmarkTable1QoSCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table1()
+		if len(rows) != 3 {
+			b.Fatal("table 1 wrong")
+		}
+	}
+}
+
+func BenchmarkTable2APIRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table2()
+		if len(rows) != 3 {
+			b.Fatal("table 2 wrong")
+		}
+	}
+}
+
+func BenchmarkTable3Applications(b *testing.B) {
+	var rows []harness.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = harness.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var events, pct float64
+	for _, r := range rows {
+		events += float64(r.FullEvents)
+		pct += r.AnnotatedPct
+	}
+	b.ReportMetric(events/float64(len(rows)), "avg_events")
+	b.ReportMetric(pct/float64(len(rows)), "avg_annotated_pct")
+}
+
+func BenchmarkFig9aMicroEnergy(b *testing.B) {
+	var saveI, saveU float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saveI, saveU, _, _ = harness.Fig9Averages(rows)
+	}
+	b.ReportMetric(saveI, "avg_saving_I_pct") // paper: 31.9
+	b.ReportMetric(saveU, "avg_saving_U_pct") // paper: 78.0
+}
+
+func BenchmarkFig9bMicroQoS(b *testing.B) {
+	var violI, violU float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, violI, violU = harness.Fig9Averages(rows)
+	}
+	b.ReportMetric(violI, "extra_viol_I_pts") // paper: 1.3
+	b.ReportMetric(violU, "extra_viol_U_pts") // paper: 1.2
+}
+
+func BenchmarkFig10aFullEnergy(b *testing.B) {
+	var saveI, saveU float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		saveI, saveU, _, _ = harness.Fig10Averages(rows)
+	}
+	b.ReportMetric(saveI, "saving_vs_interactive_I_pct") // paper: 29.2
+	b.ReportMetric(saveU, "saving_vs_interactive_U_pct") // paper: 66.0
+}
+
+func BenchmarkFig10bQoSImperceptible(b *testing.B) {
+	var violI float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, violI, _ = harness.Fig10Averages(rows)
+	}
+	b.ReportMetric(violI, "extra_viol_I_pts") // paper: 0.8
+}
+
+func BenchmarkFig10cQoSUsable(b *testing.B) {
+	var violU float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, _, violU = harness.Fig10Averages(rows)
+	}
+	b.ReportMetric(violU, "extra_viol_U_pts") // paper: 0.6
+}
+
+func BenchmarkFig11aConfigDistributionI(b *testing.B) {
+	var big float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig11(harness.GreenWebI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		big = 0
+		for _, r := range rows {
+			big += r.Big
+		}
+		big /= float64(len(rows))
+	}
+	b.ReportMetric(big*100, "big_cluster_share_pct")
+}
+
+func BenchmarkFig11bConfigDistributionU(b *testing.B) {
+	var little float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig11(harness.GreenWebU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		little = 0
+		for _, r := range rows {
+			little += r.Little
+		}
+		little /= float64(len(rows))
+	}
+	b.ReportMetric(little*100, "little_cluster_share_pct")
+}
+
+func BenchmarkFig12Switching(b *testing.B) {
+	var freq, mig float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		freq, mig = 0, 0
+		for _, r := range rows {
+			freq += (r.FreqI + r.FreqU) / 2
+			mig += (r.MigI + r.MigU) / 2
+		}
+		freq /= float64(len(rows))
+		mig /= float64(len(rows))
+	}
+	b.ReportMetric(freq, "freq_switch_per_frame_pct")
+	b.ReportMetric(mig, "migration_per_frame_pct")
+}
+
+func BenchmarkAblationSingleCluster(b *testing.B) {
+	var fullPct, bigOnlyPct float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NewSuite().AblationSingleCluster()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullPct, bigOnlyPct = 0, 0
+		for _, r := range rows {
+			fullPct += r.FullPct
+			bigOnlyPct += r.BigOnlyPct
+		}
+		fullPct /= float64(len(rows))
+		bigOnlyPct /= float64(len(rows))
+	}
+	b.ReportMetric(fullPct, "acmp_energy_pct_of_perf")
+	b.ReportMetric(bigOnlyPct, "bigonly_energy_pct_of_perf")
+}

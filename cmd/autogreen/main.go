@@ -1,0 +1,83 @@
+// Command autogreen automatically annotates a Web application with
+// GreenWeb QoS rules (the paper's AUTOGREEN system, Sec. 5): it loads the
+// page in a scratch engine, profiles every event listener to classify its
+// QoS type, and writes the HTML back out with generated rules injected.
+//
+// Usage:
+//
+//	autogreen -in app.html -out annotated.html [-report]
+//	autogreen -app Todo -report        # analyze a catalog app's base HTML
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/autogreen"
+)
+
+func main() {
+	in := flag.String("in", "", "input HTML file")
+	out := flag.String("out", "", "output HTML file (default: stdout)")
+	appName := flag.String("app", "", "analyze a catalog application's unannotated HTML instead of a file")
+	report := flag.Bool("report", false, "print the per-event classification report")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *appName != "":
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			fail("unknown app %q", *appName)
+		}
+		src = app.BaseHTML
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		src = string(data)
+	default:
+		fail("need -in FILE or -app NAME")
+	}
+
+	annotated, rep, err := autogreen.Annotate(src)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *report {
+		fmt.Fprintln(os.Stderr, "AUTOGREEN classification:")
+		for _, f := range rep.Findings {
+			evidence := ""
+			switch {
+			case f.RAF:
+				evidence = " (requestAnimationFrame)"
+			case f.Animate:
+				evidence = " (animate())"
+			case f.Transition:
+				evidence = " (CSS transition)"
+			}
+			fmt.Fprintf(os.Stderr, "  %-28s on%-11s → %s%s\n",
+				f.Selector, f.Event, f.Annotation.Type, evidence)
+		}
+		for _, s := range rep.Skipped {
+			fmt.Fprintf(os.Stderr, "  skipped: %s\n", s)
+		}
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(annotated), 0o644); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	fmt.Print(annotated)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "autogreen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command greenbench regenerates every table and figure of the paper's
+// evaluation section against the simulated substrate and prints a plain-
+// text report (the data recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	greenbench [-o report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/wattwiseweb/greenweb/internal/harness"
+)
+
+func main() {
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := harness.RenderAll(w, harness.NewSuite()); err != nil {
+		fmt.Fprintln(os.Stderr, "greenbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command gwparse parses CSS (from a file or stdin), validates any GreenWeb
+// rules it contains, and dumps the parsed annotations — a linter for
+// hand-written QoS rules.
+//
+// Usage:
+//
+//	gwparse style.css
+//	cat style.css | gwparse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/wattwiseweb/greenweb/internal/css"
+)
+
+func main() {
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if flag.NArg() > 0 {
+		data, err = os.ReadFile(flag.Arg(0))
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gwparse:", err)
+		os.Exit(1)
+	}
+
+	sheet, errs := css.Parse(string(data))
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "gwparse: parse:", e)
+	}
+
+	bad := len(errs)
+	qosRules := 0
+	for _, rule := range sheet.Rules {
+		for _, d := range rule.Decls {
+			ev, ok := css.IsQoSProperty(d.Property)
+			if !ok {
+				continue
+			}
+			ann, err := css.ParseQoSValue(ev, d.Value)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gwparse: %v\n", err)
+				bad++
+				continue
+			}
+			for _, sel := range rule.Selectors {
+				if !sel.HasQoS() {
+					fmt.Fprintf(os.Stderr, "gwparse: selector %q declares %s but lacks the :QoS pseudo-class\n",
+						sel.String(), d.Property)
+					bad++
+					continue
+				}
+				qosRules++
+				fmt.Printf("%-30s %s (specificity %v)\n", sel.String(), ann, sel.Specificity())
+			}
+		}
+	}
+	fmt.Printf("%d rules, %d GreenWeb annotations, %d problems\n", len(sheet.Rules), qosRules, bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package greenweb_test
+
+import (
+	"fmt"
+	"sort"
+
+	greenweb "github.com/wattwiseweb/greenweb"
+)
+
+// ExampleOpen runs an annotated page under the GreenWeb runtime and reads
+// back the resolved annotations.
+func ExampleOpen() {
+	page := `<html><head><style>
+		body:QoS   { onload-qos: single, long; }
+		div#go:QoS { onclick-qos: single, short; }
+	</style></head>
+	<body><div id="go">run</div>
+	<script>
+		document.getElementById("go").addEventListener("click", function(e) {
+			e.target.textContent = "done";
+		});
+	</script></body></html>`
+
+	s, err := greenweb.Open(page, greenweb.GreenWebPolicy(greenweb.Usable))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	anns := s.Annotations()
+	sort.Strings(anns)
+	for _, a := range anns {
+		fmt.Println(a)
+	}
+	s.Tap("go")
+	s.Settle()
+	fmt.Println("violations:", s.Violation(greenweb.Usable))
+	// Output:
+	// html>body { onload-qos: single (TI=1s, TU=10s) }
+	// html>body>div#go { onclick-qos: single (TI=100ms, TU=300ms) }
+	// violations: 0
+}
+
+// ExampleCheckAnnotations lints hand-written GreenWeb rules.
+func ExampleCheckAnnotations() {
+	good, errs := greenweb.CheckAnnotations(`
+		div#a:QoS { onclick-qos: single, short; }
+		div#b:QoS { ontouchmove-qos: continuous, 20, 100; }
+		div#c:QoS { onload-qos: never; }
+	`)
+	for _, g := range good {
+		fmt.Println("ok:", g)
+	}
+	fmt.Println("problems:", len(errs))
+	// Output:
+	// ok: div#a:QoS { onclick-qos: single (TI=100ms, TU=300ms) }
+	// ok: div#b:QoS { ontouchmove-qos: continuous (TI=20ms, TU=100ms) }
+	// problems: 1
+}
+
+// ExampleAutoAnnotate classifies an unannotated application's events.
+func ExampleAutoAnnotate() {
+	page := `<html><body><div id="b">x</div>
+	<script>
+		document.getElementById("b").addEventListener("click", function(e) {
+			var n = 0;
+			function step() {
+				n++;
+				document.getElementById("b").style.width = n + "px";
+				if (n < 5) { requestAnimationFrame(step); }
+			}
+			requestAnimationFrame(step);
+		});
+	</script></body></html>`
+
+	_, report, err := greenweb.AutoAnnotate(page)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, f := range report.Findings {
+		fmt.Printf("%s on%s: %s\n", f.Selector, f.Event, f.Annotation.Type)
+	}
+	// Output:
+	// body onload: single
+	// div#b onclick: continuous
+}

@@ -1,0 +1,74 @@
+// User-agent intervention against mis-annotation — the defense the paper
+// sketches in Sec. 8. A page demands an absurd 1 ms QoS target on an
+// endless animation (an energy bug or a deliberate attack), forcing the
+// runtime to peak performance forever. The UAI policy assigns each event
+// class an energy budget; once exceeded, the annotation is ignored and the
+// event is treated as unannotated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/core"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+const misannotated = `<html><head><style>
+	/* Malicious or buggy: a 1 ms target nothing can meet. */
+	div#spin:QoS { onclick-qos: continuous, 1, 1; }
+</style></head>
+<body>
+	<div id="spin">widget</div>
+	<script>
+		var started = false;
+		document.getElementById("spin").addEventListener("click", function(e) {
+			if (started) { return; }
+			started = true;
+			var n = 0;
+			function loop() {
+				n++;
+				work(40);
+				document.getElementById("spin").style.height = (n % 40) + "px";
+				requestAnimationFrame(loop); // never stops
+			}
+			requestAnimationFrame(loop);
+		});
+	</script>
+</body></html>`
+
+func run(uai *core.UAIPolicy) (joules float64, suppressed []string) {
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := browser.New(s, cpu, nil)
+	opts := core.DefaultOptions(qos.Imperceptible)
+	opts.UAI = uai
+	e.SetGovernor(core.New(opts))
+	if _, err := e.LoadPage(misannotated); err != nil {
+		log.Fatal(err)
+	}
+	s.RunUntil(sim.Time(sim.Second))
+	e.Inject(s.Now(), "click", "spin", nil)
+	s.RunUntil(s.Now().Add(10 * sim.Second))
+	if uai != nil {
+		suppressed = uai.SuppressedClasses()
+	}
+	return float64(cpu.Energy()), suppressed
+}
+
+func main() {
+	unprotected, _ := run(nil)
+	fmt.Printf("without UAI: %.2f J over 10 s of runaway peak-pinned animation\n", unprotected)
+
+	policy := core.NewUAIPolicy(0.5) // half a joule per event class
+	protected, suppressed := run(policy)
+	fmt.Printf("with UAI:    %.2f J — budget tripped, annotation ignored\n", protected)
+	for _, class := range suppressed {
+		fmt.Printf("  suppressed class: %s (spent %.2f J before the budget hit)\n",
+			class, float64(policy.Spent(class)))
+	}
+	fmt.Printf("\nenergy saved by the intervention: %.1f%%\n", 100*(1-protected/unprotected))
+}

@@ -1,0 +1,3 @@
+module github.com/wattwiseweb/greenweb
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package acmp models an asymmetric chip multiprocessor (ACMP) of the kind
+// the GreenWeb paper evaluates on: the Exynos 5410's ARM big.LITTLE design
+// with a high-performance Cortex-A15 ("big") cluster and an energy-conserving
+// Cortex-A7 ("little") cluster.
+//
+// The model is faithful to the paper's hardware section (Sec. 7.1):
+//
+//   - big cores run between 800 MHz and 1.8 GHz at 100 MHz granularity;
+//   - little cores run between 350 MHz and 600 MHz at 50 MHz granularity;
+//   - a frequency switch costs 100 µs and a core migration costs 20 µs;
+//   - the clusters are exclusively enabled (the Exynos 5410 operates in
+//     cluster-migration mode), so an execution configuration is a
+//     ⟨cluster, frequency⟩ tuple.
+//
+// Work is denominated in CPU cycles plus a frequency-independent time
+// component, matching the DVFS analytical model the paper builds on
+// (T = T_independent + N_nonoverlap/f, Xie et al.). Execution is preemptible:
+// changing the configuration mid-work re-times the remaining cycles, so
+// governor decisions interact with in-flight frames exactly as on hardware.
+package acmp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster identifies one of the two asymmetric core clusters.
+type Cluster int
+
+const (
+	// Little is the energy-conserving in-order cluster (Cortex-A7).
+	Little Cluster = iota
+	// Big is the high-performance out-of-order cluster (Cortex-A15).
+	Big
+)
+
+func (c Cluster) String() string {
+	switch c {
+	case Little:
+		return "little"
+	case Big:
+		return "big"
+	default:
+		return fmt.Sprintf("Cluster(%d)", int(c))
+	}
+}
+
+// Frequency ladder constants for the Exynos 5410 (paper Sec. 7.1).
+const (
+	BigMinMHz     = 800
+	BigMaxMHz     = 1800
+	BigStepMHz    = 100
+	LittleMinMHz  = 350
+	LittleMaxMHz  = 600
+	LittleStepMHz = 50
+)
+
+// Config is an ACMP execution configuration: which cluster runs the
+// application and at what frequency. This is the unit the GreenWeb runtime
+// predicts and the governors set.
+type Config struct {
+	Cluster Cluster
+	MHz     int
+}
+
+func (c Config) String() string { return fmt.Sprintf("%s@%dMHz", c.Cluster, c.MHz) }
+
+// Valid reports whether the configuration names a real operating point.
+func (c Config) Valid() bool {
+	switch c.Cluster {
+	case Big:
+		return c.MHz >= BigMinMHz && c.MHz <= BigMaxMHz && (c.MHz-BigMinMHz)%BigStepMHz == 0
+	case Little:
+		return c.MHz >= LittleMinMHz && c.MHz <= LittleMaxMHz && (c.MHz-LittleMinMHz)%LittleStepMHz == 0
+	default:
+		return false
+	}
+}
+
+// HzF reports the configured frequency in Hz as a float, for latency math.
+func (c Config) HzF() float64 { return float64(c.MHz) * 1e6 }
+
+// BigFreqs returns the big cluster's frequency ladder in ascending MHz.
+func BigFreqs() []int { return ladder(BigMinMHz, BigMaxMHz, BigStepMHz) }
+
+// LittleFreqs returns the little cluster's frequency ladder in ascending MHz.
+func LittleFreqs() []int { return ladder(LittleMinMHz, LittleMaxMHz, LittleStepMHz) }
+
+func ladder(lo, hi, step int) []int {
+	var fs []int
+	for f := lo; f <= hi; f += step {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// ClusterFreqs returns the frequency ladder for the given cluster.
+func ClusterFreqs(c Cluster) []int {
+	if c == Big {
+		return BigFreqs()
+	}
+	return LittleFreqs()
+}
+
+// Configs returns every valid execution configuration, ordered from the
+// lowest-performance point (little @ 350 MHz) to the highest (big @ 1.8 GHz).
+// Little configurations sort before big ones: on this model every big
+// operating point outperforms every little one for CPU-bound work, because
+// the big cluster's lowest frequency (800 MHz) combined with its higher IPC
+// exceeds the little cluster's peak.
+func Configs() []Config {
+	var cs []Config
+	for _, f := range LittleFreqs() {
+		cs = append(cs, Config{Little, f})
+	}
+	for _, f := range BigFreqs() {
+		cs = append(cs, Config{Big, f})
+	}
+	return cs
+}
+
+// MinConfig returns the lowest-frequency operating point of a cluster.
+func MinConfig(c Cluster) Config {
+	if c == Big {
+		return Config{Big, BigMinMHz}
+	}
+	return Config{Little, LittleMinMHz}
+}
+
+// MaxConfig returns the highest-frequency operating point of a cluster.
+func MaxConfig(c Cluster) Config {
+	if c == Big {
+		return Config{Big, BigMaxMHz}
+	}
+	return Config{Little, LittleMaxMHz}
+}
+
+// PeakConfig is the overall highest-performance configuration; the paper's
+// Perf baseline pins the system here.
+func PeakConfig() Config { return MaxConfig(Big) }
+
+// LowestConfig is the overall lowest-power configuration.
+func LowestConfig() Config { return MinConfig(Little) }
+
+// StepUp returns the next-higher operating point: the next frequency on the
+// same cluster, or the migration from little's peak to big's minimum. It
+// reports ok=false when already at the overall peak.
+func (c Config) StepUp() (Config, bool) {
+	switch c.Cluster {
+	case Little:
+		if c.MHz < LittleMaxMHz {
+			return Config{Little, c.MHz + LittleStepMHz}, true
+		}
+		return Config{Big, BigMinMHz}, true
+	case Big:
+		if c.MHz < BigMaxMHz {
+			return Config{Big, c.MHz + BigStepMHz}, true
+		}
+	}
+	return c, false
+}
+
+// StepDown returns the next-lower operating point, migrating from big's
+// minimum down to little's peak. It reports ok=false at the overall minimum.
+func (c Config) StepDown() (Config, bool) {
+	switch c.Cluster {
+	case Big:
+		if c.MHz > BigMinMHz {
+			return Config{Big, c.MHz - BigStepMHz}, true
+		}
+		return Config{Little, LittleMaxMHz}, true
+	case Little:
+		if c.MHz > LittleMinMHz {
+			return Config{Little, c.MHz - LittleStepMHz}, true
+		}
+	}
+	return c, false
+}
+
+// Index reports the configuration's position in Configs(), i.e. its rank in
+// the performance order. It panics on invalid configurations.
+func (c Config) Index() int {
+	if !c.Valid() {
+		panic(fmt.Sprintf("acmp: invalid config %v", c))
+	}
+	if c.Cluster == Little {
+		return (c.MHz - LittleMinMHz) / LittleStepMHz
+	}
+	return len(LittleFreqs()) + (c.MHz-BigMinMHz)/BigStepMHz
+}
+
+// ConfigAt is the inverse of Index.
+func ConfigAt(i int) Config {
+	cs := Configs()
+	if i < 0 || i >= len(cs) {
+		panic(fmt.Sprintf("acmp: config index %d out of range", i))
+	}
+	return cs[i]
+}
+
+// NumConfigs reports the size of the configuration space.
+func NumConfigs() int { return len(LittleFreqs()) + len(BigFreqs()) }
+
+// SortConfigs orders a slice of configurations by ascending performance.
+func SortConfigs(cs []Config) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Index() < cs[j].Index() })
+}

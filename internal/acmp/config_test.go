@@ -1,0 +1,156 @@
+package acmp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrequencyLadders(t *testing.T) {
+	big := BigFreqs()
+	if len(big) != 11 || big[0] != 800 || big[len(big)-1] != 1800 {
+		t.Fatalf("big ladder = %v", big)
+	}
+	little := LittleFreqs()
+	if len(little) != 6 || little[0] != 350 || little[len(little)-1] != 600 {
+		t.Fatalf("little ladder = %v", little)
+	}
+	if NumConfigs() != 17 {
+		t.Fatalf("NumConfigs = %d, want 17", NumConfigs())
+	}
+}
+
+func TestConfigValid(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{Big, 800}, true},
+		{Config{Big, 1800}, true},
+		{Config{Big, 850}, false},
+		{Config{Big, 700}, false},
+		{Config{Big, 1900}, false},
+		{Config{Little, 350}, true},
+		{Config{Little, 600}, true},
+		{Config{Little, 375}, false},
+		{Config{Little, 300}, false},
+		{Config{Little, 650}, false},
+		{Config{Cluster(9), 800}, false},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigsOrderedAndValid(t *testing.T) {
+	cs := Configs()
+	if len(cs) != NumConfigs() {
+		t.Fatalf("len(Configs) = %d", len(cs))
+	}
+	for i, c := range cs {
+		if !c.Valid() {
+			t.Errorf("Configs()[%d] = %v invalid", i, c)
+		}
+		if c.Index() != i {
+			t.Errorf("%v.Index() = %d, want %d", c, c.Index(), i)
+		}
+		if ConfigAt(i) != c {
+			t.Errorf("ConfigAt(%d) = %v, want %v", i, ConfigAt(i), c)
+		}
+	}
+	if cs[0] != LowestConfig() {
+		t.Errorf("first config = %v, want lowest", cs[0])
+	}
+	if cs[len(cs)-1] != PeakConfig() {
+		t.Errorf("last config = %v, want peak", cs[len(cs)-1])
+	}
+}
+
+func TestStepUpDownWalkTheWholeLadder(t *testing.T) {
+	c := LowestConfig()
+	n := 1
+	for {
+		next, ok := c.StepUp()
+		if !ok {
+			break
+		}
+		if next.Index() != c.Index()+1 {
+			t.Fatalf("StepUp(%v) = %v, not adjacent", c, next)
+		}
+		c = next
+		n++
+	}
+	if c != PeakConfig() {
+		t.Fatalf("walk up ended at %v", c)
+	}
+	if n != NumConfigs() {
+		t.Fatalf("walked %d configs, want %d", n, NumConfigs())
+	}
+	for {
+		prev, ok := c.StepDown()
+		if !ok {
+			break
+		}
+		if prev.Index() != c.Index()-1 {
+			t.Fatalf("StepDown(%v) = %v, not adjacent", c, prev)
+		}
+		c = prev
+	}
+	if c != LowestConfig() {
+		t.Fatalf("walk down ended at %v", c)
+	}
+}
+
+func TestStepAcrossClusterBoundary(t *testing.T) {
+	up, ok := Config{Little, 600}.StepUp()
+	if !ok || up != (Config{Big, 800}) {
+		t.Fatalf("StepUp(little@600) = %v, %v", up, ok)
+	}
+	down, ok := Config{Big, 800}.StepDown()
+	if !ok || down != (Config{Little, 600}) {
+		t.Fatalf("StepDown(big@800) = %v, %v", down, ok)
+	}
+	if _, ok := PeakConfig().StepUp(); ok {
+		t.Fatal("StepUp at peak should fail")
+	}
+	if _, ok := LowestConfig().StepDown(); ok {
+		t.Fatal("StepDown at bottom should fail")
+	}
+}
+
+func TestPropertyIndexRoundTrip(t *testing.T) {
+	f := func(i uint8) bool {
+		idx := int(i) % NumConfigs()
+		return ConfigAt(idx).Index() == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortConfigs(t *testing.T) {
+	cs := []Config{{Big, 1800}, {Little, 350}, {Big, 800}, {Little, 600}}
+	SortConfigs(cs)
+	want := []Config{{Little, 350}, {Little, 600}, {Big, 800}, {Big, 1800}}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("sorted = %v", cs)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if Big.String() != "big" || Little.String() != "little" {
+		t.Fatal("cluster names wrong")
+	}
+	if (Config{Big, 1500}).String() != "big@1500MHz" {
+		t.Fatalf("config string = %q", Config{Big, 1500}.String())
+	}
+}
+
+func TestClusterFreqs(t *testing.T) {
+	if len(ClusterFreqs(Big)) != 11 || len(ClusterFreqs(Little)) != 6 {
+		t.Fatal("ClusterFreqs sizes wrong")
+	}
+}

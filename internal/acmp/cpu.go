@@ -1,0 +1,398 @@
+package acmp
+
+import (
+	"fmt"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Configuration switch overheads (paper Sec. 7.1): changing the frequency of
+// a cluster stalls execution for 100 µs; migrating between the big and
+// little clusters stalls for 20 µs.
+const (
+	FreqSwitchPenalty = 100 * sim.Microsecond
+	MigrationPenalty  = 20 * sim.Microsecond
+)
+
+// SwitchStats counts the configuration changes applied to a CPU, the
+// quantity Fig. 12 of the paper reports.
+type SwitchStats struct {
+	FreqSwitches int // frequency changes within a cluster
+	Migrations   int // big↔little cluster migrations
+}
+
+// Total reports all configuration switching events.
+func (s SwitchStats) Total() int { return s.FreqSwitches + s.Migrations }
+
+// CPU simulates the ACMP processor: an exclusive active cluster running at a
+// settable frequency, executing the work submitted to its threads, with a
+// power meter on the CPU rails. All timing flows through the shared
+// discrete-event simulator, and execution is preemptible: SetConfig re-times
+// all in-flight work.
+type CPU struct {
+	sim   *sim.Simulator
+	pm    *PowerModel
+	cfg   Config
+	meter *Meter
+
+	// clusterMHz remembers each cluster's last programmed frequency, so a
+	// migration back to a cluster resumes at its prior operating point
+	// (as cpufreq does) and only counts a frequency switch if the governor
+	// also reprograms it.
+	clusterMHz [2]int
+
+	threads    []*Thread
+	stallUntil sim.Time
+	busyCount  int
+
+	stats SwitchStats
+
+	// Residency tracking for the paper's Fig. 11 (time distribution over
+	// architecture configurations).
+	residency   map[Config]sim.Duration
+	residencyAt sim.Time
+
+	// Union-busy accounting for utilization-driven governors.
+	unionBusySince sim.Time
+	unionBusy      sim.Duration
+
+	onConfigChange []func(old, new Config)
+}
+
+// NewCPU returns an ACMP processor attached to the simulator, initially at
+// the lowest-power configuration (little @ 350 MHz) and fully idle.
+func NewCPU(s *sim.Simulator, pm *PowerModel) *CPU {
+	if pm == nil {
+		pm = DefaultPower()
+	}
+	c := &CPU{
+		sim:       s,
+		pm:        pm,
+		cfg:       LowestConfig(),
+		residency: make(map[Config]sim.Duration),
+	}
+	c.clusterMHz[Little] = LittleMinMHz
+	c.clusterMHz[Big] = BigMinMHz
+	c.meter = newMeter(s, pm)
+	c.residencyAt = s.Now()
+	c.refreshPower()
+	return c
+}
+
+// Sim returns the simulator driving this CPU.
+func (c *CPU) Sim() *sim.Simulator { return c.sim }
+
+// PowerModel returns the power model in effect.
+func (c *CPU) PowerModel() *PowerModel { return c.pm }
+
+// Config reports the current execution configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Stats reports the configuration switching counts so far.
+func (c *CPU) Stats() SwitchStats { return c.stats }
+
+// OnConfigChange registers a callback invoked after every effective
+// configuration change (used by tracing and metrics).
+func (c *CPU) OnConfigChange(fn func(old, new Config)) {
+	c.onConfigChange = append(c.onConfigChange, fn)
+}
+
+// SetConfig switches the processor to a new execution configuration,
+// applying the frequency-switch and migration stalls to all in-flight work
+// and re-timing it for the new operating point. Setting the current
+// configuration is a no-op.
+func (c *CPU) SetConfig(cfg Config) {
+	if !cfg.Valid() {
+		panic(fmt.Sprintf("acmp: SetConfig(%v): invalid", cfg))
+	}
+	if cfg == c.cfg {
+		return
+	}
+	old := c.cfg
+
+	var penalty sim.Duration
+	if cfg.Cluster != old.Cluster {
+		c.stats.Migrations++
+		penalty += MigrationPenalty
+	}
+	if cfg.MHz != c.clusterMHz[cfg.Cluster] {
+		c.stats.FreqSwitches++
+		penalty += FreqSwitchPenalty
+	}
+
+	now := c.sim.Now()
+	c.accrueResidency(now)
+
+	// Account progress under the old configuration before changing rates.
+	for _, t := range c.threads {
+		t.accrueProgress(now, old)
+	}
+
+	c.cfg = cfg
+	c.clusterMHz[cfg.Cluster] = cfg.MHz
+	stallEnd := now.Add(penalty)
+	if stallEnd > c.stallUntil {
+		c.stallUntil = stallEnd
+	}
+
+	// Re-time all in-flight CPU phases at the new rate, after the stall.
+	for _, t := range c.threads {
+		t.retime(old.Cluster, cfg.Cluster)
+	}
+
+	c.refreshPower()
+	for _, fn := range c.onConfigChange {
+		fn(old, cfg)
+	}
+}
+
+// Energy reports the total CPU-rail energy consumed so far.
+func (c *CPU) Energy() Joules { return c.meter.Energy() }
+
+// Power reports the instantaneous CPU-rail power draw.
+func (c *CPU) Power() Watts { return c.meter.Power() }
+
+// Meter exposes the energy meter, e.g. for attaching a DAQ sampler.
+func (c *CPU) Meter() *Meter { return c.meter }
+
+// UnionBusyTime reports the cumulative time during which at least one
+// thread was executing a CPU phase. Utilization-driven governors divide a
+// window's delta by the window length.
+func (c *CPU) UnionBusyTime() sim.Duration {
+	d := c.unionBusy
+	if c.busyCount > 0 {
+		d += c.sim.Now().Sub(c.unionBusySince)
+	}
+	return d
+}
+
+// Busy reports whether any thread is currently executing a CPU phase.
+func (c *CPU) Busy() bool { return c.busyCount > 0 }
+
+// Residency reports the time spent in each execution configuration,
+// including the currently accruing one. The map is a fresh copy.
+func (c *CPU) Residency() map[Config]sim.Duration {
+	out := make(map[Config]sim.Duration, len(c.residency)+1)
+	for cfg, d := range c.residency {
+		out[cfg] = d
+	}
+	out[c.cfg] += c.sim.Now().Sub(c.residencyAt)
+	return out
+}
+
+func (c *CPU) accrueResidency(now sim.Time) {
+	c.residency[c.cfg] += now.Sub(c.residencyAt)
+	c.residencyAt = now
+}
+
+func (c *CPU) refreshPower() {
+	c.meter.set(c.pm.Total(c.cfg, c.busyCount, len(c.threads)), c.cfg.Cluster)
+}
+
+func (c *CPU) threadBusyChanged(delta int) {
+	now := c.sim.Now()
+	was := c.busyCount > 0
+	c.busyCount += delta
+	if c.busyCount < 0 {
+		panic("acmp: negative busy count")
+	}
+	is := c.busyCount > 0
+	if !was && is {
+		c.unionBusySince = now
+	} else if was && !is {
+		c.unionBusy += now.Sub(c.unionBusySince)
+	}
+	c.refreshPower()
+}
+
+// NewThread creates an execution context pinned to its own core. The
+// browser model creates one per engine thread (renderer main, compositor,
+// browser-process I/O), which mirrors the ample core count of the modelled
+// SoC (four per cluster).
+func (c *CPU) NewThread(name string) *Thread {
+	t := &Thread{cpu: c, name: name}
+	c.threads = append(c.threads, t)
+	c.refreshPower()
+	return t
+}
+
+type threadState int
+
+const (
+	threadIdle threadState = iota
+	threadCPUPhase
+	threadIndepPhase
+)
+
+type workItem struct {
+	work Work
+	done func()
+}
+
+// Thread is a serial execution context on the CPU: submitted work runs
+// in FIFO order, one item at a time. During an item's CPU phase the thread
+// occupies a core (drawing active power, progressing at the configured
+// frequency); during its frequency-independent phase the core idles while
+// GPU/memory finish the item.
+type Thread struct {
+	cpu   *CPU
+	name  string
+	queue []workItem
+	state threadState
+
+	cur             workItem
+	remainingCycles float64 // in active-cluster cycles
+	segStart        sim.Time
+	doneEv          *sim.Event
+
+	busyTotal sim.Duration
+	executed  int
+}
+
+// Name reports the thread's diagnostic label.
+func (t *Thread) Name() string { return t.name }
+
+// QueueLen reports the number of items waiting behind the current one.
+func (t *Thread) QueueLen() int { return len(t.queue) }
+
+// Idle reports whether the thread has no current or queued work.
+func (t *Thread) Idle() bool { return t.state == threadIdle && len(t.queue) == 0 }
+
+// BusyTime reports the cumulative CPU-phase time of this thread.
+func (t *Thread) BusyTime() sim.Duration {
+	d := t.busyTotal
+	if t.state == threadCPUPhase {
+		now := t.cpu.sim.Now()
+		if now > t.segStart {
+			// Only count time actually progressing (segStart absorbs stalls
+			// conservatively; stall time counts as busy once reached).
+			d += now.Sub(t.segStart)
+		}
+	}
+	return d
+}
+
+// Executed reports how many work items have fully completed on this thread.
+func (t *Thread) Executed() int { return t.executed }
+
+// Submit enqueues work; done (which may be nil) runs when the item fully
+// completes, at which point the next queued item starts.
+func (t *Thread) Submit(w Work, done func()) {
+	t.queue = append(t.queue, workItem{w, done})
+	if t.state == threadIdle {
+		t.startNext()
+	}
+}
+
+func (t *Thread) startNext() {
+	if len(t.queue) == 0 {
+		t.state = threadIdle
+		return
+	}
+	t.cur = t.queue[0]
+	t.queue = t.queue[1:]
+	cluster := t.cpu.cfg.Cluster
+	t.remainingCycles = float64(t.cur.work.Cycles(cluster))
+	if t.remainingCycles > 0 {
+		t.state = threadCPUPhase
+		t.cpu.threadBusyChanged(+1)
+		t.scheduleCompletion()
+	} else {
+		t.startIndepPhase()
+	}
+}
+
+// scheduleCompletion plans the end of the CPU phase from the current
+// remaining cycles, respecting any switch stall in effect.
+func (t *Thread) scheduleCompletion() {
+	now := t.cpu.sim.Now()
+	start := now
+	if t.cpu.stallUntil > start {
+		start = t.cpu.stallUntil
+	}
+	t.segStart = start
+	rate := t.cpu.cfg.HzF() // cycles per second
+	secs := t.remainingCycles / rate
+	finish := start.Add(sim.Duration(secs*1e6 + 0.5))
+	if finish < now {
+		finish = now
+	}
+	if t.doneEv != nil {
+		t.doneEv.Cancel()
+	}
+	t.doneEv = t.cpu.sim.At(finish, t.name+":cpu-done", t.cpuPhaseDone)
+}
+
+// accrueProgress charges cycles executed since segStart under the old
+// configuration against the remaining cycle count. Called by SetConfig
+// before the rate changes.
+func (t *Thread) accrueProgress(now sim.Time, old Config) {
+	if t.state != threadCPUPhase {
+		return
+	}
+	if now <= t.segStart {
+		// Still inside a switch stall: no progress was made, and retime's
+		// scheduleCompletion will recompute the resume point.
+		return
+	}
+	elapsed := now.Sub(t.segStart)
+	done := elapsed.Seconds() * old.HzF()
+	t.remainingCycles -= done
+	if t.remainingCycles < 0 {
+		t.remainingCycles = 0
+	}
+	t.busyTotal += elapsed
+	t.segStart = now
+}
+
+// retime converts remaining cycles across a cluster change and reschedules
+// the CPU-phase completion at the new rate.
+func (t *Thread) retime(oldCluster, newCluster Cluster) {
+	if t.state != threadCPUPhase {
+		return
+	}
+	if oldCluster != newCluster {
+		oldTotal := float64(t.cur.work.Cycles(oldCluster))
+		newTotal := float64(t.cur.work.Cycles(newCluster))
+		if oldTotal > 0 {
+			t.remainingCycles = t.remainingCycles / oldTotal * newTotal
+		} else {
+			t.remainingCycles = newTotal
+		}
+	}
+	t.scheduleCompletion()
+}
+
+func (t *Thread) cpuPhaseDone() {
+	now := t.cpu.sim.Now()
+	if now > t.segStart {
+		t.busyTotal += now.Sub(t.segStart)
+	}
+	t.segStart = now
+	t.remainingCycles = 0
+	t.doneEv = nil
+	t.cpu.threadBusyChanged(-1)
+	t.startIndepPhase()
+}
+
+func (t *Thread) startIndepPhase() {
+	if t.cur.work.Indep > 0 {
+		t.state = threadIndepPhase
+		t.cpu.sim.After(t.cur.work.Indep, t.name+":indep-done", t.itemDone)
+	} else {
+		t.itemDone()
+	}
+}
+
+func (t *Thread) itemDone() {
+	done := t.cur.done
+	t.cur = workItem{}
+	t.state = threadIdle
+	t.executed++
+	if done != nil {
+		done()
+	}
+	if t.state == threadIdle { // done() may have submitted and started work
+		t.startNext()
+	}
+}

@@ -1,0 +1,99 @@
+package acmp
+
+import "github.com/wattwiseweb/greenweb/internal/sim"
+
+// Meter integrates CPU-rail power over virtual time, exactly (piecewise-
+// constant integration at every power transition) and split per cluster.
+// It is the model counterpart of the paper's sense-resistor measurement on
+// the ODroid XU+E's big and little rails.
+type Meter struct {
+	sim   *sim.Simulator
+	pm    *PowerModel
+	last  sim.Time
+	power Watts
+	rail  Cluster
+
+	total     Joules
+	byCluster [2]Joules
+}
+
+func newMeter(s *sim.Simulator, pm *PowerModel) *Meter {
+	return &Meter{sim: s, pm: pm, last: s.Now(), rail: Little}
+}
+
+// set integrates up to now at the previous power level, then switches to the
+// new level on the given rail.
+func (m *Meter) set(p Watts, rail Cluster) {
+	m.integrate()
+	m.power = p
+	m.rail = rail
+}
+
+func (m *Meter) integrate() {
+	now := m.sim.Now()
+	if now > m.last {
+		e := Joules(float64(m.power) * now.Sub(m.last).Seconds())
+		m.total += e
+		m.byCluster[m.rail] += e
+		m.last = now
+	}
+}
+
+// Power reports the instantaneous power level.
+func (m *Meter) Power() Watts { return m.power }
+
+// Energy reports the total energy consumed up to the current instant.
+func (m *Meter) Energy() Joules {
+	m.integrate()
+	return m.total
+}
+
+// EnergyByCluster reports energy split across the little and big rails.
+func (m *Meter) EnergyByCluster() (little, big Joules) {
+	m.integrate()
+	return m.byCluster[Little], m.byCluster[Big]
+}
+
+// DAQ simulates the National Instruments data-acquisition unit the paper
+// uses: it samples the rail power at a fixed rate (1,000 samples per second
+// in the paper) and estimates energy as the sum of sample × period. Useful
+// for validating that sampled measurement tracks the exact integral.
+type DAQ struct {
+	sim     *sim.Simulator
+	src     func() Watts
+	period  sim.Duration
+	samples int
+	energy  Joules
+	stopped bool
+}
+
+// NewDAQ attaches a sampler to a power source at the given sampling period
+// and starts sampling immediately.
+func NewDAQ(s *sim.Simulator, period sim.Duration, src func() Watts) *DAQ {
+	if period <= 0 {
+		panic("acmp: DAQ period must be positive")
+	}
+	d := &DAQ{sim: s, src: src, period: period}
+	d.schedule()
+	return d
+}
+
+func (d *DAQ) schedule() {
+	d.sim.After(d.period, "daq:sample", func() {
+		if d.stopped {
+			return
+		}
+		d.samples++
+		d.energy += Joules(float64(d.src()) * d.period.Seconds())
+		d.schedule()
+	})
+}
+
+// Stop ends sampling.
+func (d *DAQ) Stop() { d.stopped = true }
+
+// Samples reports how many samples were taken.
+func (d *DAQ) Samples() int { return d.samples }
+
+// Energy reports the sampled energy estimate.
+func (d *DAQ) Energy() Joules { return d.energy }

@@ -1,0 +1,143 @@
+package acmp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	pm := DefaultPower()
+	for _, cluster := range []Cluster{Little, Big} {
+		freqs := ClusterFreqs(cluster)
+		for i := 1; i < len(freqs); i++ {
+			lo := Config{cluster, freqs[i-1]}
+			hi := Config{cluster, freqs[i]}
+			if pm.CoreActive(hi) <= pm.CoreActive(lo) {
+				t.Errorf("CoreActive not increasing: %v=%v, %v=%v", lo, pm.CoreActive(lo), hi, pm.CoreActive(hi))
+			}
+			if pm.ClusterStatic(hi) < pm.ClusterStatic(lo) {
+				t.Errorf("ClusterStatic decreasing from %v to %v", lo, hi)
+			}
+		}
+	}
+}
+
+func TestPowerEnvelope(t *testing.T) {
+	pm := DefaultPower()
+	// The calibrated model must land in the published A15/A7 envelope.
+	bigPeak := pm.CoreActive(PeakConfig())
+	if bigPeak < 2.0 || bigPeak > 3.5 {
+		t.Errorf("big core peak power %v W outside [2, 3.5]", bigPeak)
+	}
+	bigMin := pm.CoreActive(Config{Big, 800})
+	if bigMin < 0.4 || bigMin > 1.0 {
+		t.Errorf("big core min power %v W outside [0.4, 1]", bigMin)
+	}
+	litPeak := pm.CoreActive(Config{Little, 600})
+	if litPeak < 0.15 || litPeak > 0.5 {
+		t.Errorf("little core peak power %v W outside [0.15, 0.5]", litPeak)
+	}
+	litMin := pm.CoreActive(LowestConfig())
+	if litMin < 0.05 || litMin > 0.2 {
+		t.Errorf("little core min power %v W outside [0.05, 0.2]", litMin)
+	}
+}
+
+func TestLittleMoreEfficientThanBig(t *testing.T) {
+	pm := DefaultPower()
+	w := CPUWork(100e6)
+	// Energy per task at little's lowest point must beat any big point,
+	// otherwise the ACMP trade-off space collapses.
+	eLittle := w.Energy(LowestConfig(), pm)
+	for _, f := range BigFreqs() {
+		eBig := w.Energy(Config{Big, f}, pm)
+		if eLittle >= eBig {
+			t.Errorf("little@350 energy %v >= big@%d energy %v", eLittle, f, eBig)
+		}
+	}
+}
+
+func TestBigFasterThanLittle(t *testing.T) {
+	w := CPUWork(100e6)
+	// Any big operating point must outperform any little one for CPU work,
+	// making Configs() a true performance order.
+	slowestBig := w.Latency(Config{Big, BigMinMHz})
+	fastestLittle := w.Latency(Config{Little, LittleMaxMHz})
+	if slowestBig >= fastestLittle {
+		t.Fatalf("big@800 latency %v >= little@600 latency %v", slowestBig, fastestLittle)
+	}
+}
+
+func TestVoltageRange(t *testing.T) {
+	pm := DefaultPower()
+	if v := pm.Voltage(Config{Big, 800}); v != 0.90 {
+		t.Errorf("Vbig(800) = %v", v)
+	}
+	if v := pm.Voltage(Config{Big, 1800}); v != 1.20 {
+		t.Errorf("Vbig(1800) = %v", v)
+	}
+	if v := pm.Voltage(Config{Little, 350}); v != 0.90 {
+		t.Errorf("Vlittle(350) = %v", v)
+	}
+	if v := pm.Voltage(Config{Little, 600}); v < 1.0999 || v > 1.1001 {
+		t.Errorf("Vlittle(600) = %v", v)
+	}
+}
+
+func TestTotalPowerComposition(t *testing.T) {
+	pm := DefaultPower()
+	cfg := Config{Big, 1000}
+	idle := pm.Total(cfg, 0, 3)
+	one := pm.Total(cfg, 1, 3)
+	three := pm.Total(cfg, 3, 3)
+	if idle >= one || one >= three {
+		t.Fatalf("power not increasing with busy cores: %v %v %v", idle, one, three)
+	}
+	// Cluster-idle power is the cpuidle sleep level, independent of the
+	// programmed frequency.
+	if idle != pm.Sleep(Big) {
+		t.Fatalf("idle power %v != sleep %v", idle, pm.Sleep(Big))
+	}
+	if pm.Total(PeakConfig(), 0, 3) != pm.Total(Config{Big, 800}, 0, 3) {
+		t.Fatal("sleep power must not depend on frequency")
+	}
+	if pm.Sleep(Little) >= pm.Sleep(Big) {
+		t.Fatal("little sleep must undercut big sleep")
+	}
+	wantOne := pm.ClusterStatic(cfg) + pm.CoreActive(cfg) + 2*pm.CoreIdle(Big)
+	if diff := float64(one - wantOne); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Total(1 of 3) = %v, want %v", one, wantOne)
+	}
+}
+
+func TestTotalPanicsOnBadCounts(t *testing.T) {
+	pm := DefaultPower()
+	for _, c := range []struct{ busy, cores int }{{-1, 3}, {4, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Total(%d, %d) did not panic", c.busy, c.cores)
+				}
+			}()
+			pm.Total(Config{Big, 800}, c.busy, c.cores)
+		}()
+	}
+}
+
+// Property: for every config, total power with n busy cores is
+// static + n·active + (cores-n)·idle exactly.
+func TestPropertyTotalLinearInBusy(t *testing.T) {
+	pm := DefaultPower()
+	f := func(ci, busyRaw uint8) bool {
+		cfg := ConfigAt(int(ci) % NumConfigs())
+		cores := 4
+		busy := int(busyRaw)%cores + 1 // busy >= 1; busy==0 is sleep
+		got := pm.Total(cfg, busy, cores)
+		want := pm.ClusterStatic(cfg) + Watts(busy)*pm.CoreActive(cfg) + Watts(cores-busy)*pm.CoreIdle(cfg.Cluster)
+		d := float64(got - want)
+		return d < 1e-9 && d > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

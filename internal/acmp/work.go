@@ -1,0 +1,98 @@
+package acmp
+
+import (
+	"fmt"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Work is a schedulable unit of computation, denominated per the DVFS
+// analytical model the paper builds its predictor on (Equ. 1):
+//
+//	T(config) = Indep + Cycles(cluster) / f
+//
+// CyclesBig and CyclesLittle are the non-overlapping CPU cycle counts on each
+// microarchitecture (the little in-order core needs more cycles for the same
+// task), and Indep is the frequency-independent component — GPU processing
+// and main-memory time that does not scale with CPU frequency.
+type Work struct {
+	CyclesBig    int64
+	CyclesLittle int64
+	Indep        sim.Duration
+}
+
+// DefaultMicroArchRatio is the default little/big cycle-count ratio used
+// when constructing Work from a single big-core cycle count: the in-order
+// A7 retires the same task in roughly 1.8× the cycles of the out-of-order
+// A15 on browser workloads.
+const DefaultMicroArchRatio = 1.8
+
+// Cycles reports the non-overlap cycle count on the given cluster.
+func (w Work) Cycles(c Cluster) int64 {
+	if c == Big {
+		return w.CyclesBig
+	}
+	return w.CyclesLittle
+}
+
+// Latency reports the execution time of the work at an operating point,
+// with no contention or configuration switches.
+func (w Work) Latency(c Config) sim.Duration {
+	cpu := float64(w.Cycles(c.Cluster)) / c.HzF() // seconds
+	return w.Indep + sim.Duration(cpu*1e6+0.5)
+}
+
+// Energy reports the active energy of executing the work at an operating
+// point on one core under the given power model, excluding idle and static
+// time outside the work. Useful for closed-form checks in tests.
+func (w Work) Energy(c Config, pm *PowerModel) Joules {
+	cpuSec := float64(w.Cycles(c.Cluster)) / c.HzF()
+	active := float64(pm.CoreActive(c)) * cpuSec
+	return Joules(active)
+}
+
+// Add accumulates another unit of work into w.
+func (w Work) Add(o Work) Work {
+	return Work{
+		CyclesBig:    w.CyclesBig + o.CyclesBig,
+		CyclesLittle: w.CyclesLittle + o.CyclesLittle,
+		Indep:        w.Indep + o.Indep,
+	}
+}
+
+// Scale multiplies every component of the work by k.
+func (w Work) Scale(k float64) Work {
+	return Work{
+		CyclesBig:    int64(float64(w.CyclesBig)*k + 0.5),
+		CyclesLittle: int64(float64(w.CyclesLittle)*k + 0.5),
+		Indep:        sim.Duration(float64(w.Indep)*k + 0.5),
+	}
+}
+
+// IsZero reports whether the work has no cost at all.
+func (w Work) IsZero() bool {
+	return w.CyclesBig == 0 && w.CyclesLittle == 0 && w.Indep == 0
+}
+
+func (w Work) String() string {
+	return fmt.Sprintf("work{big=%d little=%d indep=%v}", w.CyclesBig, w.CyclesLittle, w.Indep)
+}
+
+// CPUWork builds Work from a big-core cycle count and the default
+// microarchitecture ratio, with no frequency-independent component.
+func CPUWork(cyclesBig int64) Work {
+	return Work{
+		CyclesBig:    cyclesBig,
+		CyclesLittle: int64(float64(cyclesBig)*DefaultMicroArchRatio + 0.5),
+	}
+}
+
+// MixedWork builds Work from a big-core cycle count, a little/big cycle
+// ratio, and a frequency-independent duration.
+func MixedWork(cyclesBig int64, ratio float64, indep sim.Duration) Work {
+	return Work{
+		CyclesBig:    cyclesBig,
+		CyclesLittle: int64(float64(cyclesBig)*ratio + 0.5),
+		Indep:        indep,
+	}
+}

@@ -1,0 +1,289 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/governor"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("catalog has %d apps, want 12", len(all))
+	}
+	wantOrder := []string{
+		"BBC", "Google", "CamanJS", "LZMA-JS", "MSN", "Todo",
+		"Amazon", "Craigslist", "Paper.js", "Cnet", "Goo.ne.jp", "W3Schools",
+	}
+	for i, name := range wantOrder {
+		if all[i].Name != name {
+			t.Fatalf("catalog[%d] = %s, want %s", i, all[i].Name, name)
+		}
+	}
+	// QoS categories per Table 3.
+	type row struct {
+		inter  Interaction
+		qt     qos.Type
+		target qos.Target
+	}
+	want := map[string]row{
+		"BBC":        {Loading, qos.Single, qos.SingleLongTarget},
+		"Google":     {Loading, qos.Single, qos.SingleLongTarget},
+		"CamanJS":    {Tapping, qos.Single, qos.SingleLongTarget},
+		"LZMA-JS":    {Tapping, qos.Single, qos.SingleLongTarget},
+		"MSN":        {Tapping, qos.Single, qos.SingleShortTarget},
+		"Todo":       {Tapping, qos.Single, qos.SingleShortTarget},
+		"Amazon":     {Moving, qos.Continuous, qos.ContinuousTarget},
+		"Craigslist": {Moving, qos.Continuous, qos.ContinuousTarget},
+		"Paper.js":   {Moving, qos.Continuous, qos.ContinuousTarget},
+		"Cnet":       {Tapping, qos.Continuous, qos.ContinuousTarget},
+		"Goo.ne.jp":  {Tapping, qos.Continuous, qos.ContinuousTarget},
+		"W3Schools":  {Tapping, qos.Continuous, qos.ContinuousTarget},
+	}
+	for _, a := range all {
+		w := want[a.Name]
+		if a.Interaction != w.inter || a.QoSType != w.qt || a.QoSTarget != w.target {
+			t.Errorf("%s: got (%s, %s, %v), want (%s, %s, %v)",
+				a.Name, a.Interaction, a.QoSType, a.QoSTarget, w.inter, w.qt, w.target)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	a, ok := ByName("bbc")
+	if !ok || a.Name != "BBC" {
+		t.Fatal("ByName case-insensitive lookup failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName false positive")
+	}
+	if len(Names()) != 12 {
+		t.Fatal("Names wrong")
+	}
+}
+
+// boot loads an app under Perf and returns the engine after quiescence.
+func boot(t *testing.T, a *App) (*sim.Simulator, *browser.Engine) {
+	t.Helper()
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := browser.New(s, cpu, nil)
+	e.SetGovernor(governor.NewPerf())
+	if _, err := e.LoadPage(a.HTML()); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	s.RunUntil(sim.Time(20 * sim.Second))
+	return s, e
+}
+
+func TestEveryAppLoadsCleanly(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			_, e := boot(t, a)
+			if errs := e.ScriptErrors(); len(errs) > 0 {
+				t.Fatalf("script errors: %v", errs)
+			}
+			if len(e.Results()) == 0 {
+				t.Fatal("no first meaningful frame")
+			}
+			// Node counts must be realistic (pipeline cost depends on it).
+			if n := e.Doc().CountNodes(); n < 30 {
+				t.Fatalf("document has only %d nodes", n)
+			}
+		})
+	}
+}
+
+func TestEveryAppHasLoadAnnotation(t *testing.T) {
+	for _, a := range All() {
+		_, e := boot(t, a)
+		body := e.Doc().GetElementsByTag("body")[0]
+		ann, ok := e.Annotations().Lookup(body, "load")
+		if !ok {
+			t.Errorf("%s: no load annotation", a.Name)
+			continue
+		}
+		if ann.Type != qos.Single || ann.Target != qos.SingleLongTarget {
+			t.Errorf("%s: load annotation = %+v", a.Name, ann)
+		}
+	}
+}
+
+func TestMicroTraceTargetsAnnotatedElement(t *testing.T) {
+	for _, a := range All() {
+		if a.Interaction == Loading {
+			if a.Micro.Events() != 0 {
+				t.Errorf("%s: loading micro trace should be empty", a.Name)
+			}
+			continue
+		}
+		_, e := boot(t, a)
+		// At least one step of the micro trace must hit an annotated
+		// (element, event) pair matching the app's declared QoS category.
+		found := false
+		for _, step := range a.Micro.Steps {
+			n := e.Doc().GetElementByID(step.Target)
+			if n == nil {
+				t.Errorf("%s: micro step targets missing element %q", a.Name, step.Target)
+				continue
+			}
+			if ann, ok := e.Annotations().Lookup(n, step.Event); ok {
+				found = true
+				if ann.Type != a.QoSType {
+					t.Errorf("%s: annotation type %s != declared %s", a.Name, ann.Type, a.QoSType)
+				}
+				if ann.Target != a.QoSTarget {
+					t.Errorf("%s: annotation target %v != declared %v", a.Name, ann.Target, a.QoSTarget)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: micro trace never hits an annotated event", a.Name)
+		}
+	}
+}
+
+func TestFullTraceTargetsExist(t *testing.T) {
+	for _, a := range All() {
+		_, e := boot(t, a)
+		for _, step := range a.Full.Steps {
+			if e.Doc().GetElementByID(step.Target) == nil {
+				t.Errorf("%s: full trace targets missing element %q", a.Name, step.Target)
+				break
+			}
+		}
+	}
+}
+
+func TestFullTraceShapeMatchesTable3(t *testing.T) {
+	// Table 3: duration (seconds) and event counts.
+	want := map[string]struct {
+		seconds float64
+		events  int
+	}{
+		"BBC": {86, 60}, "Google": {31, 26}, "CamanJS": {49, 24},
+		"LZMA-JS": {53, 39}, "MSN": {59, 126}, "Todo": {26, 26},
+		"Amazon": {36, 101}, "Craigslist": {25, 22}, "Paper.js": {16, 560},
+		"Cnet": {46, 60}, "Goo.ne.jp": {16, 23}, "W3Schools": {64, 59},
+	}
+	var totalEvents int
+	var totalSecs float64
+	for _, a := range All() {
+		w := want[a.Name]
+		ev := a.Full.Events()
+		// Within ±15% of the paper's counts.
+		if float64(ev) < 0.85*float64(w.events) || float64(ev) > 1.15*float64(w.events) {
+			t.Errorf("%s: %d events, Table 3 says %d", a.Name, ev, w.events)
+		}
+		dur := a.Full.Duration().Seconds()
+		if dur < 0.6*w.seconds || dur > 1.2*w.seconds {
+			t.Errorf("%s: trace spans %.1fs, Table 3 says %.0fs", a.Name, dur, w.seconds)
+		}
+		totalEvents += ev
+		totalSecs += dur
+	}
+	// Paper: "each interaction sequence triggers about 94 events and lasts
+	// about 43 s" on average.
+	avgEvents := float64(totalEvents) / 12
+	avgSecs := totalSecs / 12
+	if avgEvents < 80 || avgEvents > 110 {
+		t.Errorf("average events = %.1f, paper says ~94", avgEvents)
+	}
+	if avgSecs < 34 || avgSecs > 50 {
+		t.Errorf("average duration = %.1fs, paper says ~43s", avgSecs)
+	}
+}
+
+// TestAnnotationCoverage approximates Table 3's "Annotation" column: the
+// fraction of full-interaction events resolved by a GreenWeb annotation.
+func TestAnnotationCoverage(t *testing.T) {
+	want := map[string]float64{
+		"BBC": 0.20, "Google": 0.875, "CamanJS": 1.0, "LZMA-JS": 1.0,
+		"MSN": 0.512, "Todo": 0.383, "Amazon": 0.33, "Craigslist": 0.846,
+		"Paper.js": 1.0, "Cnet": 0.553, "Goo.ne.jp": 0.518, "W3Schools": 1.0,
+	}
+	for _, a := range All() {
+		_, e := boot(t, a)
+		annotated := 0
+		for _, step := range a.Full.Steps {
+			n := e.Doc().GetElementByID(step.Target)
+			if n == nil {
+				continue
+			}
+			if _, ok := e.Annotations().Lookup(n, step.Event); ok {
+				annotated++
+			}
+		}
+		got := float64(annotated) / float64(a.Full.Events())
+		w := want[a.Name]
+		if got < w-0.12 || got > w+0.12 {
+			t.Errorf("%s: annotation coverage %.1f%%, Table 3 says %.1f%%",
+				a.Name, got*100, w*100)
+		}
+	}
+}
+
+// TestMicroWorkloadRegimes verifies the workload sizing that the paper's
+// results depend on, using ground-truth latencies under pinned configs.
+func TestMicroWorkloadRegimes(t *testing.T) {
+	// MSN's menu tap must need the big cluster for TI=100ms: at the
+	// little cluster's best the single-frame latency exceeds it.
+	lat := func(a *App, cfg acmp.Config, event, target string) sim.Duration {
+		s := sim.New()
+		cpu := acmp.NewCPU(s, acmp.DefaultPower())
+		e := browser.New(s, cpu, nil)
+		e.SetGovernor(governor.NewPerf())
+		if _, err := e.LoadPage(a.HTML()); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(sim.Time(20 * sim.Second))
+		cpu.SetConfig(cfg)
+		base := len(e.Results())
+		e.Inject(s.Now().Add(10*sim.Millisecond), event, target, nil)
+		s.RunUntil(s.Now().Add(20 * sim.Second))
+		frames := e.Results()
+		if len(frames) <= base {
+			t.Fatalf("%s: no frame for %s on %s", a.Name, event, target)
+		}
+		for _, fr := range frames[base:] {
+			for _, il := range fr.Inputs {
+				if il.Input.Event == event {
+					return il.Latency
+				}
+			}
+		}
+		t.Fatalf("%s: frame not attributed", a.Name)
+		return 0
+	}
+
+	msn, _ := ByName("MSN")
+	if l := lat(msn, acmp.MaxConfig(acmp.Little), "click", "menu"); l <= 100*sim.Millisecond {
+		t.Errorf("MSN tap at little@600 = %v; must exceed TI=100ms", l)
+	}
+	if l := lat(msn, acmp.PeakConfig(), "click", "menu"); l >= 100*sim.Millisecond {
+		t.Errorf("MSN tap at peak = %v; must meet TI=100ms", l)
+	}
+
+	todo, _ := ByName("Todo")
+	if l := lat(todo, acmp.LowestConfig(), "click", "add"); l >= 100*sim.Millisecond {
+		t.Errorf("Todo tap at little@350 = %v; must meet TI=100ms", l)
+	}
+
+	caman, _ := ByName("CamanJS")
+	if l := lat(caman, acmp.LowestConfig(), "click", "filter-btn"); l >= sim.Second {
+		t.Errorf("CamanJS filter at little@350 = %v; must meet TI=1s", l)
+	}
+
+	lzma, _ := ByName("LZMA-JS")
+	if l := lat(lzma, acmp.LowestConfig(), "click", "compress-btn"); l <= sim.Second {
+		t.Errorf("LZMA-JS at little@350 = %v; paper's profiling-violation story needs it above TI=1s", l)
+	}
+	if l := lat(lzma, acmp.PeakConfig(), "click", "compress-btn"); l >= sim.Second {
+		t.Errorf("LZMA-JS at peak = %v; must meet TI=1s", l)
+	}
+}

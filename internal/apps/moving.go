@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/replay"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Amazon: a product feed whose scrolling is continuous (16.6, 33.3) ms.
+// The page is heavy (200 nodes), so imperceptible-target frames need the
+// big cluster while usable-target frames fit the little cluster's upper
+// configurations — producing the large I↔U gap the paper reports for
+// continuous events.
+var Amazon = register(&App{
+	Name:        "Amazon",
+	Domain:      "shopping",
+	Interaction: Moving,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("Amazon", `
+			.product { margin: 1px; }
+		`,
+		`<div id="feed">products</div>
+		<div id="recs">recommendations</div>
+		`+filler(200, "product"),
+		`
+		work(600);
+		var off = 0;
+		document.getElementById("feed").addEventListener("touchmove", function(e) {
+			off += e.deltaY;
+			work(18); // visibility culling + lazy-load checks
+			document.getElementById("feed").setAttribute("data-offset", off);
+		});
+		document.getElementById("recs").addEventListener("touchmove", function(e) {
+			work(18);
+			document.getElementById("recs").setAttribute("data-off", e.deltaY);
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#feed:QoS { ontouchmove-qos: continuous; }
+	`,
+	Micro: microMove("amazon-micro", "feed", 40, 32*sim.Millisecond),
+	Full:  amazonFull(),
+})
+
+func amazonFull() *replay.Trace {
+	t := &replay.Trace{Name: "amazon-full"}
+	// Three 32-sample swipes over 36 s: one on the annotated #feed, two on
+	// the unannotated #recs — 33 of 102 events ≈ 33% (Table 3: 33%*).
+	// Finger samples arrive at ~30 Hz (a slow browse-scroll).
+	t.Append(replay.Move(sec(2), "feed", 32, 32*sim.Millisecond)...)
+	t.Append(replay.Move(sec(14), "recs", 32, 32*sim.Millisecond)...)
+	t.Append(replay.Move(sec(26), "recs", 32, 32*sim.Millisecond)...)
+	return t
+}
+
+// Craigslist: a plain listings page; scrolling frames are light enough
+// that even low little-cluster configurations approach the imperceptible
+// target.
+var Craigslist = register(&App{
+	Name:        "Craigslist",
+	Domain:      "classifieds",
+	Interaction: Moving,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("Craigslist", ``,
+		`<div id="listings">posts</div>
+		`+filler(60, "post"),
+		`
+		work(120);
+		var pos = 0;
+		document.getElementById("listings").addEventListener("touchmove", function(e) {
+			pos += e.deltaY;
+			work(6);
+			document.getElementById("listings").setAttribute("data-pos", pos);
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#listings:QoS { ontouchmove-qos: continuous; }
+	`,
+	Micro: microMove("craigslist-micro", "listings", 40, 16*sim.Millisecond),
+	Full:  craigslistFull(),
+})
+
+func craigslistFull() *replay.Trace {
+	t := &replay.Trace{Name: "craigslist-full"}
+	// One 20-sample swipe (22 events) over 25 s of dwell; the touchmoves
+	// are annotated — 20/22 ≈ 91% (Table 3: 84.6%).
+	t.Append(replay.Move(sec(2), "listings", 20, 24*sim.Millisecond)...)
+	t.Append(replay.Tap(sec(20), "post-3")...) // unannotated reading tap
+	return t
+}
+
+// PaperJS: a canvas drawing application — the paper's 560-event,
+// 16-second interaction is a dense stream of touchmoves, each extending
+// the stroke with input-dependent cost.
+var PaperJS = register(&App{
+	Name:        "Paper.js",
+	Domain:      "drawing",
+	Interaction: Moving,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("Paper.js", `
+			#canvas { width: 300px; }
+		`,
+		`<div id="canvas">canvas</div>
+		`+filler(25, "tool"),
+		`
+		work(250);
+		var pts = 0;
+		document.getElementById("canvas").addEventListener("touchstart", function(e) {
+			work(8);
+			document.getElementById("canvas").setAttribute("data-stroke", "start");
+		});
+		document.getElementById("canvas").addEventListener("touchmove", function(e) {
+			pts++;
+			// Path smoothing cost grows with recent stroke complexity.
+			work(12 + (pts % 16));
+			document.getElementById("canvas").setAttribute("data-pts", pts);
+		});
+		document.getElementById("canvas").addEventListener("touchend", function(e) {
+			work(20); // simplify and commit the path
+			document.getElementById("canvas").setAttribute("data-stroke", "end");
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#canvas:QoS {
+			ontouchstart-qos: continuous;
+			ontouchmove-qos: continuous;
+			ontouchend-qos: continuous;
+		}
+	`,
+	Micro: microMove("paperjs-micro", "canvas", 40, 16*sim.Millisecond),
+	Full:  paperjsFull(),
+})
+
+func paperjsFull() *replay.Trace {
+	t := &replay.Trace{Name: "paperjs-full"}
+	// Five 110-sample strokes ≈ 560 events in 16 s, all annotated
+	// (Table 3: 560 events, 100%).
+	at := sec(0.5)
+	for i := 0; i < 5; i++ {
+		t.Append(replay.Move(at, "canvas", 110, 25*sim.Millisecond)...)
+		at += sec(3.1)
+	}
+	return t
+}
+
+func microMove(name, target string, n int, gap sim.Duration) *replay.Trace {
+	t := &replay.Trace{Name: name}
+	t.Append(replay.Move(sec(0.5), target, n, gap)...)
+	return t
+}

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/replay"
+)
+
+// Cnet: tapping the section header expands it with a rAF animation whose
+// frame complexity surges periodically (embedded media cards entering the
+// viewport). The surges are what drive Cnet's usable-mode QoS violations
+// in the paper's Fig. 9b: a runtime that settled on a low configuration
+// reacts a frame late.
+var Cnet = register(&App{
+	Name:        "Cnet",
+	Domain:      "tech news",
+	Interaction: Tapping,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("Cnet", `
+			#panel { width: 200px; }
+		`,
+		`<div id="expand">reviews</div>
+		<div id="panel">panel</div>
+		<div id="promo">promo</div>
+		`+filler(90, "card"),
+		`
+		work(450);
+		document.getElementById("expand").addEventListener("click", function(e) {
+			var f = 0;
+			function step() {
+				f++;
+				// Every 8th frame pulls in a media card: complexity surge.
+				if (f % 8 === 0) { work(80); } else { work(12); }
+				document.getElementById("panel").style.height = (f * 6) + "px";
+				if (f < 40) { requestAnimationFrame(step); }
+			}
+			requestAnimationFrame(step);
+		});
+		document.getElementById("promo").addEventListener("click", function(e) {
+			work(40);
+			e.target.textContent = "dismissed";
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#expand:QoS {
+			ontouchstart-qos: continuous;
+			ontouchend-qos: continuous;
+			onclick-qos: continuous;
+		}
+	`,
+	Micro: microTap("cnet-micro", "expand"),
+	Full:  cnetFull(),
+})
+
+func cnetFull() *replay.Trace {
+	t := &replay.Trace{Name: "cnet-full"}
+	// 20 taps over 46 s: 11 on the annotated #expand (33 events) + 9 on
+	// the unannotated promo — 33/60 = 55% (Table 3: 55.3%).
+	at := sec(1.5)
+	for i := 0; i < 20; i++ {
+		target := "expand"
+		if i%9 >= 5 {
+			target = "promo"
+		}
+		t.Append(replay.Tap(at, target)...)
+		at += sec(2.3)
+	}
+	return t
+}
+
+// GooNeJp: a Japanese portal whose menu expands via a CSS transition
+// (the paper's Fig. 4 pattern) — a tap-triggered continuous interaction
+// with light frames.
+var GooNeJp = register(&App{
+	Name:        "Goo.ne.jp",
+	Domain:      "portal",
+	Interaction: Tapping,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("Goo", `
+			#drawer { width: 100px; transition: width 300ms; }
+		`,
+		`<div id="menu-btn">menu</div>
+		<div id="drawer">drawer</div>
+		<div id="banner">banner</div>
+		`+filler(45, "link"),
+		`
+		work(200);
+		var open = false;
+		document.getElementById("menu-btn").addEventListener("touchstart", function(e) {
+			work(10);
+			open = !open;
+			document.getElementById("drawer").style.width = open ? "420px" : "100px";
+		});
+		document.getElementById("banner").addEventListener("click", function(e) {
+			work(25);
+			e.target.textContent = "hidden";
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#menu-btn:QoS {
+			ontouchstart-qos: continuous;
+			ontouchend-qos: continuous;
+			onclick-qos: continuous;
+		}
+	`,
+	Micro: microTap("goo-micro", "menu-btn"),
+	Full:  gooFull(),
+})
+
+func gooFull() *replay.Trace {
+	t := &replay.Trace{Name: "goo-full"}
+	// 7 taps over 16 s: 4 annotated (12 events) + 3 on the banner +
+	// 2 scroll events — 12/23 ≈ 52% (Table 3: 51.8%).
+	at := sec(1)
+	for i := 0; i < 7; i++ {
+		target := "menu-btn"
+		if i%2 == 1 {
+			target = "banner"
+		}
+		t.Append(replay.Tap(at, target)...)
+		at += sec(2.1)
+	}
+	t.Append(replay.Scroll(at, "link-3", 2, sec(0.05))...)
+	return t
+}
+
+// W3Schools: a tutorial page whose "try it" tap runs a long rAF-driven
+// example animation, fully annotated, with the same complexity-surge
+// pattern as Cnet (the other usable-mode violation case in Fig. 9b).
+var W3Schools = register(&App{
+	Name:        "W3Schools",
+	Domain:      "education",
+	Interaction: Tapping,
+	QoSType:     qos.Continuous,
+	QoSTarget:   qos.ContinuousTarget,
+	BaseHTML: page("W3Schools", `
+			#demo { width: 150px; }
+		`,
+		`<div id="tryit">try it</div>
+		<div id="demo">demo</div>
+		<div id="toc">contents</div>
+		`+filler(70, "section"),
+		`
+		work(300);
+		document.getElementById("tryit").addEventListener("click", function(e) {
+			var f = 0;
+			function step() {
+				f++;
+				if (f % 10 === 0) { work(85); } else { work(10); }
+				document.getElementById("demo").style.width = (150 + f * 2) + "px";
+				if (f < 60) { requestAnimationFrame(step); }
+			}
+			requestAnimationFrame(step);
+		});
+		document.getElementById("toc").addEventListener("scroll", function(e) {
+			work(8);
+			document.getElementById("toc").setAttribute("data-y", e.deltaY);
+		});
+	`),
+	AnnotationCSS: `
+		body:QoS { onload-qos: single, long; }
+		div#tryit:QoS {
+			ontouchstart-qos: continuous;
+			ontouchend-qos: continuous;
+			onclick-qos: continuous;
+		}
+		div#toc:QoS { onscroll-qos: continuous; }
+	`,
+	Micro: microTap("w3schools-micro", "tryit"),
+	Full:  w3schoolsFull(),
+})
+
+func w3schoolsFull() *replay.Trace {
+	t := &replay.Trace{Name: "w3schools-full"}
+	// 19 taps on the annotated #tryit + 2 annotated scrolls = 59 events
+	// over 64 s, 100% annotated (Table 3).
+	at := sec(1)
+	for i := 0; i < 19; i++ {
+		t.Append(replay.Tap(at, "tryit")...)
+		at += sec(3.2)
+	}
+	t.Append(replay.Scroll(at, "toc", 2, sec(0.05))...)
+	return t
+}

@@ -1,0 +1,756 @@
+package browser
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/css"
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/html"
+	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+	"github.com/wattwiseweb/greenweb/internal/webapi"
+)
+
+// Governor decides execution configurations. The baselines (Perf,
+// Interactive, …) and the GreenWeb runtime all implement this interface;
+// the engine reports inputs, frame starts, frame completions, and event
+// closure, and the governor responds by setting the CPU configuration.
+type Governor interface {
+	Name() string
+	// Attach is called once before the run starts.
+	Attach(e *Engine)
+	// OnInput fires when the browser process receives an input event.
+	// target is nil for page loads.
+	OnInput(in InputRecord, target *dom.Node)
+	// OnFrameStart fires when a VSync begins producing a frame with the
+	// given provenance, before any frame work is submitted.
+	OnFrameStart(seq int, prov Provenance)
+	// OnFrameEnd fires when the frame-ready signal arrives.
+	OnFrameEnd(fr *FrameResult)
+	// OnEventComplete fires when no further work or frames can descend
+	// from the input (the transitive closure of Sec. 6.4 is exhausted).
+	OnEventComplete(uid UID)
+}
+
+// task is one unit of renderer main-thread work: run executes engine/script
+// effects and returns the work to charge; commit applies deferred effects
+// when the charged work completes.
+type task struct {
+	name   string
+	prov   Provenance
+	run    func() acmp.Work
+	commit func()
+}
+
+// rafRequest is a pending requestAnimationFrame callback.
+type rafRequest struct {
+	id   int
+	cb   js.Value
+	prov Provenance
+}
+
+// Engine is one simulated browser instance rendering one page.
+type Engine struct {
+	simu *sim.Simulator
+	cpu  *acmp.CPU
+	cost *CostModel
+
+	doc    *dom.Document
+	interp *js.Interp
+	bind   *webapi.Bindings
+	sheets []*css.Stylesheet
+	anns   *css.AnnotationSet
+
+	browserThread    *acmp.Thread
+	mainThread       *acmp.Thread
+	compositorThread *acmp.Thread
+
+	gov Governor
+
+	// Renderer main-thread task queue (serial).
+	mainQ    []task
+	mainBusy bool
+
+	// Frame production state (Fig. 7/8).
+	dirty     bool
+	dirtyProv Provenance
+	msgQueue  []InputRecord
+	rafQueue  []rafRequest
+	rafSeq    int
+	producing bool
+	vsyncSet  bool
+	frameSeq  int
+
+	transitions  []*cssTransition
+	applyingTick bool
+
+	// Execution context of the currently running callback.
+	curProv     Provenance
+	curDispatch *DispatchResult
+
+	uidSeq  UID
+	inputs  map[UID]InputRecord
+	refs    map[UID]int
+	done    map[UID]bool
+	results []FrameResult
+
+	consoleLines []string
+	scriptErrs   []error
+	loaded       bool
+	loadUID      UID
+
+	onFrame []func(*FrameResult)
+}
+
+// New creates an engine on the simulator and CPU. A nil cost model uses
+// DefaultCost; a nil governor must be set before the run via SetGovernor.
+func New(s *sim.Simulator, cpu *acmp.CPU, cost *CostModel) *Engine {
+	if cost == nil {
+		cost = DefaultCost()
+	}
+	e := &Engine{
+		simu:      s,
+		cpu:       cpu,
+		cost:      cost,
+		dirtyProv: NewProvenance(),
+		inputs:    make(map[UID]InputRecord),
+		refs:      make(map[UID]int),
+		done:      make(map[UID]bool),
+	}
+	e.browserThread = cpu.NewThread("browser")
+	e.mainThread = cpu.NewThread("renderer-main")
+	e.compositorThread = cpu.NewThread("compositor")
+	return e
+}
+
+// Accessors used by governors, AUTOGREEN, and the harness.
+
+// Sim returns the simulator.
+func (e *Engine) Sim() *sim.Simulator { return e.simu }
+
+// CPU returns the hardware model.
+func (e *Engine) CPU() *acmp.CPU { return e.cpu }
+
+// Cost returns the engine cost model.
+func (e *Engine) Cost() *CostModel { return e.cost }
+
+// Doc returns the loaded document (nil before LoadPage).
+func (e *Engine) Doc() *dom.Document { return e.doc }
+
+// Interp returns the script interpreter.
+func (e *Engine) Interp() *js.Interp { return e.interp }
+
+// Bindings returns the script↔DOM bindings.
+func (e *Engine) Bindings() *webapi.Bindings { return e.bind }
+
+// Annotations returns the GreenWeb annotation resolver for the page.
+func (e *Engine) Annotations() *css.AnnotationSet { return e.anns }
+
+// AddAnnotationSheet appends extra GreenWeb rules (AUTOGREEN's output).
+func (e *Engine) AddAnnotationSheet(sheet *css.Stylesheet) { e.anns.AddSheet(sheet) }
+
+// Results returns the frames produced so far.
+func (e *Engine) Results() []FrameResult { return e.results }
+
+// ConsoleLines returns accumulated console output.
+func (e *Engine) ConsoleLines() []string { return e.consoleLines }
+
+// ScriptErrors returns script failures (logged, not fatal — as in engines).
+func (e *Engine) ScriptErrors() []error { return e.scriptErrs }
+
+// OnFrame registers an observer called after every completed frame.
+func (e *Engine) OnFrame(fn func(*FrameResult)) { e.onFrame = append(e.onFrame, fn) }
+
+// Quiescent reports whether the engine has no work in flight: no queued or
+// running main-thread tasks, no frame in production, no pending animation
+// callbacks or transitions, and nothing dirty. The harness polls this to
+// end measurement windows at event completion rather than at arbitrary
+// timeouts.
+func (e *Engine) Quiescent() bool {
+	return !e.mainBusy && len(e.mainQ) == 0 && !e.producing && !e.dirty &&
+		len(e.rafQueue) == 0 && len(e.transitions) == 0 && len(e.msgQueue) == 0 &&
+		e.browserThread.Idle() && e.compositorThread.Idle()
+}
+
+// InputRecords returns all injected inputs by UID.
+func (e *Engine) InputRecords() map[UID]InputRecord {
+	out := make(map[UID]InputRecord, len(e.inputs))
+	for k, v := range e.inputs {
+		out[k] = v
+	}
+	return out
+}
+
+// SetGovernor installs the CPU governor. Must be called before the
+// simulation runs.
+func (e *Engine) SetGovernor(g Governor) {
+	e.gov = g
+	g.Attach(e)
+}
+
+// Governor returns the installed governor.
+func (e *Engine) Governor() Governor { return e.gov }
+
+// ---- webapi.Services ----
+
+// Now implements webapi.Services.
+func (e *Engine) Now() sim.Time { return e.simu.Now() }
+
+// RequestAnimationFrame implements webapi.Services: the callback runs at
+// the next frame with the provenance of the registering code.
+func (e *Engine) RequestAnimationFrame(cb js.Value) int {
+	e.rafSeq++
+	prov := e.curProv.Clone()
+	e.rafQueue = append(e.rafQueue, rafRequest{id: e.rafSeq, cb: cb, prov: prov})
+	for id := range prov {
+		e.ref(id, +1)
+	}
+	if e.curDispatch != nil {
+		e.curDispatch.RAFRegistered = true
+	}
+	e.ensureVSync()
+	return e.rafSeq
+}
+
+// SetTimeout implements webapi.Services: the callback runs on the renderer
+// main thread after delay, inheriting provenance.
+func (e *Engine) SetTimeout(cb js.Value, delay sim.Duration) int {
+	e.rafSeq++
+	prov := e.curProv.Clone()
+	for id := range prov {
+		e.ref(id, +1)
+	}
+	e.simu.After(delay, "timeout", func() {
+		var d *DispatchResult
+		e.post(task{
+			name: "timeout-callback",
+			prov: prov,
+			run: func() acmp.Work {
+				e.curDispatch = &DispatchResult{}
+				ops, _ := e.runScriptValue(cb, js.Undefined, nil)
+				d = e.curDispatch
+				e.curDispatch = nil
+				return e.cost.opsWork(ops)
+			},
+			commit: func() {
+				e.commitDispatchEffects(prov, d)
+				for id := range prov {
+					e.ref(id, -1)
+				}
+				e.checkComplete()
+			},
+		})
+	})
+	return e.rafSeq
+}
+
+// ConsoleLog implements webapi.Services.
+func (e *Engine) ConsoleLog(msg string) { e.consoleLines = append(e.consoleLines, msg) }
+
+// ---- page loading ----
+
+// LoadPage parses the page, builds the script and style environments, and
+// schedules the loading pipeline: network fetch, parse, script startup,
+// initial render, and the load event. The first produced frame is the
+// "first meaningful frame" whose latency loading QoS is judged by
+// (paper Sec. 3.2). It returns the load input's UID.
+func (e *Engine) LoadPage(src string) (UID, error) {
+	if e.loaded {
+		return 0, fmt.Errorf("browser: page already loaded")
+	}
+	if e.gov == nil {
+		return 0, fmt.Errorf("browser: no governor installed")
+	}
+	e.loaded = true
+
+	e.doc = html.Parse(src)
+	e.interp = js.NewInterp()
+	e.bind = webapi.Install(e.interp, e.doc, e)
+	e.installPrelude()
+
+	for _, styleSrc := range html.StyleSources(e.doc) {
+		sheet, _ := css.Parse(styleSrc) // tolerate bad rules like engines do
+		e.sheets = append(e.sheets, sheet)
+	}
+	e.anns = css.NewAnnotationSet(e.sheets...)
+
+	e.doc.OnMutation(func(n *dom.Node) {
+		if e.curDispatch != nil {
+			e.curDispatch.Dirtied = true
+		}
+	})
+	e.doc.OnStyleChange(e.styleChanged)
+
+	uid := e.newInput("load", "#document")
+	e.loadUID = uid
+	rec := e.inputs[uid]
+	e.gov.OnInput(rec, nil)
+
+	scripts := html.ScriptSources(e.doc)
+	var scriptBytes, pageBytes int64
+	pageBytes = int64(len(src))
+	for _, s := range scripts {
+		scriptBytes += int64(len(s))
+	}
+
+	// Browser process: navigation + network.
+	e.browserThread.Submit(acmp.Work{
+		CyclesBig:    e.cost.LoadBaseCycles,
+		CyclesLittle: int64(float64(e.cost.LoadBaseCycles) * e.cost.MicroArchRatio),
+		Indep:        e.cost.NetworkTime,
+	}, func() {
+		// Renderer: parse HTML+CSS.
+		e.post(task{
+			name: "parse",
+			prov: NewProvenance(uid),
+			run: func() acmp.Work {
+				return e.cost.cyclesWork(pageBytes * e.cost.ParseCyclesPerByte)
+			},
+		})
+		// Renderer: execute top-level scripts.
+		e.post(task{
+			name: "script-startup",
+			prov: NewProvenance(uid),
+			run: func() acmp.Work {
+				e.curDispatch = &DispatchResult{}
+				var ops int64
+				for _, s := range scripts {
+					e.interp.ResetOps()
+					if err := e.interp.RunSource(s); err != nil {
+						e.scriptErrs = append(e.scriptErrs, err)
+					}
+					ops += e.interp.ResetOps()
+				}
+				ops = int64(float64(ops) * e.cost.ScriptStartupFactor)
+				ops += scriptBytes * e.cost.ParseCyclesPerByte / e.cost.CyclesPerOp
+				return e.cost.opsWork(ops)
+			},
+			commit: func() {
+				d := e.curDispatch
+				e.curDispatch = nil
+				e.commitDispatchEffects(NewProvenance(uid), d)
+			},
+		})
+		// Renderer: initial render (always dirties) + load event.
+		e.post(task{
+			name: "initial-render",
+			prov: NewProvenance(uid),
+			run: func() acmp.Work {
+				applied := css.Cascade(e.doc, e.sheets...)
+				return e.cost.cyclesWork(int64(e.doc.CountNodes())*e.cost.StyleCyclesPerNode + int64(applied)*1000)
+			},
+			commit: func() {
+				e.markDirty(NewProvenance(uid))
+				e.enqueueMsg(e.inputs[uid])
+				e.dispatchInternal(uid, e.bodyNode(), dom.EventLoad, nil)
+			},
+		})
+	})
+	return uid, nil
+}
+
+func (e *Engine) bodyNode() *dom.Node {
+	if els := e.doc.GetElementsByTag("body"); len(els) > 0 {
+		return els[0]
+	}
+	return e.doc.Root
+}
+
+// installPrelude defines the animate() helper (the jQuery-style animation
+// entry point AUTOGREEN detects) and marks its use via a native hook.
+func (e *Engine) installPrelude() {
+	e.interp.Globals.Define("__markAnimate", js.NativeFunc("__markAnimate", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		if e.curDispatch != nil {
+			e.curDispatch.AnimateCalled = true
+		}
+		return js.Undefined, nil
+	}))
+	prelude := `
+		function animate(el, prop, from, to, durationMs) {
+			__markAnimate();
+			var start = performance.now();
+			function step() {
+				var t = (performance.now() - start) / durationMs;
+				if (t > 1) { t = 1; }
+				el.style[prop] = (from + (to - from) * t) + "px";
+				if (t < 1) { requestAnimationFrame(step); }
+			}
+			requestAnimationFrame(step);
+		}
+	`
+	if err := e.interp.RunSource(prelude); err != nil {
+		panic("browser: prelude failed: " + err.Error())
+	}
+	e.interp.ResetOps()
+}
+
+// ---- input injection ----
+
+// newInput allocates an input record (Fig. 8 Part I: unique id + start
+// timestamp).
+func (e *Engine) newInput(event, target string) UID {
+	e.uidSeq++
+	uid := e.uidSeq
+	e.inputs[uid] = InputRecord{UID: uid, Event: event, Target: target, Start: e.simu.Now()}
+	e.refs[uid] = 0
+	e.ref(uid, +1) // in-flight input processing
+	return uid
+}
+
+// Inject schedules a user input event at an absolute time: the browser
+// process receives it, does its dispatch work, and forwards it over IPC to
+// the renderer, where the DOM event fires with full cost accounting.
+func (e *Engine) Inject(at sim.Time, event, targetID string, data map[string]float64) {
+	e.simu.At(at, "input:"+event, func() {
+		target := e.lookupTarget(targetID)
+		if target == nil {
+			return // element gone: input falls on dead space
+		}
+		uid := e.newInput(event, targetID)
+		rec := e.inputs[uid]
+		e.gov.OnInput(rec, target)
+		e.browserThread.Submit(e.cost.cyclesWork(e.cost.InputDispatchCycles), func() {
+			e.simu.After(e.cost.IPCDelay, "ipc:"+event, func() {
+				e.dispatchInternal(uid, target, event, data)
+			})
+		})
+	})
+}
+
+func (e *Engine) lookupTarget(targetID string) *dom.Node {
+	if targetID == "" || targetID == "body" || targetID == "#document" {
+		return e.bodyNode()
+	}
+	return e.doc.GetElementByID(targetID)
+}
+
+// dispatchInternal posts the DOM event dispatch as a main-thread task.
+func (e *Engine) dispatchInternal(uid UID, target *dom.Node, event string, data map[string]float64) {
+	prov := NewProvenance(uid)
+	e.post(task{
+		name: "dispatch:" + event,
+		prov: prov,
+		run: func() acmp.Work {
+			e.curDispatch = &DispatchResult{}
+			e.interp.ResetOps()
+			e.curDispatch.HandlersRun = dom.Dispatch(target, event, data)
+			ops := e.interp.ResetOps()
+			e.curDispatch.Ops = ops
+			// A handler-less event costs a minimal hit-test.
+			if e.curDispatch.HandlersRun == 0 {
+				ops = 200
+			}
+			return e.cost.opsWork(ops)
+		},
+		commit: func() {
+			d := e.curDispatch
+			e.curDispatch = nil
+			if d.Dirtied {
+				e.markDirty(prov)
+				e.enqueueMsg(e.inputs[uid])
+			}
+			e.ref(uid, -1)
+			e.checkComplete()
+		},
+	})
+}
+
+// runScriptValue calls a script function, returning ops spent and any error.
+func (e *Engine) runScriptValue(fn js.Value, this js.Value, args []js.Value) (int64, error) {
+	e.interp.ResetOps()
+	_, err := e.interp.CallFunction(fn, this, args)
+	if err != nil {
+		e.scriptErrs = append(e.scriptErrs, err)
+	}
+	return e.interp.ResetOps(), err
+}
+
+// commitDispatchEffects applies the deferred consequences of a callback:
+// dirty marking and message enqueueing.
+func (e *Engine) commitDispatchEffects(prov Provenance, d *DispatchResult) {
+	if d != nil && d.Dirtied {
+		e.markDirty(prov)
+		for _, id := range prov.IDs() {
+			if rec, ok := e.inputs[id]; ok {
+				e.enqueueMsg(rec)
+			}
+		}
+	}
+}
+
+// ---- main-thread task pump ----
+
+func (e *Engine) post(t task) {
+	e.mainQ = append(e.mainQ, t)
+	e.pumpMain()
+}
+
+func (e *Engine) pumpMain() {
+	if e.mainBusy || len(e.mainQ) == 0 {
+		return
+	}
+	t := e.mainQ[0]
+	e.mainQ = e.mainQ[1:]
+	e.mainBusy = true
+	e.curProv = t.prov
+	w := t.run()
+	e.curProv = nil
+	e.mainThread.Submit(w, func() {
+		if t.commit != nil {
+			e.curProv = t.prov
+			t.commit()
+			e.curProv = nil
+		}
+		e.mainBusy = false
+		e.pumpMain()
+	})
+}
+
+// ---- dirty bit + message queue (Fig. 8 Part II) ----
+
+func (e *Engine) markDirty(prov Provenance) {
+	e.dirty = true
+	// Dirty provenance keeps its events alive until the frame they dirtied
+	// is produced — otherwise an event whose only remaining effect is the
+	// pending frame would "complete" before the frame exists, and per-frame
+	// governors would never see its frames (Sec. 6.4's closure includes
+	// the frames themselves).
+	for uid := range prov {
+		if !e.dirtyProv.Has(uid) {
+			e.dirtyProv[uid] = struct{}{}
+			e.ref(uid, +1)
+		}
+	}
+	e.ensureVSync()
+}
+
+func (e *Engine) enqueueMsg(rec InputRecord) {
+	for _, m := range e.msgQueue {
+		if m.UID == rec.UID {
+			return // one queue entry per input
+		}
+	}
+	e.msgQueue = append(e.msgQueue, rec)
+	e.ref(rec.UID, +1)
+}
+
+// ---- reference counting for event closure (Sec. 6.4) ----
+
+func (e *Engine) ref(uid UID, delta int) {
+	e.refs[uid] += delta
+	if e.refs[uid] < 0 {
+		panic(fmt.Sprintf("browser: negative refcount for input %d", uid))
+	}
+}
+
+// checkComplete fires OnEventComplete for inputs whose transitive closure
+// has been exhausted: no queued message, pending animation, or in-flight
+// work references them anymore. Completions fire in ascending UID order so
+// simultaneous completions notify the governor deterministically.
+func (e *Engine) checkComplete() {
+	var ready []UID
+	for uid, n := range e.refs {
+		if n == 0 && !e.done[uid] {
+			ready = append(ready, uid)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, uid := range ready {
+		e.done[uid] = true
+		e.gov.OnEventComplete(uid)
+	}
+}
+
+// ---- VSync and frame production ----
+
+func (e *Engine) needsFrameWork() bool {
+	return e.dirty || len(e.rafQueue) > 0 || len(e.transitions) > 0
+}
+
+func (e *Engine) ensureVSync() {
+	if e.vsyncSet {
+		return
+	}
+	e.vsyncSet = true
+	period := e.cost.VSyncPeriod
+	now := e.simu.Now()
+	next := sim.Time((int64(now)/int64(period) + 1) * int64(period))
+	e.simu.At(next, "vsync", e.vsyncTick)
+}
+
+func (e *Engine) vsyncTick() {
+	e.vsyncSet = false
+	if e.producing || e.mainBusy || len(e.mainQ) > 0 {
+		// Renderer still busy (previous frame or pending callbacks):
+		// skip this VSync; the frame is late, exactly how jank arises.
+		if e.needsFrameWork() || e.producing || len(e.mainQ) > 0 {
+			e.ensureVSync()
+		}
+		return
+	}
+	if !e.needsFrameWork() {
+		return
+	}
+	e.beginFrame()
+}
+
+// beginFrame runs the BeginFrame sequence of Fig. 7: rAF callbacks, CSS
+// transition ticks, then — if anything dirtied — style, layout, paint on
+// the main thread and composite on the compositor thread.
+func (e *Engine) beginFrame() {
+	begin := e.simu.Now()
+
+	// Take the pending rAF callbacks; new registrations during their
+	// execution belong to the next frame.
+	rafs := e.rafQueue
+	e.rafQueue = nil
+
+	ticks := e.collectTransitionTicks()
+
+	if !e.dirty && len(rafs) == 0 && len(ticks) == 0 {
+		return
+	}
+
+	e.producing = true
+	prov := NewProvenance()
+
+	// Phase 1: animation callbacks as one main-thread task.
+	e.post(task{
+		name: "begin-frame",
+		prov: prov,
+		run: func() acmp.Work {
+			var ops int64
+			for _, r := range rafs {
+				e.curProv = r.prov
+				e.curDispatch = &DispatchResult{}
+				ts := js.Num(float64(e.simu.Now()) / float64(sim.Millisecond))
+				n, _ := e.runScriptValue(r.cb, js.Undefined, []js.Value{ts})
+				ops += n
+				if e.curDispatch.Dirtied {
+					e.markDirty(r.prov)
+				}
+				e.curDispatch = nil
+			}
+			for _, tk := range ticks {
+				e.curProv = tk.prov
+				e.applyTransitionTick(tk)
+				ops += 400 // interpolation bookkeeping
+			}
+			e.curProv = nil
+			return e.cost.opsWork(ops)
+		},
+		commit: func() {
+			for _, r := range rafs {
+				for id := range r.prov {
+					e.ref(id, -1)
+				}
+			}
+			e.finishTransitionTicks(ticks)
+			e.produceFrame(begin, prov)
+		},
+	})
+}
+
+// produceFrame runs style → layout → paint → composite for the batched
+// dirty state, then resolves frame latencies (Fig. 8 Part III).
+func (e *Engine) produceFrame(begin sim.Time, _ Provenance) {
+	if !e.dirty {
+		// Animations ran but nothing changed visually: no frame needed.
+		e.producing = false
+		e.checkComplete()
+		if e.needsFrameWork() {
+			e.ensureVSync()
+		}
+		return
+	}
+
+	// Capture and clear the dirty state: later mutations belong to the
+	// next frame.
+	msgs := e.msgQueue
+	e.msgQueue = nil
+	dirtied := e.dirtyProv
+	e.dirtyProv = NewProvenance()
+	e.dirty = false
+	prov := dirtied.Clone()
+	for _, m := range msgs {
+		prov[m.UID] = struct{}{}
+	}
+
+	e.frameSeq++
+	seq := e.frameSeq
+	e.gov.OnFrameStart(seq, prov.Clone())
+	// Record the configuration the governor chose for this frame.
+	cfg := e.cpu.Config()
+
+	nodes := int64(e.doc.CountNodes())
+	var mainWork int64
+	stage := func(name string, cycles int64) task {
+		mainWork += cycles
+		return task{name: name, prov: prov, run: func() acmp.Work { return e.cost.cyclesWork(cycles) }}
+	}
+	e.post(stage("style", nodes*e.cost.StyleCyclesPerNode))
+	e.post(stage("layout", nodes*e.cost.LayoutCyclesPerNode))
+	e.post(task{
+		name: "paint",
+		prov: prov,
+		run: func() acmp.Work {
+			return e.cost.cyclesWork(e.cost.PaintBaseCycles + nodes*e.cost.PaintCyclesPerNode)
+		},
+		commit: func() {
+			// Composite runs on the compositor thread, partially on GPU.
+			e.compositorThread.Submit(acmp.Work{
+				CyclesBig:    e.cost.CompositeCycles,
+				CyclesLittle: int64(float64(e.cost.CompositeCycles) * e.cost.MicroArchRatio),
+				Indep:        e.cost.CompositeGPUTime,
+			}, func() {
+				e.frameComplete(seq, begin, cfg, prov, dirtied, msgs, mainWork+e.cost.PaintBaseCycles+nodes*e.cost.PaintCyclesPerNode)
+			})
+		},
+	})
+	mainWork += e.cost.PaintBaseCycles + nodes*e.cost.PaintCyclesPerNode
+}
+
+func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, dirtied Provenance, msgs []InputRecord, mainWork int64) {
+	end := e.simu.Now()
+	fr := FrameResult{
+		Seq:               seq,
+		Begin:             begin,
+		End:               end,
+		ProductionLatency: end.Sub(begin),
+		Provenance:        prov,
+		Config:            cfg,
+		MainWork:          mainWork,
+	}
+	for _, m := range msgs {
+		fr.Inputs = append(fr.Inputs, InputLatency{Input: m, Latency: end.Sub(m.Start)})
+		e.ref(m.UID, -1)
+	}
+	for uid := range dirtied {
+		e.ref(uid, -1)
+	}
+	e.results = append(e.results, fr)
+	e.producing = false
+	// Post-frame housekeeping (cache update, GC, off-screen raster): not
+	// attributed to any input and not QoS-critical, so it runs with empty
+	// provenance — an annotation-aware governor will have demoted by then.
+	// Browsers defer this to idle: it is skipped while an animation still
+	// needs the main thread.
+	if e.cost.PostFrameCycles > 0 && e.cost.PostFrameEvery > 0 &&
+		seq%e.cost.PostFrameEvery == 0 && !e.needsFrameWork() {
+		e.post(task{
+			name: "post-frame-housekeeping",
+			prov: NewProvenance(),
+			run:  func() acmp.Work { return e.cost.cyclesWork(e.cost.PostFrameCycles) },
+		})
+	}
+	e.gov.OnFrameEnd(&fr)
+	for _, fn := range e.onFrame {
+		fn(&fr)
+	}
+	e.checkComplete()
+	if e.needsFrameWork() {
+		e.ensureVSync()
+	}
+}

@@ -1,0 +1,54 @@
+package browser
+
+import "encoding/json"
+
+// FrameJSON is the serializable form of a FrameResult, for timeline
+// tooling (cmd/greenweb -frames).
+type FrameJSON struct {
+	Seq          int         `json:"seq"`
+	BeginUS      int64       `json:"begin_us"`
+	EndUS        int64       `json:"end_us"`
+	ProductionUS int64       `json:"production_us"`
+	Config       string      `json:"config"`
+	MainWork     int64       `json:"main_work_cycles"`
+	Provenance   []uint64    `json:"provenance"`
+	Inputs       []InputJSON `json:"inputs,omitempty"`
+}
+
+// InputJSON is one attributed input in a frame export.
+type InputJSON struct {
+	UID       uint64 `json:"uid"`
+	Event     string `json:"event"`
+	Target    string `json:"target"`
+	StartUS   int64  `json:"start_us"`
+	LatencyUS int64  `json:"latency_us"`
+}
+
+// ExportFrames serializes a frame timeline as indented JSON.
+func ExportFrames(frames []FrameResult) ([]byte, error) {
+	out := make([]FrameJSON, len(frames))
+	for i, fr := range frames {
+		fj := FrameJSON{
+			Seq:          fr.Seq,
+			BeginUS:      int64(fr.Begin),
+			EndUS:        int64(fr.End),
+			ProductionUS: int64(fr.ProductionLatency),
+			Config:       fr.Config.String(),
+			MainWork:     fr.MainWork,
+		}
+		for _, id := range fr.Provenance.IDs() {
+			fj.Provenance = append(fj.Provenance, uint64(id))
+		}
+		for _, il := range fr.Inputs {
+			fj.Inputs = append(fj.Inputs, InputJSON{
+				UID:       uint64(il.Input.UID),
+				Event:     il.Input.Event,
+				Target:    il.Input.Target,
+				StartUS:   int64(il.Input.Start),
+				LatencyUS: int64(il.Latency),
+			})
+		}
+		out[i] = fj
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

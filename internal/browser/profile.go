@@ -1,0 +1,33 @@
+package browser
+
+import (
+	"github.com/wattwiseweb/greenweb/internal/dom"
+)
+
+// ProfileEvent triggers an event's callbacks synchronously and reports what
+// they did — AUTOGREEN's profiling phase (paper Sec. 5, Fig. 6). The
+// injected detection mirrors the paper's: requestAnimationFrame and
+// animate() use is caught by overloading those entry points, CSS
+// transitions by observing transition starts during the callback.
+//
+// Profiling bypasses the timing pipeline (no work is charged, no frame is
+// produced on its behalf) but does execute real script with real DOM
+// effects; callers should use a dedicated engine instance for profiling
+// runs, as AUTOGREEN does.
+func (e *Engine) ProfileEvent(target *dom.Node, event string, data map[string]float64) DispatchResult {
+	uid := e.newInput("profile:"+event, target.Path())
+	prov := NewProvenance(uid)
+
+	prevProv, prevDispatch := e.curProv, e.curDispatch
+	e.curProv = prov
+	e.curDispatch = &DispatchResult{}
+	e.interp.ResetOps()
+	e.curDispatch.HandlersRun = dom.Dispatch(target, event, data)
+	e.curDispatch.Ops = e.interp.ResetOps()
+	out := *e.curDispatch
+	e.curProv, e.curDispatch = prevProv, prevDispatch
+
+	// Release the throwaway input so closure accounting stays balanced.
+	e.ref(uid, -1)
+	return out
+}

@@ -1,0 +1,261 @@
+package browser
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Tests focused on the Fig. 7/Fig. 8 tracking machinery: interleaved
+// inputs, batching, attribution invariants, and post-frame housekeeping.
+
+const heavyTapPage = `<html><body><div id="d">x</div>
+	<script>
+		document.getElementById("d").addEventListener("click", function(e) {
+			work(400); // long callback: the next input arrives mid-flight
+			e.target.style.width = "9px";
+		});
+		document.getElementById("d").addEventListener("touchend", function(e) {
+			work(20);
+			e.target.style.height = "9px";
+		});
+	</script></body></html>`
+
+// TestInterleavedInputsAttributedCorrectly reproduces Fig. 7's hazard:
+// Input 2 is triggered before Input 1's frame is produced. Naively
+// attributing an input to its immediate next frame would mis-attribute;
+// the Msg metadata must keep them straight.
+func TestInterleavedInputsAttributedCorrectly(t *testing.T) {
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := New(s, cpu, nil)
+	g := &recordingGovernor{}
+	e.SetGovernor(g)
+	cpu.SetConfig(acmp.LowestConfig()) // slow: callbacks overlap inputs
+	if _, err := e.LoadPage(heavyTapPage); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	base := s.Now().Add(10 * sim.Millisecond)
+	// Input 1 (click, ~250 ms callback at little@350); Input 2 lands 30 ms
+	// later, long before Input 1's frame exists.
+	e.Inject(base, "click", "d", nil)
+	e.Inject(base.Add(30*sim.Millisecond), "touchend", "d", nil)
+	s.Run()
+
+	// Collect attributions by event name.
+	latencies := map[string]sim.Duration{}
+	for _, fr := range e.Results() {
+		for _, il := range fr.Inputs {
+			latencies[il.Input.Event] = il.Latency
+		}
+	}
+	click, ok1 := latencies["click"]
+	touch, ok2 := latencies["touchend"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing attributions: %v", latencies)
+	}
+	// The click's latency covers its own long callback; the touchend
+	// waited behind it, so its latency is measured from ITS OWN start —
+	// shorter than the click's by roughly the 30 ms stagger.
+	if click <= touch {
+		t.Fatalf("click latency %v <= touchend latency %v; attribution crossed", click, touch)
+	}
+	diff := click - touch
+	if diff < 20*sim.Millisecond || diff > 45*sim.Millisecond {
+		t.Fatalf("latency stagger = %v, want ≈30ms (each input measured from its own start)", diff)
+	}
+}
+
+// TestEveryDirtyingInputAttributedExactlyOnce is the Fig. 8 invariant:
+// random bursts of inputs, each dirtying, must each appear in exactly one
+// frame's input list.
+func TestEveryDirtyingInputAttributedExactlyOnce(t *testing.T) {
+	page := `<html><body><div id="d">x</div>
+		<script>
+			var n = 0;
+			document.getElementById("d").addEventListener("click", function(e) {
+				n++;
+				work(5);
+				e.target.setAttribute("data-n", n);
+			});
+		</script></body></html>`
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		s := sim.New()
+		cpu := acmp.NewCPU(s, acmp.DefaultPower())
+		e := New(s, cpu, nil)
+		e.SetGovernor(&recordingGovernor{pinnedPeak: trial%2 == 0})
+		if _, err := e.LoadPage(page); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		at := s.Now()
+		nInputs := 5 + rng.Intn(20)
+		for i := 0; i < nInputs; i++ {
+			at = at.Add(sim.Duration(1+rng.Intn(40)) * sim.Millisecond)
+			e.Inject(at, "click", "d", nil)
+		}
+		s.Run()
+
+		seen := map[UID]int{}
+		for _, fr := range e.Results() {
+			for _, il := range fr.Inputs {
+				seen[il.Input.UID]++
+				if il.Latency <= 0 {
+					t.Fatalf("trial %d: non-positive latency for input %d", trial, il.Input.UID)
+				}
+			}
+		}
+		clicks := 0
+		for uid, rec := range e.InputRecords() {
+			if rec.Event != "click" {
+				continue
+			}
+			clicks++
+			if seen[uid] != 1 {
+				t.Fatalf("trial %d: input %d attributed %d times", trial, uid, seen[uid])
+			}
+		}
+		if clicks != nInputs {
+			t.Fatalf("trial %d: %d clicks recorded, want %d", trial, clicks, nInputs)
+		}
+	}
+}
+
+func TestPostFrameHousekeepingRuns(t *testing.T) {
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	cost := DefaultCost()
+	cost.PostFrameEvery = 1 // after every frame, for the test
+	e := New(s, cpu, cost)
+	e.SetGovernor(&recordingGovernor{pinnedPeak: true})
+	if _, err := e.LoadPage(basicPage); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	busyAfterLoad := e.mainThread.BusyTime()
+	// The load frame triggered housekeeping: main-thread busy time must
+	// exceed a run with housekeeping disabled.
+	s2 := sim.New()
+	cpu2 := acmp.NewCPU(s2, acmp.DefaultPower())
+	cost2 := DefaultCost()
+	cost2.PostFrameCycles = 0
+	e2 := New(s2, cpu2, cost2)
+	e2.SetGovernor(&recordingGovernor{pinnedPeak: true})
+	if _, err := e2.LoadPage(basicPage); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if busyAfterLoad <= e2.mainThread.BusyTime() {
+		t.Fatalf("housekeeping did not add main-thread work: %v vs %v",
+			busyAfterLoad, e2.mainThread.BusyTime())
+	}
+	// Housekeeping frames carry no provenance and thus never appear as
+	// frames or attributions.
+	if len(e.Results()) != len(e2.Results()) {
+		t.Fatalf("housekeeping changed frame count: %d vs %d", len(e.Results()), len(e2.Results()))
+	}
+}
+
+func TestVSyncSkipUnderOverload(t *testing.T) {
+	// Frames whose production exceeds the VSync period force skipped
+	// VSyncs: production latencies above one period, frame gaps at
+	// multiples of the period.
+	page := `<html><body><div id="d">x</div>
+		<script>
+			var n = 0;
+			document.getElementById("d").addEventListener("touchstart", function(e) {
+				function step() {
+					n++;
+					work(200); // ~24 ms at peak: misses 60 Hz deliberately
+					document.getElementById("d").style.height = n + "px";
+					if (n < 10) { requestAnimationFrame(step); }
+				}
+				requestAnimationFrame(step);
+			});
+		</script></body></html>`
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := New(s, cpu, nil)
+	e.SetGovernor(&recordingGovernor{pinnedPeak: true})
+	if _, err := e.LoadPage(page); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	e.Inject(s.Now().Add(10*sim.Millisecond), "touchstart", "d", nil)
+	s.Run()
+	frames := e.Results()
+	if len(frames) < 8 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	period := e.Cost().VSyncPeriod
+	for i := 2; i < len(frames); i++ {
+		gap := frames[i].Begin.Sub(frames[i-1].Begin)
+		if gap < period {
+			t.Fatalf("frame gap %v below the VSync period", gap)
+		}
+		// Begin times stay aligned to the VSync grid.
+		if int64(frames[i].Begin)%int64(period) != 0 {
+			t.Fatalf("frame %d begins off the VSync grid: %v", i, frames[i].Begin)
+		}
+	}
+}
+
+func TestSwitchStallExtendsFrame(t *testing.T) {
+	// A configuration switch mid-frame pays the stall: production under a
+	// mid-frame switch is longer than at a pinned config.
+	run := func(switchMid bool) sim.Duration {
+		s := sim.New()
+		cpu := acmp.NewCPU(s, acmp.DefaultPower())
+		e := New(s, cpu, nil)
+		e.SetGovernor(&recordingGovernor{})
+		cpu.SetConfig(acmp.Config{Cluster: acmp.Big, MHz: 1000})
+		if _, err := e.LoadPage(basicPage); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		start := s.Now().Add(10 * sim.Millisecond)
+		e.Inject(start, "click", "box", nil)
+		if switchMid {
+			s.At(start.Add(4*sim.Millisecond), "mid-switch", func() {
+				cpu.SetConfig(acmp.Config{Cluster: acmp.Big, MHz: 900})
+			})
+		}
+		s.Run()
+		frames := e.Results()
+		return frames[len(frames)-1].Inputs[0].Latency
+	}
+	pinned := run(false)
+	switched := run(true)
+	if switched <= pinned {
+		t.Fatalf("mid-frame switch did not slow the frame: %v vs %v", switched, pinned)
+	}
+}
+
+func TestExportFrames(t *testing.T) {
+	s, e, _ := newTestEngine(t, basicPage)
+	s.Run()
+	e.Inject(s.Now().Add(10*sim.Millisecond), "click", "box", nil)
+	s.Run()
+	data, err := ExportFrames(e.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []FrameJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(e.Results()) {
+		t.Fatalf("exported %d frames, want %d", len(out), len(e.Results()))
+	}
+	if out[0].Config == "" || out[0].EndUS <= out[0].BeginUS {
+		t.Fatalf("frame 0 = %+v", out[0])
+	}
+	if len(out[1].Inputs) != 1 || out[1].Inputs[0].Event != "click" {
+		t.Fatalf("frame 1 inputs = %+v", out[1].Inputs)
+	}
+}

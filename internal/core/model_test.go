@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// synthLatency computes the ground-truth latency of a synthetic workload
+// with the given parameters at a configuration, assuming the runtime's
+// cycle-ratio assumption holds.
+func synthLatency(tIndepSec, nBig float64, cfg acmp.Config) sim.Duration {
+	cycles := nBig
+	if cfg.Cluster == acmp.Little {
+		cycles *= AssumedMicroArchRatio
+	}
+	return sim.Duration((tIndepSec+cycles/cfg.HzF())*1e6 + 0.5)
+}
+
+func identifiedModel(t *testing.T, tIndepSec, nBig float64) *Model {
+	t.Helper()
+	m := NewModel("k", qos.Annotation{Type: qos.Continuous, Target: qos.ContinuousTarget})
+	cfg, ok := m.ProfilingConfig()
+	if !ok || cfg != acmp.PeakConfig() {
+		t.Fatalf("first profile config = %v, %v", cfg, ok)
+	}
+	m.RecordProfile(synthLatency(tIndepSec, nBig, acmp.PeakConfig()), acmp.PeakConfig())
+	cfg, ok = m.ProfilingConfig()
+	if !ok || cfg != acmp.LowestConfig() {
+		t.Fatalf("second profile config = %v, %v", cfg, ok)
+	}
+	m.RecordProfile(synthLatency(tIndepSec, nBig, acmp.LowestConfig()), acmp.LowestConfig())
+	if !m.Ready() {
+		t.Fatal("model not ready after two profiles")
+	}
+	return m
+}
+
+func TestModelIdentifiesParameters(t *testing.T) {
+	m := identifiedModel(t, 0.002, 8e6) // 2 ms indep, 8M big cycles
+	tind, nbig := m.Params()
+	if math.Abs(tind-0.002) > 1e-4 {
+		t.Fatalf("tIndep = %v, want 0.002", tind)
+	}
+	if math.Abs(nbig-8e6)/8e6 > 0.02 {
+		t.Fatalf("nBig = %v, want 8e6", nbig)
+	}
+}
+
+// Property: for any synthetic workload, the identified model predicts every
+// configuration's latency to within quantization error.
+func TestPropertyModelRecoversLatencies(t *testing.T) {
+	f := func(tRaw, nRaw uint16) bool {
+		tIndep := float64(tRaw%50) / 1e3    // 0–49 ms
+		nBig := float64(nRaw%200)*1e5 + 1e5 // 0.1M–20M cycles
+		m := NewModel("k", qos.Annotation{Type: qos.Continuous, Target: qos.ContinuousTarget})
+		m.RecordProfile(synthLatency(tIndep, nBig, acmp.PeakConfig()), acmp.PeakConfig())
+		m.RecordProfile(synthLatency(tIndep, nBig, acmp.LowestConfig()), acmp.LowestConfig())
+		for _, cfg := range acmp.Configs() {
+			want := synthLatency(tIndep, nBig, cfg)
+			got := m.Predict(cfg)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			// Tolerance: quantization of the two profile measurements.
+			if diff > 50*sim.Microsecond+want/100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectMeetsDeadlineMinimizingEnergy(t *testing.T) {
+	pm := acmp.DefaultPower()
+	// Light workload: 1M big cycles, no indep — feasible everywhere.
+	m := identifiedModel(t, 0, 1e6)
+	cfg := m.Select(100*sim.Millisecond, pm, 0.9)
+	if cfg != acmp.LowestConfig() {
+		t.Fatalf("light workload config = %v, want lowest", cfg)
+	}
+	// Heavy workload: 20M big cycles. At little@350 that's 36M/350MHz ≈
+	// 103 ms — infeasible for a 33 ms deadline, feasible for big.
+	m2 := identifiedModel(t, 0, 20e6)
+	cfg2 := m2.Select(33300*sim.Microsecond, pm, 0.9)
+	if m2.Predict(cfg2) > 30*sim.Millisecond {
+		t.Fatalf("selected %v misses deadline: %v", cfg2, m2.Predict(cfg2))
+	}
+	// And it must be the cheapest feasible one: every cheaper config
+	// must miss the deadline.
+	for _, c := range acmp.Configs() {
+		if c.Index() >= cfg2.Index() {
+			break
+		}
+		if m2.Predict(c) <= sim.Duration(0.9*float64(33300*sim.Microsecond)) &&
+			m2.PredictEnergy(c, pm, 33300*sim.Microsecond) < m2.PredictEnergy(cfg2, pm, 33300*sim.Microsecond) {
+			t.Fatalf("cheaper feasible config %v overlooked (picked %v)", c, cfg2)
+		}
+	}
+}
+
+func TestSelectInfeasibleReturnsPeak(t *testing.T) {
+	pm := acmp.DefaultPower()
+	// Enormous workload: nothing meets a 16 ms deadline.
+	m := identifiedModel(t, 0.020, 100e6)
+	if cfg := m.Select(16600*sim.Microsecond, pm, 0.9); cfg != acmp.PeakConfig() {
+		t.Fatalf("infeasible deadline config = %v, want peak", cfg)
+	}
+}
+
+func TestSelectScenarioChangesChoice(t *testing.T) {
+	pm := acmp.DefaultPower()
+	// Sized so the imperceptible target (16.6 ms) needs big but the usable
+	// target (33.3 ms) fits little — the paper's central trade-off.
+	m := identifiedModel(t, 0.002, 9e6)
+	ti := m.Select(16600*sim.Microsecond, pm, 0.9)
+	tu := m.Select(33300*sim.Microsecond, pm, 0.9)
+	if ti.Cluster != acmp.Big {
+		t.Fatalf("TI config = %v, want big cluster (little@600 predict=%v)", ti, m.Predict(acmp.Config{Cluster: acmp.Little, MHz: 600}))
+	}
+	if tu.Cluster != acmp.Little {
+		t.Fatalf("TU config = %v, want little cluster", tu)
+	}
+}
+
+func TestFeedbackStepsUpOnViolation(t *testing.T) {
+	pm := acmp.DefaultPower()
+	m := identifiedModel(t, 0, 5e6)
+	deadline := 33300 * sim.Microsecond
+	before := m.Select(deadline, pm, 0.9)
+	// Report a violation: measured latency above deadline.
+	violated, reprofile := m.Feedback(40*sim.Millisecond, deadline, before, 3)
+	if !violated || reprofile {
+		t.Fatalf("violated=%v reprofile=%v", violated, reprofile)
+	}
+	after := m.Select(deadline, pm, 0.9)
+	if after.Index() <= before.Index() {
+		t.Fatalf("config did not step up: %v → %v", before, after)
+	}
+}
+
+func TestFeedbackStepsDownWhenComfortable(t *testing.T) {
+	pm := acmp.DefaultPower()
+	m := identifiedModel(t, 0, 5e6)
+	deadline := 33300 * sim.Microsecond
+	m.Feedback(40*sim.Millisecond, deadline, m.Select(deadline, pm, 0.9), 5) // bias 1
+	up := m.Select(deadline, pm, 0.9)
+	// Now a comfortably fast frame: bias decays.
+	m.Feedback(5*sim.Millisecond, deadline, up, 5)
+	down := m.Select(deadline, pm, 0.9)
+	if down.Index() >= up.Index() {
+		t.Fatalf("bias did not decay: %v → %v", up, down)
+	}
+}
+
+func TestFeedbackTriggersReprofile(t *testing.T) {
+	m := identifiedModel(t, 0, 5e6)
+	deadline := 33300 * sim.Microsecond
+	cfg := acmp.PeakConfig()
+	var reprofile bool
+	for i := 0; i < 10 && !reprofile; i++ {
+		_, reprofile = m.Feedback(50*sim.Millisecond, deadline, cfg, 3)
+	}
+	if !reprofile {
+		t.Fatal("consecutive violations never triggered re-profiling")
+	}
+	m.Reset()
+	if m.Ready() {
+		t.Fatal("Reset did not return model to profiling")
+	}
+	if _, ok := m.ProfilingConfig(); !ok {
+		t.Fatal("no profiling config after reset")
+	}
+}
+
+func TestPredictEnergyMonotoneInHorizon(t *testing.T) {
+	pm := acmp.DefaultPower()
+	m := identifiedModel(t, 0, 5e6)
+	cfg := acmp.Config{Cluster: acmp.Big, MHz: 1000}
+	e1 := m.PredictEnergy(cfg, pm, 20*sim.Millisecond)
+	e2 := m.PredictEnergy(cfg, pm, 200*sim.Millisecond)
+	if e2 <= e1 {
+		t.Fatalf("longer horizon must cost more idle energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := identifiedModel(t, 0.001, 1e6)
+	if len(m.String()) == 0 {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDegenerateProfilesClamp(t *testing.T) {
+	// Measured min-config latency faster than peak (noise): parameters
+	// clamp to zero rather than going negative.
+	m := NewModel("k", qos.Annotation{Type: qos.Single, Target: qos.SingleShortTarget})
+	m.RecordProfile(10*sim.Millisecond, acmp.PeakConfig())
+	m.RecordProfile(5*sim.Millisecond, acmp.LowestConfig())
+	tind, nbig := m.Params()
+	if nbig < 0 || tind < 0 {
+		t.Fatalf("negative parameters: %v %v", tind, nbig)
+	}
+	for _, cfg := range acmp.Configs() {
+		if m.Predict(cfg) < 0 {
+			t.Fatalf("negative prediction at %v", cfg)
+		}
+	}
+}

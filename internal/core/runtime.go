@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Options tune the runtime.
+type Options struct {
+	// Scenario selects TI (imperceptible) or TU (usable) as the deadline.
+	Scenario qos.Scenario
+	// Safety scales deadlines during selection to leave headroom.
+	Safety float64
+	// MispredictLimit is the consecutive-misprediction count that triggers
+	// re-profiling.
+	MispredictLimit int
+	// IdleConfig is used when no annotated event is active.
+	IdleConfig acmp.Config
+	// UAI optionally enables the Sec. 8 mis-annotation defense.
+	UAI *UAIPolicy
+	// BigOnly/LittleOnly restrict the configuration space to one cluster,
+	// modelling the paper's single-cluster DVFS alternative (Sec. 10).
+	BigOnly, LittleOnly bool
+	// IdleGrace delays the first demotion (to the current cluster's
+	// frequency floor) after the last annotated event completes.
+	// Interaction events arrive in bursts (a tap is touchstart/touchend/
+	// click within ~100 ms); demoting instantly between them would thrash
+	// configurations (and pay the switch stalls) for no energy benefit,
+	// since an idle CPU sleeps regardless of the programmed frequency.
+	IdleGrace sim.Duration
+	// DeepIdleAfter is the sustained-idle delay before the second-stage
+	// demotion to IdleConfig (migrating off the big cluster), so that
+	// unannotated activity arriving much later runs at the low-power
+	// default rather than the parked big floor.
+	DeepIdleAfter sim.Duration
+	// Trace, when non-nil, receives a line per scheduling decision.
+	Trace func(string)
+}
+
+// DefaultOptions returns the configuration used in the evaluation.
+func DefaultOptions(s qos.Scenario) Options {
+	return Options{
+		Scenario:        s,
+		Safety:          0.9,
+		MispredictLimit: 3,
+		IdleConfig:      acmp.LowestConfig(),
+		IdleGrace:       120 * sim.Millisecond,
+		DeepIdleAfter:   800 * sim.Millisecond,
+	}
+}
+
+// Stats counts runtime activity for reports and tests.
+type Stats struct {
+	AnnotatedInputs   int
+	UnannotatedInputs int
+	ProfilingFrames   int
+	PredictedFrames   int
+	Violations        int
+	Reprofiles        int
+	UAISuppressed     int
+}
+
+// Runtime is the GreenWeb runtime: a browser.Governor that consumes the
+// page's QoS annotations and schedules the ACMP per frame.
+type Runtime struct {
+	opts Options
+
+	e   *browser.Engine
+	cpu *acmp.CPU
+	pm  *acmp.PowerModel
+
+	models map[string]*Model
+	// active maps in-flight annotated input UIDs to their model key.
+	active map[browser.UID]string
+
+	idleTimer *sim.Event
+
+	stats Stats
+}
+
+// New returns a runtime with the given options.
+func New(opts Options) *Runtime {
+	if opts.Safety <= 0 {
+		opts.Safety = 0.9
+	}
+	if opts.MispredictLimit <= 0 {
+		opts.MispredictLimit = 3
+	}
+	if !opts.IdleConfig.Valid() {
+		opts.IdleConfig = acmp.LowestConfig()
+	}
+	return &Runtime{
+		opts:   opts,
+		models: make(map[string]*Model),
+		active: make(map[browser.UID]string),
+	}
+}
+
+// Name implements browser.Governor.
+func (r *Runtime) Name() string {
+	if r.opts.Scenario == qos.Usable {
+		return "GreenWeb-U"
+	}
+	return "GreenWeb-I"
+}
+
+// Stats returns runtime activity counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// Options returns the runtime's configuration.
+func (r *Runtime) Options() Options { return r.opts }
+
+// Attach implements browser.Governor.
+func (r *Runtime) Attach(e *browser.Engine) {
+	r.e = e
+	r.cpu = e.CPU()
+	r.pm = e.CPU().PowerModel()
+	r.cpu.SetConfig(r.clamp(r.opts.IdleConfig))
+	if r.opts.UAI != nil {
+		r.opts.UAI.attach(e)
+	}
+}
+
+// deadline applies the scenario to an annotation's target.
+func (r *Runtime) deadline(ann qos.Annotation) sim.Duration {
+	return r.opts.Scenario.Deadline(ann.Target)
+}
+
+func classKey(target *dom.Node, event string) string {
+	path := "#document"
+	if target != nil {
+		path = target.Path()
+	}
+	return path + "@" + strings.ToLower(event)
+}
+
+// OnInput implements browser.Governor: look up the annotation for the
+// event; annotated events get a configuration immediately (profiling or
+// predicted) so the callback and frame run at the chosen operating point.
+func (r *Runtime) OnInput(in browser.InputRecord, target *dom.Node) {
+	node := target
+	if node == nil && r.e.Doc() != nil {
+		if els := r.e.Doc().GetElementsByTag("body"); len(els) > 0 {
+			node = els[0]
+		}
+	}
+	var ann qos.Annotation
+	found := false
+	if r.e.Annotations() != nil && node != nil {
+		ann, found = r.e.Annotations().Lookup(node, in.Event)
+	}
+	if !found {
+		r.stats.UnannotatedInputs++
+		return
+	}
+	if r.opts.UAI != nil && r.opts.UAI.Suppressed(classKey(node, in.Event)) {
+		r.stats.UAISuppressed++
+		r.stats.UnannotatedInputs++
+		return
+	}
+	r.stats.AnnotatedInputs++
+
+	key := classKey(node, in.Event)
+	m, ok := r.models[key]
+	if !ok {
+		m = NewModel(key, ann)
+		r.models[key] = m
+	}
+	m.Ann = ann
+	r.active[in.UID] = key
+	r.reschedule()
+}
+
+// desired returns the configuration a model currently wants: its next
+// profiling point while identifying, the energy-minimal feasible
+// configuration once ready.
+func (r *Runtime) desired(m *Model) acmp.Config {
+	if cfg, profiling := m.ProfilingConfig(); profiling {
+		return cfg
+	}
+	return m.Select(r.deadline(m.Ann), r.pm, r.opts.Safety)
+}
+
+// reschedule sets the CPU to satisfy every in-flight annotated event: the
+// highest-performance configuration any active model wants. A completed
+// frame of a lax event must not drag the system below what a concurrent
+// stricter event needs (e.g. a tap's touchstart settling on a little
+// configuration while its click's heavyweight callback is still running).
+func (r *Runtime) reschedule() {
+	if len(r.active) == 0 {
+		// Demote to the idle configuration only after a grace period:
+		// interaction bursts would otherwise thrash the configuration.
+		if r.idleTimer != nil {
+			r.idleTimer.Cancel()
+		}
+		if r.opts.IdleGrace <= 0 {
+			r.cpu.SetConfig(r.clamp(r.opts.IdleConfig))
+			return
+		}
+		r.idleTimer = r.e.Sim().After(r.opts.IdleGrace, "greenweb:idle", func() {
+			if len(r.active) != 0 {
+				return
+			}
+			// Stage 1: park at the current cluster's floor rather than
+			// hopping clusters — sleep power is cluster-independent
+			// (cpuidle), so migrating immediately would pay switch stalls
+			// for nothing and inflate the migration count (cf. Fig. 12,
+			// where frequency switches dwarf migrations).
+			idle := acmp.MinConfig(r.cpu.Config().Cluster)
+			r.tracef("idle demotion to %v", idle)
+			r.cpu.SetConfig(r.clamp(idle))
+			if r.opts.DeepIdleAfter <= 0 || idle.Cluster == r.opts.IdleConfig.Cluster {
+				return
+			}
+			// Stage 2: after sustained idleness, fall back to the default
+			// low-power configuration so late unannotated activity runs
+			// cheaply.
+			r.idleTimer = r.e.Sim().After(r.opts.DeepIdleAfter, "greenweb:deep-idle", func() {
+				if len(r.active) == 0 {
+					r.tracef("deep idle to %v", r.opts.IdleConfig)
+					r.cpu.SetConfig(r.clamp(r.opts.IdleConfig))
+				}
+			})
+		})
+		return
+	}
+	if r.idleTimer != nil {
+		r.idleTimer.Cancel()
+		r.idleTimer = nil
+	}
+	var best acmp.Config
+	have := false
+	for _, key := range r.active {
+		m := r.models[key]
+		if m == nil || m.Frameless() {
+			continue
+		}
+		cfg := r.desired(m)
+		if !have || cfg.Index() > best.Index() {
+			best, have = cfg, true
+		}
+	}
+	if !have {
+		best = r.opts.IdleConfig
+	}
+	r.tracef("reschedule: %v (%d active)", best, len(r.active))
+	r.cpu.SetConfig(r.clamp(best))
+}
+
+func (r *Runtime) tracef(format string, args ...any) {
+	if r.opts.Trace != nil {
+		r.opts.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// clamp restricts configurations to one cluster for the single-cluster
+// ablation variants.
+func (r *Runtime) clamp(cfg acmp.Config) acmp.Config {
+	switch {
+	case r.opts.BigOnly && cfg.Cluster == acmp.Little:
+		return acmp.MinConfig(acmp.Big)
+	case r.opts.LittleOnly && cfg.Cluster == acmp.Big:
+		return acmp.MaxConfig(acmp.Little)
+	default:
+		return cfg
+	}
+}
+
+// driving returns the model governing a frame: among the frame's
+// provenance, the active annotated event with the tightest deadline (when
+// several events batch into one frame, the strictest constraint must hold).
+func (r *Runtime) driving(prov browser.Provenance) *Model {
+	var best *Model
+	var bestD sim.Duration
+	// IDs() iterates in ascending UID order so deadline ties resolve
+	// deterministically (map iteration order would not).
+	for _, uid := range prov.IDs() {
+		key, ok := r.active[uid]
+		if !ok {
+			continue
+		}
+		m := r.models[key]
+		if m == nil {
+			continue
+		}
+		d := r.deadline(m.Ann)
+		if best == nil || d < bestD {
+			best, bestD = m, d
+		}
+	}
+	return best
+}
+
+// OnFrameStart implements browser.Governor: re-assert the scheduling
+// decision for this frame (the runtime operates per frame, Sec. 6.1).
+func (r *Runtime) OnFrameStart(seq int, prov browser.Provenance) {
+	if r.driving(prov) != nil {
+		r.reschedule()
+	}
+}
+
+// OnFrameEnd implements browser.Governor: feed measured latencies back into
+// the driving model — profiling samples while identifying, prediction
+// feedback once ready (Sec. 6.2).
+func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
+	// Frame accounting for every active class in the provenance, not just
+	// the driving one, so frameless detection stays accurate.
+	for uid := range fr.Provenance {
+		if key, ok := r.active[uid]; ok {
+			if m := r.models[key]; m != nil {
+				m.SawFrame()
+			}
+		}
+	}
+	m := r.driving(fr.Provenance)
+	if m == nil {
+		return
+	}
+	measured := r.measuredLatency(m, fr)
+	if measured < 0 {
+		return
+	}
+	if r.opts.UAI != nil {
+		r.opts.UAI.chargeFrame(m.Key, fr)
+		if r.opts.UAI.Suppressed(m.Key) {
+			// Mid-event suppression: stop scheduling for this class — its
+			// in-flight events are deactivated and the system returns to
+			// the idle configuration.
+			for uid, key := range r.active {
+				if key == m.Key {
+					delete(r.active, uid)
+				}
+			}
+			r.stats.UAISuppressed++
+			if len(r.active) == 0 {
+				r.cpu.SetConfig(r.clamp(r.opts.IdleConfig))
+			}
+			return
+		}
+	}
+	if !m.Ready() {
+		m.RecordProfile(measured, fr.Config)
+		r.tracef("profile %s: %v at %v", m.Key, measured, fr.Config)
+		r.stats.ProfilingFrames++
+		if measured > r.deadline(m.Ann) {
+			r.stats.Violations++
+		}
+		// Move to the next profiling point (or first prediction) for any
+		// follow-on frames of the same event.
+		r.reschedule()
+		return
+	}
+	r.stats.PredictedFrames++
+	violated, reprofile := m.Feedback(measured, r.deadline(m.Ann), fr.Config, r.opts.MispredictLimit)
+	r.tracef("feedback %s: measured %v vs deadline %v at %v (violated=%v reprofile=%v)",
+		m.Key, measured, r.deadline(m.Ann), fr.Config, violated, reprofile)
+	if violated {
+		r.stats.Violations++
+	}
+	if reprofile {
+		m.Reset()
+		r.stats.Reprofiles++
+	}
+	r.reschedule()
+}
+
+// measuredLatency extracts the latency the annotation's QoS type is judged
+// by: end-to-end input latency for single (the one response frame),
+// per-frame production latency for continuous (every frame in the
+// sequence) — paper Sec. 3.2/3.3.
+func (r *Runtime) measuredLatency(m *Model, fr *browser.FrameResult) sim.Duration {
+	if m.Ann.Type == qos.Continuous {
+		return fr.ProductionLatency
+	}
+	for _, il := range fr.Inputs {
+		if key, ok := r.active[il.Input.UID]; ok && key == m.Key {
+			return il.Latency
+		}
+	}
+	return -1
+}
+
+// OnEventComplete implements browser.Governor: once an event's transitive
+// closure is exhausted the system conserves energy ("allocate just enough
+// energy to produce the single response frame and conserve energy
+// afterwards", Sec. 3.2).
+func (r *Runtime) OnEventComplete(uid browser.UID) {
+	key, ok := r.active[uid]
+	if !ok {
+		return
+	}
+	if m := r.models[key]; m != nil {
+		m.SawCompletion()
+	}
+	delete(r.active, uid)
+	r.reschedule()
+}
+
+// Models exposes the per-class models (for tests and the ablation bench).
+func (r *Runtime) Models() map[string]*Model { return r.models }
+
+// ExportModels returns the trained per-class models so they can seed a
+// later run (the paper repeats each experiment three times on a device
+// whose runtime retains its models; see ImportModels).
+func (r *Runtime) ExportModels() map[string]*Model {
+	out := make(map[string]*Model, len(r.models))
+	for k, m := range r.models {
+		out[k] = m
+	}
+	return out
+}
+
+// ImportModels seeds the runtime with previously trained models.
+func (r *Runtime) ImportModels(ms map[string]*Model) {
+	for k, m := range ms {
+		r.models[k] = m
+	}
+}
+
+func (r *Runtime) String() string {
+	return fmt.Sprintf("%s{models=%d active=%d}", r.Name(), len(r.models), len(r.active))
+}

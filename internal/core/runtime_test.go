@@ -1,0 +1,301 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/governor"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// animPage is a rAF animation whose touchstart is annotated continuous;
+// frame weight is moderate so little configs meet TU but not TI.
+const animPage = `<html><head><style>
+		body:QoS { onload-qos: single, long; }
+		div#c:QoS { ontouchstart-qos: continuous; }
+	</style></head>
+	<body><div id="c">x</div>
+	<script>
+		var frames = 0;
+		document.getElementById("c").addEventListener("touchstart", function(e) {
+			function step() {
+				frames++;
+				work(30);
+				document.getElementById("c").style.height = frames + "px";
+				if (frames < 90) { requestAnimationFrame(step); }
+			}
+			requestAnimationFrame(step);
+		});
+	</script></body></html>`
+
+// tapPage has a lightweight single-short tap.
+const tapPage = `<html><head><style>
+		body:QoS { onload-qos: single, long; }
+		div#b:QoS { onclick-qos: single, short; }
+	</style></head>
+	<body><div id="b">x</div>
+	<script>
+		document.getElementById("b").addEventListener("click", function(e) {
+			work(40);
+			e.target.style.width = "10px";
+		});
+	</script></body></html>`
+
+type runResult struct {
+	energy     acmp.Joules
+	frames     []browser.FrameResult
+	runtime    *Runtime
+	engine     *browser.Engine
+	switchStat acmp.SwitchStats
+}
+
+func runWith(t *testing.T, page string, gov browser.Governor, drive func(*sim.Simulator, *browser.Engine)) runResult {
+	t.Helper()
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := browser.New(s, cpu, nil)
+	e.SetGovernor(gov)
+	if _, err := e.LoadPage(page); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, e)
+	rr := runResult{
+		energy: cpu.Energy(), frames: e.Results(), engine: e,
+		switchStat: cpu.Stats(),
+	}
+	if r, ok := gov.(*Runtime); ok {
+		rr.runtime = r
+	}
+	if len(e.ScriptErrors()) > 0 {
+		t.Fatalf("script errors: %v", e.ScriptErrors())
+	}
+	return rr
+}
+
+func driveAnimation(s *sim.Simulator, e *browser.Engine) {
+	s.RunUntil(sim.Time(sim.Second))
+	e.Inject(s.Now().Add(10*sim.Millisecond), "touchstart", "c", nil)
+	s.RunUntil(s.Now().Add(3 * sim.Second))
+}
+
+func driveTaps(s *sim.Simulator, e *browser.Engine) {
+	s.RunUntil(sim.Time(sim.Second))
+	for i := 0; i < 6; i++ {
+		e.Inject(s.Now().Add(sim.Duration(i)*400*sim.Millisecond), "click", "b", nil)
+	}
+	s.RunUntil(s.Now().Add(4 * sim.Second))
+}
+
+func TestRuntimeTracksAnnotatedEvents(t *testing.T) {
+	r := New(DefaultOptions(qos.Imperceptible))
+	res := runWith(t, animPage, r, driveAnimation)
+	st := r.Stats()
+	if st.AnnotatedInputs != 2 { // load + touchstart
+		t.Fatalf("annotated inputs = %d, want 2 (stats: %+v)", st.AnnotatedInputs, st)
+	}
+	if st.ProfilingFrames < 2 {
+		t.Fatalf("profiling frames = %d, want >= 2", st.ProfilingFrames)
+	}
+	if st.PredictedFrames < 50 {
+		t.Fatalf("predicted frames = %d, want most of the animation", st.PredictedFrames)
+	}
+	if len(res.frames) < 80 {
+		t.Fatalf("frames = %d, want ~90 animation frames", len(res.frames))
+	}
+}
+
+func TestRuntimeSavesEnergyVsPerf(t *testing.T) {
+	perf := runWith(t, animPage, governor.NewPerf(), driveAnimation)
+	gwI := runWith(t, animPage, New(DefaultOptions(qos.Imperceptible)), driveAnimation)
+	gwU := runWith(t, animPage, New(DefaultOptions(qos.Usable)), driveAnimation)
+
+	if gwI.energy >= perf.energy {
+		t.Fatalf("GreenWeb-I energy %.3f J >= Perf %.3f J", gwI.energy, perf.energy)
+	}
+	if gwU.energy >= gwI.energy {
+		t.Fatalf("GreenWeb-U energy %.3f J >= GreenWeb-I %.3f J", gwU.energy, gwI.energy)
+	}
+	// The usable scenario should save substantially (paper: 66–78%).
+	if float64(gwU.energy) > 0.6*float64(perf.energy) {
+		t.Fatalf("GreenWeb-U saves too little: %.3f J vs Perf %.3f J", gwU.energy, perf.energy)
+	}
+}
+
+func violationsOver(frames []browser.FrameResult, r *Runtime, deadline sim.Duration) int {
+	n := 0
+	for _, fr := range frames[1:] { // skip load frame
+		if fr.ProductionLatency > deadline {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRuntimeKeepsQoSInUsableMode(t *testing.T) {
+	gwU := runWith(t, animPage, New(DefaultOptions(qos.Usable)), driveAnimation)
+	// Frame production must meet TU=33.3ms for nearly all frames.
+	bad := violationsOver(gwU.frames, gwU.runtime, 33300*sim.Microsecond)
+	if bad > len(gwU.frames)/10 {
+		t.Fatalf("%d of %d frames violate TU", bad, len(gwU.frames))
+	}
+}
+
+func TestRuntimeUsesLittleClusterInUsableMode(t *testing.T) {
+	gwU := runWith(t, animPage, New(DefaultOptions(qos.Usable)), driveAnimation)
+	res := gwU.engine.CPU().Residency()
+	var little, big sim.Duration
+	for cfg, d := range res {
+		if cfg.Cluster == acmp.Little {
+			little += d
+		} else {
+			big += d
+		}
+	}
+	if little <= big {
+		t.Fatalf("usable mode: little %v <= big %v", little, big)
+	}
+}
+
+func TestRuntimeImperceptibleUsesBiggerConfigsThanUsable(t *testing.T) {
+	gwI := runWith(t, animPage, New(DefaultOptions(qos.Imperceptible)), driveAnimation)
+	gwU := runWith(t, animPage, New(DefaultOptions(qos.Usable)), driveAnimation)
+	avgIdx := func(rr runResult) float64 {
+		var num, den float64
+		for cfg, d := range rr.engine.CPU().Residency() {
+			// Only count interaction time (ignore long idle tails where
+			// both runtimes sit at the idle config).
+			num += float64(cfg.Index()) * d.Seconds()
+			den += d.Seconds()
+		}
+		return num / den
+	}
+	if avgIdx(gwI) <= avgIdx(gwU) {
+		t.Fatalf("imperceptible avg config index %.2f <= usable %.2f", avgIdx(gwI), avgIdx(gwU))
+	}
+}
+
+func TestRuntimeIdlesAfterEventComplete(t *testing.T) {
+	r := New(DefaultOptions(qos.Imperceptible))
+	res := runWith(t, tapPage, r, driveTaps)
+	// Idle demotion is cluster-sticky: the system parks at the floor of
+	// whatever cluster it last ran on.
+	cfg := res.engine.CPU().Config()
+	if cfg != acmp.MinConfig(acmp.Little) && cfg != acmp.MinConfig(acmp.Big) {
+		t.Fatalf("post-interaction config = %v, want a cluster floor", cfg)
+	}
+}
+
+func TestRuntimeSingleEventsSaveEnergy(t *testing.T) {
+	perf := runWith(t, tapPage, governor.NewPerf(), driveTaps)
+	gwI := runWith(t, tapPage, New(DefaultOptions(qos.Imperceptible)), driveTaps)
+	if float64(gwI.energy) > 0.7*float64(perf.energy) {
+		t.Fatalf("single-event savings too small: %.3f J vs %.3f J", gwI.energy, perf.energy)
+	}
+}
+
+func TestRuntimeUnannotatedPageFallsBack(t *testing.T) {
+	page := `<html><body><div id="b">x</div>
+		<script>
+			document.getElementById("b").addEventListener("click", function(e) {
+				e.target.style.width = "10px";
+			});
+		</script></body></html>`
+	r := New(DefaultOptions(qos.Imperceptible))
+	res := runWith(t, page, r, func(s *sim.Simulator, e *browser.Engine) {
+		s.RunUntil(sim.Time(sim.Second))
+		e.Inject(s.Now().Add(10*sim.Millisecond), "click", "b", nil)
+		s.RunUntil(s.Now().Add(sim.Second))
+	})
+	st := r.Stats()
+	if st.AnnotatedInputs != 0 || st.UnannotatedInputs != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Frames still produced, just at the idle config.
+	if len(res.frames) < 2 {
+		t.Fatalf("frames = %d", len(res.frames))
+	}
+}
+
+func TestSingleClusterAblations(t *testing.T) {
+	optsBig := DefaultOptions(qos.Usable)
+	optsBig.BigOnly = true
+	big := runWith(t, animPage, New(optsBig), driveAnimation)
+	for cfg := range big.engine.CPU().Residency() {
+		if cfg.Cluster == acmp.Little && cfg != acmp.LowestConfig() {
+			t.Fatalf("BigOnly runtime used %v", cfg)
+		}
+	}
+	optsLit := DefaultOptions(qos.Imperceptible)
+	optsLit.LittleOnly = true
+	lit := runWith(t, animPage, New(optsLit), driveAnimation)
+	// After attach, only little configs are ever requested.
+	st := lit.engine.CPU().Stats()
+	if st.Migrations > 1 {
+		t.Fatalf("LittleOnly migrated %d times", st.Migrations)
+	}
+	// Big-only burns more than an unrestricted usable runtime.
+	free := runWith(t, animPage, New(DefaultOptions(qos.Usable)), driveAnimation)
+	if big.energy <= free.energy {
+		t.Fatalf("BigOnly %.3f J <= unrestricted %.3f J", big.energy, free.energy)
+	}
+}
+
+func TestUAISuppressesMisannotation(t *testing.T) {
+	// Mis-annotation: a trivial tap demands a 1 ms target, forcing peak.
+	misPage := `<html><head><style>
+			div#b:QoS { onclick-qos: continuous, 1, 1; }
+		</style></head>
+		<body><div id="b">x</div>
+		<script>
+			var n = 0;
+			document.getElementById("b").addEventListener("click", function(e) {
+				function step() {
+					n++;
+					work(50);
+					document.getElementById("b").style.height = (n % 50) + "px";
+					requestAnimationFrame(step);
+				}
+				if (n === 0) { requestAnimationFrame(step); }
+			});
+		</script></body></html>`
+	drive := func(s *sim.Simulator, e *browser.Engine) {
+		s.RunUntil(sim.Time(sim.Second))
+		e.Inject(s.Now().Add(10*sim.Millisecond), "click", "b", nil)
+		s.RunUntil(s.Now().Add(5 * sim.Second))
+	}
+	noUAI := runWith(t, misPage, New(DefaultOptions(qos.Imperceptible)), drive)
+
+	opts := DefaultOptions(qos.Imperceptible)
+	opts.UAI = NewUAIPolicy(0.2) // 0.2 J per event class
+	withUAI := runWith(t, misPage, New(opts), drive)
+
+	if len(opts.UAI.SuppressedClasses()) == 0 {
+		t.Fatalf("UAI never suppressed the mis-annotated class (spent=%v)", opts.UAI.Spent("html>body>div#b@click"))
+	}
+	if withUAI.energy >= noUAI.energy {
+		t.Fatalf("UAI did not reduce energy: %.3f J vs %.3f J", withUAI.energy, noUAI.energy)
+	}
+}
+
+func TestRuntimeNames(t *testing.T) {
+	if New(DefaultOptions(qos.Imperceptible)).Name() != "GreenWeb-I" {
+		t.Fatal("name wrong")
+	}
+	if New(DefaultOptions(qos.Usable)).Name() != "GreenWeb-U" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	o := DefaultOptions(qos.Usable)
+	if !o.IdleConfig.Valid() || o.Safety <= 0 || o.Safety > 1 || o.MispredictLimit <= 0 {
+		t.Fatalf("options = %+v", o)
+	}
+	// Zero-valued options get repaired by New.
+	r := New(Options{})
+	if !r.Options().IdleConfig.Valid() || r.Options().Safety <= 0 {
+		t.Fatalf("repaired options = %+v", r.Options())
+	}
+}

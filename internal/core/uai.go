@@ -1,0 +1,67 @@
+package core
+
+import (
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+)
+
+// UAIPolicy implements the user-agent-intervention defense the paper
+// sketches in Sec. 8: a developer could mis-annotate events with extreme
+// QoS targets — inadvertently as an energy bug or deliberately as an
+// attack — forcing the runtime to burn maximal energy. The policy assigns
+// each annotated event class an energy budget; once a class has consumed
+// its budget, its annotation is ignored and the event is treated as
+// unannotated (the runtime's idle configuration applies).
+type UAIPolicy struct {
+	// BudgetPerClass is the energy each event class may consume across its
+	// frames before its annotation is suppressed.
+	BudgetPerClass acmp.Joules
+
+	e          *browser.Engine
+	spent      map[string]acmp.Joules
+	suppressed map[string]bool
+}
+
+// NewUAIPolicy returns a policy with the given per-class budget.
+func NewUAIPolicy(budget acmp.Joules) *UAIPolicy {
+	return &UAIPolicy{
+		BudgetPerClass: budget,
+		spent:          make(map[string]acmp.Joules),
+		suppressed:     make(map[string]bool),
+	}
+}
+
+func (p *UAIPolicy) attach(e *browser.Engine) { p.e = e }
+
+// Suppressed reports whether the class's annotation is being ignored.
+func (p *UAIPolicy) Suppressed(key string) bool { return p.suppressed[key] }
+
+// SuppressedClasses lists all currently suppressed classes.
+func (p *UAIPolicy) SuppressedClasses() []string {
+	var out []string
+	for k, v := range p.suppressed {
+		if v {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Spent reports the energy attributed to a class so far.
+func (p *UAIPolicy) Spent(key string) acmp.Joules { return p.spent[key] }
+
+// chargeFrame attributes a frame's estimated energy to the driving class:
+// the CPU power at the frame's configuration times its production time.
+// This is an attribution estimate, not a measurement — good enough to catch
+// classes ordering maximal performance around the clock.
+func (p *UAIPolicy) chargeFrame(key string, fr *browser.FrameResult) {
+	if p.e == nil {
+		return
+	}
+	pm := p.e.CPU().PowerModel()
+	watts := pm.CoreActive(fr.Config) + pm.ClusterStatic(fr.Config)
+	p.spent[key] += acmp.Joules(float64(watts) * fr.ProductionLatency.Seconds())
+	if p.BudgetPerClass > 0 && p.spent[key] > p.BudgetPerClass && !p.suppressed[key] {
+		p.suppressed[key] = true
+	}
+}

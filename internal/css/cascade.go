@@ -1,0 +1,92 @@
+package css
+
+import (
+	"sort"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+)
+
+// Cascade computes every element's ComputedStyle from the sheets, applying
+// standard cascade order: later declarations win within equal specificity,
+// higher specificity wins otherwise, and inline styles (handled by
+// Node.Computed) outrank everything. GreenWeb declarations are excluded
+// from visual computed style — they are resolved by AnnotationSet instead,
+// keeping QoS and presentation concerns separate (the modularity argument
+// of paper Sec. 4.2).
+//
+// It returns the number of (element, declaration) applications performed,
+// which the rendering pipeline uses as its style-resolution cost measure.
+func Cascade(doc *dom.Document, sheets ...*Stylesheet) int {
+	type cand struct {
+		spec  Specificity
+		order int
+		decl  Decl
+	}
+	// Cascade ordering: importance first, then specificity, then source
+	// order. less reports whether a sorts before b (weaker first, so later
+	// map writes win).
+	less := func(a, b cand) bool {
+		if a.decl.Important != b.decl.Important {
+			return !a.decl.Important
+		}
+		if a.spec != b.spec {
+			return a.spec.Less(b.spec)
+		}
+		return a.order < b.order
+	}
+	applied := 0
+	order := 0
+	// Pre-index rules once to avoid re-walking sheets per element.
+	type indexedRule struct {
+		rule  *Rule
+		order int
+	}
+	var rules []indexedRule
+	for _, sheet := range sheets {
+		for _, r := range sheet.Rules {
+			order++
+			rules = append(rules, indexedRule{r, order})
+		}
+	}
+	for _, n := range doc.Elements() {
+		var cands []cand
+		for _, ir := range rules {
+			for _, sel := range ir.rule.Selectors {
+				if !sel.Matches(n) {
+					continue
+				}
+				spec := sel.Specificity()
+				for _, d := range ir.rule.Decls {
+					if _, isQoS := IsQoSProperty(d.Property); isQoS {
+						continue
+					}
+					cands = append(cands, cand{spec, ir.order, d})
+				}
+				break // one match per rule is enough
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
+		if n.ComputedStyle == nil {
+			n.ComputedStyle = make(map[string]string, len(cands))
+		}
+		for _, c := range cands {
+			n.ComputedStyle[c.decl.Property] = c.decl.Value
+			applied++
+		}
+	}
+	return applied
+}
+
+// TransitionsFor returns the CSS transitions declared on a node (from its
+// computed or inline style). The browser's animation machinery consults
+// this when a style property changes (paper Fig. 4's example).
+func TransitionsFor(n *dom.Node) []Transition {
+	v := n.Computed("transition")
+	if v == "" {
+		return nil
+	}
+	return ParseTransitions(v)
+}

@@ -1,0 +1,611 @@
+package css
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/html"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+func TestParseSimpleRule(t *testing.T) {
+	sheet, errs := Parse(`h1 { font-weight: bold; color: red }`)
+	if len(errs) > 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if len(sheet.Rules) != 1 {
+		t.Fatalf("rules = %d", len(sheet.Rules))
+	}
+	r := sheet.Rules[0]
+	if len(r.Decls) != 2 || r.Decls[0].Property != "font-weight" || r.Decls[0].Value != "bold" {
+		t.Fatalf("decls = %v", r.Decls)
+	}
+	if r.Selectors[0].Subject().Tag != "h1" {
+		t.Fatalf("selector = %v", r.Selectors[0])
+	}
+}
+
+func TestParseMultipleRulesAndComments(t *testing.T) {
+	sheet, errs := Parse(`
+		/* heading */
+		h1 { color: red; }
+		/* panel */
+		div#main.panel { width: 100px; }
+	`)
+	if len(errs) > 0 || len(sheet.Rules) != 2 {
+		t.Fatalf("rules = %d, errs = %v", len(sheet.Rules), errs)
+	}
+	c := sheet.Rules[1].Selectors[0].Subject()
+	if c.Tag != "div" || c.ID != "main" || len(c.Classes) != 1 || c.Classes[0] != "panel" {
+		t.Fatalf("compound = %+v", c)
+	}
+}
+
+func TestParseSelectorGroupsAndCombinators(t *testing.T) {
+	sels, err := ParseSelectors(`div p, .a > .b, #x span.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 3 {
+		t.Fatalf("groups = %d", len(sels))
+	}
+	if len(sels[0].Parts) != 2 || sels[0].Parts[1].Comb != Descendant {
+		t.Fatalf("sel0 = %+v", sels[0])
+	}
+	if sels[1].Parts[1].Comb != Child {
+		t.Fatalf("sel1 = %+v", sels[1])
+	}
+	if sels[2].Parts[1].Tag != "span" || sels[2].Parts[1].Classes[0] != "y" {
+		t.Fatalf("sel2 = %+v", sels[2])
+	}
+}
+
+func TestParseRecoversFromBadRule(t *testing.T) {
+	sheet, errs := Parse(`
+		h1 { color: red; }
+		%%garbage%% { nonsense }
+		p { color: blue; }
+	`)
+	if len(errs) == 0 {
+		t.Fatal("expected a parse error to be reported")
+	}
+	if len(sheet.Rules) != 2 {
+		t.Fatalf("recovered rules = %d, want 2", len(sheet.Rules))
+	}
+}
+
+func TestParseSkipsAtRules(t *testing.T) {
+	sheet, errs := Parse(`
+		@import "x.css";
+		@media (max-width: 600px) { p { color: red; } }
+		h1 { color: blue; }
+	`)
+	if len(errs) > 0 || len(sheet.Rules) != 1 {
+		t.Fatalf("rules = %d errs = %v", len(sheet.Rules), errs)
+	}
+}
+
+func TestSpecificity(t *testing.T) {
+	cases := map[string]Specificity{
+		"div":            {0, 0, 1},
+		".a":             {0, 1, 0},
+		"#x":             {1, 0, 0},
+		"div#x.a.b":      {1, 2, 1},
+		"div p":          {0, 0, 2},
+		"div#intro:QoS":  {1, 1, 1},
+		"*":              {0, 0, 0},
+		".a > .b ul #id": {1, 2, 1},
+	}
+	for src, want := range cases {
+		sels, err := ParseSelectors(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := sels[0].Specificity(); got != want {
+			t.Errorf("specificity(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	if !(Specificity{0, 5, 9}).Less(Specificity{1, 0, 0}) {
+		t.Fatal("one id must beat any classes")
+	}
+	if !(Specificity{0, 0, 9}).Less(Specificity{0, 1, 0}) {
+		t.Fatal("one class must beat any tags")
+	}
+	if (Specificity{1, 1, 1}).Less(Specificity{1, 1, 1}) {
+		t.Fatal("equal specificities are not Less")
+	}
+}
+
+func testDoc() string {
+	return `<html><body>
+		<div id="main" class="panel">
+			<p class="txt first">one</p>
+			<span><p class="txt">nested</p></span>
+		</div>
+		<div id="side"><p>side</p></div>
+	</body></html>`
+}
+
+func TestSelectorMatching(t *testing.T) {
+	doc := html.Parse(testDoc())
+	main := doc.GetElementByID("main")
+	first := doc.GetElementsByClass("first")[0]
+	nested := doc.GetElementsByClass("txt")[1]
+	side := doc.GetElementByID("side")
+
+	cases := []struct {
+		sel   string
+		node  string
+		match bool
+	}{
+		{"div", "main", true},
+		{"#main", "main", true},
+		{".panel", "main", true},
+		{"div#main.panel", "main", true},
+		{"div#side.panel", "side", false},
+		{"p", "first", true},
+		{"div p", "first", true},
+		{"div > p", "first", true},
+		{"div > p", "nested", false}, // nested p's parent is span
+		{"div p", "nested", true},
+		{"#main .txt", "first", true},
+		{"#side .txt", "first", false},
+		{"*", "main", true},
+		{"body > div > p.txt.first", "first", true},
+	}
+	nodes := map[string]*dom.Node{"main": main, "first": first, "nested": nested, "side": side}
+	for _, c := range cases {
+		sels, err := ParseSelectors(c.sel)
+		if err != nil {
+			t.Fatalf("%q: %v", c.sel, err)
+		}
+		if got := sels[0].Matches(nodes[c.node]); got != c.match {
+			t.Errorf("Matches(%q, %s) = %v, want %v", c.sel, nodes[c.node].Path(), got, c.match)
+		}
+	}
+}
+
+func TestCascadeComputedStyle(t *testing.T) {
+	doc := html.Parse(testDoc())
+	sheet := MustParse(`
+		p { color: black; margin: 1px; }
+		.txt { color: green; }
+		#main .first { color: purple; }
+		p.txt { color: blue; }
+	`)
+	n := Cascade(doc, sheet)
+	if n == 0 {
+		t.Fatal("no declarations applied")
+	}
+	first := doc.GetElementsByClass("first")[0]
+	// #main .first (1,1,0) beats p.txt (0,1,1) beats .txt (0,1,0) beats p.
+	if got := first.Computed("color"); got != "purple" {
+		t.Fatalf("color = %q, want purple", got)
+	}
+	if got := first.Computed("margin"); got != "1px" {
+		t.Fatalf("margin = %q", got)
+	}
+	nested := doc.GetElementsByClass("txt")[1]
+	if got := nested.Computed("color"); got != "blue" {
+		t.Fatalf("nested color = %q, want blue (p.txt)", got)
+	}
+	side := doc.GetElementByID("side").Children[0]
+	if got := side.Computed("color"); got != "black" {
+		t.Fatalf("side color = %q, want black", got)
+	}
+}
+
+func TestCascadeSourceOrderBreaksTies(t *testing.T) {
+	doc := html.Parse(`<body><p class="a">x</p></body>`)
+	sheet := MustParse(`.a { color: red; } .a { color: blue; }`)
+	Cascade(doc, sheet)
+	p := doc.GetElementsByTag("p")[0]
+	if got := p.Computed("color"); got != "blue" {
+		t.Fatalf("color = %q, want blue (later rule wins)", got)
+	}
+}
+
+func TestCascadeLaterSheetWins(t *testing.T) {
+	doc := html.Parse(`<body><p class="a">x</p></body>`)
+	s1 := MustParse(`.a { color: red; }`)
+	s2 := MustParse(`.a { color: blue; }`)
+	Cascade(doc, s1, s2)
+	if got := doc.GetElementsByTag("p")[0].Computed("color"); got != "blue" {
+		t.Fatalf("color = %q", got)
+	}
+}
+
+func TestCascadeExcludesQoSDeclarations(t *testing.T) {
+	doc := html.Parse(`<body><div id="d">x</div></body>`)
+	sheet := MustParse(`div#d:QoS { ontouchstart-qos: continuous; width: 5px; }`)
+	Cascade(doc, sheet)
+	d := doc.GetElementByID("d")
+	if d.Computed("ontouchstart-qos") != "" {
+		t.Fatal("qos declaration leaked into computed style")
+	}
+	if d.Computed("width") != "5px" {
+		t.Fatal("visual declaration in a QoS rule must still cascade")
+	}
+}
+
+// ---- GreenWeb extension (Table 2 / Fig. 3) ----
+
+func TestIsQoSProperty(t *testing.T) {
+	cases := []struct {
+		prop  string
+		event string
+		ok    bool
+	}{
+		{"ontouchstart-qos", "touchstart", true},
+		{"onclick-qos", "click", true},
+		{"ONLOAD-QOS", "load", true},
+		{"onscroll-qos", "scroll", true},
+		{"color", "", false},
+		{"on-qos", "", false},
+		{"ontouchstart", "", false},
+		{"transition", "", false},
+	}
+	for _, c := range cases {
+		ev, ok := IsQoSProperty(c.prop)
+		if ok != c.ok || ev != c.event {
+			t.Errorf("IsQoSProperty(%q) = %q, %v; want %q, %v", c.prop, ev, ok, c.event, c.ok)
+		}
+	}
+	if QoSPropertyName("TouchMove") != "ontouchmove-qos" {
+		t.Fatal("QoSPropertyName wrong")
+	}
+}
+
+func TestParseQoSValueTable2Forms(t *testing.T) {
+	// First rule form: continuous with defaults.
+	a, err := ParseQoSValue("touchstart", "continuous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type != qos.Continuous || a.Target != qos.ContinuousTarget || a.Explicit {
+		t.Fatalf("a = %+v", a)
+	}
+	// Second form: single with duration class.
+	b, err := ParseQoSValue("click", "single, short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Type != qos.Single || b.Duration != qos.Short || b.Target != qos.SingleShortTarget {
+		t.Fatalf("b = %+v", b)
+	}
+	c, err := ParseQoSValue("load", "single, long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target != qos.SingleLongTarget {
+		t.Fatalf("c = %+v", c)
+	}
+	// Third form: explicit targets in ms (paper Fig. 5 uses 20 and 100).
+	d, err := ParseQoSValue("touchmove", "continuous, 20, 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Explicit || d.Target.TI != 20*sim.Millisecond || d.Target.TU != 100*sim.Millisecond {
+		t.Fatalf("d = %+v", d)
+	}
+	e, err := ParseQoSValue("click", "single, 150, 600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Explicit || e.Type != qos.Single || e.Target.TI != 150*sim.Millisecond {
+		t.Fatalf("e = %+v", e)
+	}
+}
+
+func TestParseQoSValueErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"sometimes",
+		"single",              // needs duration class or targets
+		"single, medium",      // unknown class
+		"continuous, 20",      // both values or neither (Table 2 note)
+		"single, 20",          // same
+		"continuous, a, b",    // non-integer
+		"single, 300, 100",    // TU < TI
+		"continuous, 0, 100",  // zero TI
+		"continuous, 1, 2, 3", // too many
+	}
+	for _, v := range bad {
+		if _, err := ParseQoSValue("click", v); err == nil {
+			t.Errorf("ParseQoSValue(%q): expected error", v)
+		}
+	}
+}
+
+func TestFormatQoSValueRoundTrip(t *testing.T) {
+	values := []string{
+		"continuous",
+		"single, short",
+		"single, long",
+		"continuous, 20, 100",
+		"single, 150, 600",
+	}
+	for _, v := range values {
+		a, err := ParseQoSValue("click", v)
+		if err != nil {
+			t.Fatalf("%q: %v", v, err)
+		}
+		out := FormatQoSValue(a)
+		b, err := ParseQoSValue("click", out)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if a != b {
+			t.Errorf("round trip %q → %q changed annotation: %+v vs %+v", v, out, a, b)
+		}
+	}
+}
+
+// TestPaperFig4 reproduces the paper's Fig. 4: annotating a CSS-transition
+// animation's touchstart as continuous with default targets.
+func TestPaperFig4(t *testing.T) {
+	doc := html.Parse(`
+		<html><head><style>
+			#ex { width: 100px; transition: width 2s; }
+			div#ex:QoS { ontouchstart-qos: continuous; }
+		</style></head>
+		<body><div id="ex">tap me</div></body></html>`)
+	sheets := parseAll(t, doc)
+	as := NewAnnotationSet(sheets...)
+	ex := doc.GetElementByID("ex")
+	a, ok := as.Lookup(ex, "touchstart")
+	if !ok {
+		t.Fatal("annotation not found")
+	}
+	if a.Type != qos.Continuous || a.Target != qos.ContinuousTarget {
+		t.Fatalf("annotation = %+v", a)
+	}
+	// The visual transition must cascade too.
+	Cascade(doc, sheets...)
+	trs := TransitionsFor(ex)
+	if len(trs) != 1 || trs[0].Property != "width" || trs[0].Duration != 2*sim.Second {
+		t.Fatalf("transitions = %+v", trs)
+	}
+}
+
+// TestPaperFig5 reproduces Fig. 5: a rAF animation annotated continuous
+// with explicit 20/100 ms targets.
+func TestPaperFig5(t *testing.T) {
+	doc := html.Parse(`
+		<html><head><style>
+			div#canvas:QoS { ontouchmove-qos: continuous, 20, 100; }
+		</style></head>
+		<body><div id="canvas"></div></body></html>`)
+	as := NewAnnotationSet(parseAll(t, doc)...)
+	a, ok := as.Lookup(doc.GetElementByID("canvas"), "touchmove")
+	if !ok {
+		t.Fatal("annotation not found")
+	}
+	if a.Target.TI != 20*sim.Millisecond || a.Target.TU != 100*sim.Millisecond || !a.Explicit {
+		t.Fatalf("annotation = %+v", a)
+	}
+}
+
+func parseAll(t *testing.T, doc *dom.Document) []*Stylesheet {
+	t.Helper()
+	var sheets []*Stylesheet
+	for _, src := range html.StyleSources(doc) {
+		s, errs := Parse(src)
+		if len(errs) > 0 {
+			t.Fatalf("style parse: %v", errs)
+		}
+		sheets = append(sheets, s)
+	}
+	return sheets
+}
+
+func TestAnnotationLookupSpecificity(t *testing.T) {
+	doc := html.Parse(`<body><div id="d" class="c">x</div></body>`)
+	sheet := MustParse(`
+		div:QoS { onclick-qos: single, long; }
+		div#d:QoS { onclick-qos: single, short; }
+	`)
+	as := NewAnnotationSet(sheet)
+	a, ok := as.Lookup(doc.GetElementByID("d"), "click")
+	if !ok || a.Duration != qos.Short {
+		t.Fatalf("a = %+v ok=%v; id rule must win", a, ok)
+	}
+}
+
+func TestAnnotationLookupBubbling(t *testing.T) {
+	// Annotation on an ancestor does not apply to a child target; GreenWeb
+	// rules select the element the event fires on.
+	doc := html.Parse(`<body><div id="outer"><p id="inner">x</p></div></body>`)
+	sheet := MustParse(`div#outer:QoS { onclick-qos: single, short; }`)
+	as := NewAnnotationSet(sheet)
+	if _, ok := as.Lookup(doc.GetElementByID("inner"), "click"); ok {
+		t.Fatal("annotation leaked to descendant")
+	}
+	if _, ok := as.Lookup(doc.GetElementByID("outer"), "click"); !ok {
+		t.Fatal("annotation missing on annotated element")
+	}
+}
+
+func TestAnnotationRequiresQoSPseudoClass(t *testing.T) {
+	doc := html.Parse(`<body><div id="d">x</div></body>`)
+	// Without :QoS the rule is not a GreenWeb rule even if it carries a
+	// qos property.
+	sheet := MustParse(`div#d { onclick-qos: single, short; }`)
+	as := NewAnnotationSet(sheet)
+	if _, ok := as.Lookup(doc.GetElementByID("d"), "click"); ok {
+		t.Fatal("rule without :QoS must not annotate")
+	}
+}
+
+func TestAnnotationUnknownEventIgnored(t *testing.T) {
+	doc := html.Parse(`<body><div id="d">x</div></body>`)
+	sheet := MustParse(`div#d:QoS { onclick-qos: single, short; }`)
+	as := NewAnnotationSet(sheet)
+	if _, ok := as.Lookup(doc.GetElementByID("d"), "scroll"); ok {
+		t.Fatal("wrong event matched")
+	}
+}
+
+func TestAnnotationsEnumeration(t *testing.T) {
+	doc := html.Parse(`<body><div id="a">x</div><div id="b">y</div></body>`)
+	sheet := MustParse(`
+		div#a:QoS { onclick-qos: single, short; ontouchmove-qos: continuous; }
+		div#b:QoS { onload-qos: single, long; }
+	`)
+	as := NewAnnotationSet(sheet)
+	anns := as.Annotations(doc)
+	if len(anns) != 3 {
+		t.Fatalf("annotations = %d, want 3", len(anns))
+	}
+}
+
+func TestQoSRuleFor(t *testing.T) {
+	rule, err := QoSRuleFor("div#nav", qos.Annotation{
+		Event: "touchstart", Type: qos.Continuous, Target: qos.ContinuousTarget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rule.String()
+	if !strings.Contains(text, "div#nav:QoS") {
+		t.Fatalf("rule = %s", text)
+	}
+	if !strings.Contains(text, "ontouchstart-qos: continuous;") {
+		t.Fatalf("rule = %s", text)
+	}
+	// The generated text must parse back to the same annotation.
+	sheet, errs := Parse(text)
+	if len(errs) > 0 {
+		t.Fatalf("reparse: %v", errs)
+	}
+	doc := html.Parse(`<body><div id="nav">x</div></body>`)
+	as := NewAnnotationSet(sheet)
+	a, ok := as.Lookup(doc.GetElementByID("nav"), "touchstart")
+	if !ok || a.Type != qos.Continuous {
+		t.Fatalf("round-trip lookup = %+v, %v", a, ok)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]sim.Duration{
+		"2s":    2 * sim.Second,
+		"500ms": 500 * sim.Millisecond,
+		"0.25s": 250 * sim.Millisecond,
+		" 1s ":  sim.Second,
+	}
+	for in, want := range cases {
+		got, err := ParseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "2", "abc", "-1s", "2min"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseTransitions(t *testing.T) {
+	trs := ParseTransitions("width 2s, height 100ms, broken")
+	if len(trs) != 2 {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if trs[0].Property != "width" || trs[0].Duration != 2*sim.Second {
+		t.Fatalf("trs[0] = %+v", trs[0])
+	}
+	if trs[1].Property != "height" || trs[1].Duration != 100*sim.Millisecond {
+		t.Fatalf("trs[1] = %+v", trs[1])
+	}
+}
+
+func TestSerializeParseFixedPoint(t *testing.T) {
+	src := `
+		h1 { color: red; }
+		div#ex:QoS { ontouchstart-qos: continuous; }
+		.a > .b { margin: 0; }
+	`
+	s1 := MustParse(src)
+	text1 := s1.Serialize()
+	s2 := MustParse(text1)
+	if text1 != s2.Serialize() {
+		t.Fatalf("serialize not a fixed point:\n%s\nvs\n%s", text1, s2.Serialize())
+	}
+}
+
+// Property: explicit integer targets with 0 < ti <= tu always parse and
+// round-trip exactly.
+func TestPropertyExplicitTargetsRoundTrip(t *testing.T) {
+	f := func(tiRaw, spanRaw uint16) bool {
+		ti := int(tiRaw)%5000 + 1
+		tu := ti + int(spanRaw)%5000
+		v, err := ParseQoSValue("click", FormatQoSValue(qos.Annotation{
+			Event: "click", Type: qos.Continuous, Explicit: true,
+			Target: qos.Target{
+				TI: sim.Duration(ti) * sim.Millisecond,
+				TU: sim.Duration(tu) * sim.Millisecond,
+			},
+		}))
+		if err != nil {
+			return false
+		}
+		return v.Target.TI == sim.Duration(ti)*sim.Millisecond && v.Target.TU == sim.Duration(tu)*sim.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CSS parser never panics on arbitrary input.
+func TestPropertyParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		sheet, _ := Parse(s)
+		return sheet != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCascadeLargeDocument(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<body>")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, `<div class="row r%d" id="n%d"><p class="cell">x</p></div>`, i%7, i)
+	}
+	sb.WriteString("</body>")
+	doc := html.Parse(sb.String())
+	sheet := MustParse(`
+		div { margin: 0; }
+		.row { padding: 1px; }
+		.r3 > .cell { color: red; }
+		#n42 { color: blue !important; }
+		div:not(.r1) p { font: small; }
+	`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cascade(doc, sheet)
+	}
+}
+
+func BenchmarkSelectorMatch(b *testing.B) {
+	doc := html.Parse(`<body><div id="a" class="x"><span><p class="y" data-k="v">t</p></span></div></body>`)
+	target := doc.GetElementsByClass("y")[0]
+	sels, err := ParseSelectors(`div#a.x span > p.y[data-k="v"]:not(.z)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sels[0].Matches(target) {
+			b.Fatal("no match")
+		}
+	}
+}

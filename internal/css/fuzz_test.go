@@ -1,0 +1,59 @@
+package css
+
+import "testing"
+
+// FuzzParse drives the CSS parser with arbitrary bytes: it must never
+// panic, always return a usable (possibly empty) sheet, and serialization
+// of whatever parsed must reach a fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"h1 { color: red; }",
+		"div#a.b:QoS { ontouchstart-qos: continuous; }",
+		"x:QoS { onclick-qos: single, 10, 20; }",
+		"@media (x) { p { a: b; } } q { c: d !important; }",
+		"a[href='x'], b:not(.c) { m: 1px; }",
+		"/* comment */ p { transition: width 2s; }",
+		"broken { no-colon }",
+		"{}{}{}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sheet, _ := Parse(src)
+		if sheet == nil {
+			t.Fatal("nil sheet")
+		}
+		text := sheet.Serialize()
+		again, _ := Parse(text)
+		if again.Serialize() != text {
+			t.Fatalf("serialize not a fixed point:\n%q\n%q", text, again.Serialize())
+		}
+	})
+}
+
+// FuzzParseQoSValue checks the annotation value grammar: parse either
+// rejects or yields a valid target that round-trips.
+func FuzzParseQoSValue(f *testing.F) {
+	for _, s := range []string{
+		"continuous", "single, short", "single, long",
+		"continuous, 20, 100", "single, 1, 2", "bogus", "single, 5",
+		"continuous, -1, 5", "single, 9999999, 99999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, value string) {
+		ann, err := ParseQoSValue("click", value)
+		if err != nil {
+			return
+		}
+		if !ann.Target.Valid() {
+			t.Fatalf("accepted invalid target: %+v from %q", ann, value)
+		}
+		back, err := ParseQoSValue("click", FormatQoSValue(ann))
+		if err != nil || back != ann {
+			t.Fatalf("round trip failed: %+v vs %+v (%v)", ann, back, err)
+		}
+	})
+}

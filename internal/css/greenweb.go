@@ -1,0 +1,229 @@
+package css
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// QoSPropertySuffix terminates every GreenWeb property name:
+// on<event>-qos (paper Table 2).
+const QoSPropertySuffix = "-qos"
+
+// IsQoSProperty reports whether a declaration property is a GreenWeb
+// annotation, returning the event name it annotates ("onclick-qos" →
+// "click").
+func IsQoSProperty(property string) (event string, ok bool) {
+	p := strings.ToLower(property)
+	if !strings.HasPrefix(p, "on") || !strings.HasSuffix(p, QoSPropertySuffix) {
+		return "", false
+	}
+	ev := p[2 : len(p)-len(QoSPropertySuffix)]
+	if ev == "" {
+		return "", false
+	}
+	return ev, true
+}
+
+// QoSPropertyName builds the GreenWeb property name for an event.
+func QoSPropertyName(event string) string {
+	return "on" + strings.ToLower(event) + QoSPropertySuffix
+}
+
+// ParseQoSValue parses a GreenWeb declaration value per Table 2:
+//
+//	continuous
+//	continuous, <ti-ms>, <tu-ms>
+//	single, short
+//	single, long
+//	single, <ti-ms>, <tu-ms>
+//
+// Explicit TI/TU values are integer milliseconds (Fig. 3: "v Integer
+// value"); both must appear or both be omitted.
+func ParseQoSValue(event, value string) (qos.Annotation, error) {
+	ann := qos.Annotation{Event: strings.ToLower(event)}
+	parts := strings.Split(value, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 0 || parts[0] == "" {
+		return ann, fmt.Errorf("css: empty qos value for %s", event)
+	}
+	switch strings.ToLower(parts[0]) {
+	case "continuous":
+		ann.Type = qos.Continuous
+		switch len(parts) {
+		case 1:
+			ann.Target = qos.ContinuousTarget
+		case 3:
+			tgt, err := parseExplicitTargets(parts[1], parts[2])
+			if err != nil {
+				return ann, err
+			}
+			ann.Target = tgt
+			ann.Explicit = true
+		default:
+			return ann, fmt.Errorf("css: continuous takes zero or two target values, got %d", len(parts)-1)
+		}
+	case "single":
+		ann.Type = qos.Single
+		switch len(parts) {
+		case 2:
+			switch strings.ToLower(parts[1]) {
+			case "short":
+				ann.Duration = qos.Short
+				ann.Target = qos.SingleShortTarget
+			case "long":
+				ann.Duration = qos.Long
+				ann.Target = qos.SingleLongTarget
+			default:
+				return ann, fmt.Errorf("css: single expects short or long, got %q", parts[1])
+			}
+		case 3:
+			tgt, err := parseExplicitTargets(parts[1], parts[2])
+			if err != nil {
+				return ann, err
+			}
+			ann.Target = tgt
+			ann.Explicit = true
+		default:
+			return ann, fmt.Errorf("css: single takes a duration class or two target values")
+		}
+	default:
+		return ann, fmt.Errorf("css: unknown qos type %q", parts[0])
+	}
+	if !ann.Target.Valid() {
+		return ann, fmt.Errorf("css: invalid qos target %v (need 0 < TI <= TU)", ann.Target)
+	}
+	return ann, nil
+}
+
+func parseExplicitTargets(tiStr, tuStr string) (qos.Target, error) {
+	ti, err := strconv.Atoi(tiStr)
+	if err != nil {
+		return qos.Target{}, fmt.Errorf("css: TI value %q is not an integer", tiStr)
+	}
+	tu, err := strconv.Atoi(tuStr)
+	if err != nil {
+		return qos.Target{}, fmt.Errorf("css: TU value %q is not an integer", tuStr)
+	}
+	return qos.Target{
+		TI: sim.Duration(ti) * sim.Millisecond,
+		TU: sim.Duration(tu) * sim.Millisecond,
+	}, nil
+}
+
+// FormatQoSValue renders an annotation back to its declaration value,
+// inverse of ParseQoSValue. AUTOGREEN uses it when generating rules.
+func FormatQoSValue(a qos.Annotation) string {
+	if a.Explicit {
+		ti := int(a.Target.TI / sim.Millisecond)
+		tu := int(a.Target.TU / sim.Millisecond)
+		return fmt.Sprintf("%s, %d, %d", a.Type, ti, tu)
+	}
+	if a.Type == qos.Continuous {
+		return "continuous"
+	}
+	return fmt.Sprintf("single, %s", a.Duration)
+}
+
+// QoSRuleFor builds a complete GreenWeb rule annotating one event on the
+// element identified by selText (e.g. "div#nav").
+func QoSRuleFor(selText string, a qos.Annotation) (*Rule, error) {
+	sels, err := ParseSelectors(selText)
+	if err != nil {
+		return nil, err
+	}
+	for i := range sels {
+		last := &sels[i].Parts[len(sels[i].Parts)-1]
+		if !sels[i].HasQoS() {
+			last.Pseudos = append(last.Pseudos, "QoS")
+		}
+	}
+	return &Rule{
+		Selectors: sels,
+		Decls:     []Decl{{Property: QoSPropertyName(a.Event), Value: FormatQoSValue(a)}},
+	}, nil
+}
+
+// AnnotationSet resolves GreenWeb annotations against a document: for every
+// (element, event) it knows the winning annotation by selector specificity
+// and rule order, mirroring how the visual cascade resolves properties.
+type AnnotationSet struct {
+	sheets []*Stylesheet
+}
+
+// NewAnnotationSet builds a resolver over the given sheets (in source
+// order; later sheets win ties, like later <style> blocks).
+func NewAnnotationSet(sheets ...*Stylesheet) *AnnotationSet {
+	return &AnnotationSet{sheets: sheets}
+}
+
+// AddSheet appends another stylesheet (e.g. AUTOGREEN's generated rules).
+func (as *AnnotationSet) AddSheet(s *Stylesheet) { as.sheets = append(as.sheets, s) }
+
+// Lookup finds the annotation for an event fired on node n, or ok=false if
+// the event is unannotated. Specificity then source order decide conflicts.
+func (as *AnnotationSet) Lookup(n *dom.Node, event string) (qos.Annotation, bool) {
+	event = strings.ToLower(event)
+	prop := QoSPropertyName(event)
+	var best qos.Annotation
+	bestSpec := Specificity{-1, -1, -1}
+	found := false
+	order := 0
+	bestOrder := -1
+	for _, sheet := range as.sheets {
+		for _, rule := range sheet.Rules {
+			order++
+			// Find the qos declaration for this event, if any.
+			declVal := ""
+			for _, d := range rule.Decls {
+				if d.Property == prop {
+					declVal = d.Value
+				}
+			}
+			if declVal == "" {
+				continue
+			}
+			for _, sel := range rule.Selectors {
+				if !sel.HasQoS() || !sel.Matches(n) {
+					continue
+				}
+				spec := sel.Specificity()
+				if bestSpec.Less(spec) || (spec == bestSpec && order >= bestOrder) {
+					ann, err := ParseQoSValue(event, declVal)
+					if err != nil {
+						continue // malformed annotation: ignored, like bad CSS
+					}
+					best, bestSpec, bestOrder, found = ann, spec, order, true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// Annotations lists every annotation that applies anywhere in the document,
+// as (element, annotation) pairs in tree order. Used for reporting
+// annotation coverage (the paper's Table 3 "Annotation" column).
+func (as *AnnotationSet) Annotations(doc *dom.Document) []NodeAnnotation {
+	var out []NodeAnnotation
+	for _, n := range doc.Elements() {
+		for _, ev := range dom.MobileEvents() {
+			if a, ok := as.Lookup(n, ev); ok {
+				out = append(out, NodeAnnotation{Node: n, Annotation: a})
+			}
+		}
+	}
+	return out
+}
+
+// NodeAnnotation pairs an element with a resolved annotation.
+type NodeAnnotation struct {
+	Node       *dom.Node
+	Annotation qos.Annotation
+}

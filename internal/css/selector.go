@@ -1,0 +1,452 @@
+package css
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+)
+
+// Combinator relates a compound selector to the one on its right.
+type Combinator int
+
+const (
+	// Descendant is the whitespace combinator.
+	Descendant Combinator = iota
+	// Child is the '>' combinator.
+	Child
+)
+
+// AttrSelector is one attribute condition: [name] (presence) or
+// [name=value] (exact match).
+type AttrSelector struct {
+	Name  string
+	Value string
+	// Exact is true for [name=value]; false for bare presence [name].
+	Exact bool
+}
+
+// Compound is one compound selector: tag, #id, .classes, [attrs],
+// :pseudo-classes, and :not(...) negations.
+type Compound struct {
+	Tag     string // "" or "*" matches any element
+	ID      string
+	Classes []string
+	Pseudos []string // pseudo-class names, case preserved (":QoS")
+	Attrs   []AttrSelector
+	Nots    []Compound // :not(arg) arguments
+	// Comb relates this compound to the next one to the right.
+	Comb Combinator
+}
+
+// Selector is a chain of compounds; the last compound is the subject.
+type Selector struct {
+	Parts []Compound
+}
+
+// Subject returns the rightmost compound (the element the rule styles).
+func (s Selector) Subject() Compound {
+	if len(s.Parts) == 0 {
+		return Compound{}
+	}
+	return s.Parts[len(s.Parts)-1]
+}
+
+// HasQoS reports whether the subject carries the :QoS pseudo-class — the
+// marker that makes a rule a GreenWeb rule (paper Sec. 4.1).
+func (s Selector) HasQoS() bool {
+	for _, p := range s.Subject().Pseudos {
+		if strings.EqualFold(p, "qos") {
+			return true
+		}
+	}
+	return false
+}
+
+// Specificity is the standard (ids, classes+pseudo-classes, tags) triple.
+type Specificity struct{ A, B, C int }
+
+// Less orders specificities; lexicographic on (A, B, C).
+func (sp Specificity) Less(o Specificity) bool {
+	if sp.A != o.A {
+		return sp.A < o.A
+	}
+	if sp.B != o.B {
+		return sp.B < o.B
+	}
+	return sp.C < o.C
+}
+
+// Specificity computes the selector's specificity.
+func (s Selector) Specificity() Specificity {
+	var sp Specificity
+	for _, c := range s.Parts {
+		sp = sp.add(compoundSpecificity(c))
+	}
+	return sp
+}
+
+func (sp Specificity) add(o Specificity) Specificity {
+	return Specificity{sp.A + o.A, sp.B + o.B, sp.C + o.C}
+}
+
+// compoundSpecificity follows the standard rules: attribute selectors count
+// like classes; :not contributes its argument's specificity but not its own.
+func compoundSpecificity(c Compound) Specificity {
+	var sp Specificity
+	if c.ID != "" {
+		sp.A++
+	}
+	sp.B += len(c.Classes) + len(c.Pseudos) + len(c.Attrs)
+	if c.Tag != "" && c.Tag != "*" {
+		sp.C++
+	}
+	for _, n := range c.Nots {
+		sp = sp.add(compoundSpecificity(n))
+	}
+	return sp
+}
+
+func (c Compound) String() string {
+	var b strings.Builder
+	if c.Tag != "" {
+		b.WriteString(c.Tag)
+	}
+	if c.ID != "" {
+		b.WriteString("#")
+		b.WriteString(c.ID)
+	}
+	for _, cl := range c.Classes {
+		b.WriteString(".")
+		b.WriteString(cl)
+	}
+	for _, a := range c.Attrs {
+		b.WriteString("[")
+		b.WriteString(a.Name)
+		if a.Exact {
+			b.WriteString(`="`)
+			b.WriteString(a.Value)
+			b.WriteString(`"`)
+		}
+		b.WriteString("]")
+	}
+	for _, n := range c.Nots {
+		b.WriteString(":not(")
+		b.WriteString(n.String())
+		b.WriteString(")")
+	}
+	for _, ps := range c.Pseudos {
+		b.WriteString(":")
+		b.WriteString(ps)
+	}
+	if b.Len() == 0 {
+		return "*"
+	}
+	return b.String()
+}
+
+func (s Selector) String() string {
+	var b strings.Builder
+	for i, p := range s.Parts {
+		if i > 0 {
+			if p.Comb == Child {
+				b.WriteString(" > ")
+			} else {
+				b.WriteString(" ")
+			}
+		}
+		// Comb of part i describes its relation to part i-1's subtree;
+		// stored on the right part.
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// ParseSelectors parses a comma-separated selector group.
+func ParseSelectors(src string) ([]Selector, error) {
+	var out []Selector
+	for _, part := range strings.Split(src, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			if len(out) == 0 && strings.TrimSpace(src) == "" {
+				// An empty selector is the universal selector; Fig. 3 allows
+				// "Selector?" — an omitted selector applies document-wide.
+				return []Selector{{Parts: []Compound{{Tag: "*"}}}}, nil
+			}
+			return nil, fmt.Errorf("empty selector in group %q", src)
+		}
+		sel, err := parseSelector(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sel)
+	}
+	return out, nil
+}
+
+func parseSelector(src string) (Selector, error) {
+	var sel Selector
+	comb := Descendant
+	i := 0
+	for i < len(src) {
+		// Skip whitespace; detect '>' combinator.
+		sawSpace := false
+		for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n') {
+			sawSpace = true
+			i++
+		}
+		if i < len(src) && src[i] == '>' {
+			comb = Child
+			i++
+			continue
+		}
+		if i >= len(src) {
+			break
+		}
+		if sawSpace && len(sel.Parts) > 0 && comb == Descendant {
+			comb = Descendant // explicit for clarity: whitespace = descendant
+		}
+		c, n, err := parseCompound(src[i:])
+		if err != nil {
+			return Selector{}, err
+		}
+		c.Comb = comb
+		sel.Parts = append(sel.Parts, c)
+		comb = Descendant
+		i += n
+	}
+	if len(sel.Parts) == 0 {
+		return Selector{}, fmt.Errorf("empty selector %q", src)
+	}
+	return sel, nil
+}
+
+func parseCompound(src string) (Compound, int, error) {
+	var c Compound
+	i := 0
+	readName := func() string {
+		start := i
+		for i < len(src) && isSelName(src[i]) {
+			i++
+		}
+		return src[start:i]
+	}
+	for i < len(src) {
+		switch ch := src[i]; {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '>':
+			goto done
+		case ch == '*':
+			i++
+			c.Tag = "*"
+		case ch == '#':
+			i++
+			name := readName()
+			if name == "" {
+				return c, i, fmt.Errorf("empty id selector in %q", src)
+			}
+			c.ID = name
+		case ch == '.':
+			i++
+			name := readName()
+			if name == "" {
+				return c, i, fmt.Errorf("empty class selector in %q", src)
+			}
+			c.Classes = append(c.Classes, name)
+		case ch == '[':
+			i++
+			name := readName()
+			if name == "" {
+				return c, i, fmt.Errorf("empty attribute selector in %q", src)
+			}
+			attr := AttrSelector{Name: strings.ToLower(name)}
+			if i < len(src) && src[i] == '=' {
+				i++
+				attr.Exact = true
+				if i < len(src) && (src[i] == '"' || src[i] == '\'') {
+					q := src[i]
+					i++
+					start := i
+					for i < len(src) && src[i] != q {
+						i++
+					}
+					if i >= len(src) {
+						return c, i, fmt.Errorf("unterminated attribute value in %q", src)
+					}
+					attr.Value = src[start:i]
+					i++
+				} else {
+					start := i
+					for i < len(src) && src[i] != ']' {
+						i++
+					}
+					attr.Value = src[start:i]
+				}
+			}
+			if i >= len(src) || src[i] != ']' {
+				return c, i, fmt.Errorf("unterminated attribute selector in %q", src)
+			}
+			i++
+			c.Attrs = append(c.Attrs, attr)
+		case ch == ':':
+			i++
+			name := readName()
+			if name == "" {
+				return c, i, fmt.Errorf("empty pseudo-class in %q", src)
+			}
+			if strings.EqualFold(name, "not") && i < len(src) && src[i] == '(' {
+				i++
+				depth := 1
+				start := i
+				for i < len(src) && depth > 0 {
+					switch src[i] {
+					case '(':
+						depth++
+					case ')':
+						depth--
+					}
+					i++
+				}
+				if depth != 0 {
+					return c, i, fmt.Errorf("unterminated :not() in %q", src)
+				}
+				arg := strings.TrimSpace(src[start : i-1])
+				if arg == "" {
+					return c, i, fmt.Errorf("empty :not() in %q", src)
+				}
+				inner, n, err := parseCompound(arg)
+				if err != nil {
+					return c, i, err
+				}
+				if n != len(arg) {
+					return c, i, fmt.Errorf(":not() takes a single compound selector, got %q", arg)
+				}
+				c.Nots = append(c.Nots, inner)
+				continue
+			}
+			c.Pseudos = append(c.Pseudos, name)
+		case isSelName(ch):
+			if c.Tag != "" || c.ID != "" || len(c.Classes) > 0 || len(c.Pseudos) > 0 {
+				return c, i, fmt.Errorf("misplaced tag name in %q", src)
+			}
+			c.Tag = strings.ToLower(readName())
+		default:
+			return c, i, fmt.Errorf("unexpected %q in selector %q", ch, src)
+		}
+	}
+done:
+	return c, i, nil
+}
+
+func isSelName(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+}
+
+// matchCompound reports whether one compound matches a node, ignoring
+// pseudo-classes (":QoS" is a rule marker, not a state filter; dynamic
+// pseudo-classes like :hover never match in the simulation).
+func matchCompound(c Compound, n *dom.Node) bool {
+	if n == nil || n.Type != dom.ElementNode {
+		return false
+	}
+	if c.Tag != "" && c.Tag != "*" && n.Tag != c.Tag {
+		return false
+	}
+	if c.ID != "" && n.ID() != c.ID {
+		return false
+	}
+	for _, cl := range c.Classes {
+		if !n.HasClass(cl) {
+			return false
+		}
+	}
+	for _, a := range c.Attrs {
+		v, ok := n.Attr(a.Name)
+		if !ok {
+			return false
+		}
+		if a.Exact && v != a.Value {
+			return false
+		}
+	}
+	for _, neg := range c.Nots {
+		if matchCompound(neg, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether the selector matches the node, walking ancestors
+// for descendant and child combinators.
+func (s Selector) Matches(n *dom.Node) bool {
+	if len(s.Parts) == 0 {
+		return false
+	}
+	return matchFrom(s.Parts, len(s.Parts)-1, n)
+}
+
+// Query returns the first element in the document matching the selector
+// group, in tree order — document.querySelector semantics.
+func Query(doc *dom.Document, selText string) (*dom.Node, error) {
+	sels, err := ParseSelectors(selText)
+	if err != nil {
+		return nil, err
+	}
+	var found *dom.Node
+	doc.Root.Walk(func(n *dom.Node) {
+		if found != nil || n.Type != dom.ElementNode {
+			return
+		}
+		for _, s := range sels {
+			if s.Matches(n) {
+				found = n
+				return
+			}
+		}
+	})
+	return found, nil
+}
+
+// QueryAll returns every element matching the selector group, in tree
+// order — document.querySelectorAll semantics.
+func QueryAll(doc *dom.Document, selText string) ([]*dom.Node, error) {
+	sels, err := ParseSelectors(selText)
+	if err != nil {
+		return nil, err
+	}
+	var out []*dom.Node
+	doc.Root.Walk(func(n *dom.Node) {
+		if n.Type != dom.ElementNode {
+			return
+		}
+		for _, s := range sels {
+			if s.Matches(n) {
+				out = append(out, n)
+				return
+			}
+		}
+	})
+	return out, nil
+}
+
+func matchFrom(parts []Compound, idx int, n *dom.Node) bool {
+	if !matchCompound(parts[idx], n) {
+		return false
+	}
+	if idx == 0 {
+		return true
+	}
+	// parts[idx].Comb relates parts[idx-1] (an ancestor constraint) to this
+	// node.
+	switch parts[idx].Comb {
+	case Child:
+		return matchFrom(parts, idx-1, n.Parent)
+	default:
+		for a := n.Parent; a != nil; a = a.Parent {
+			if matchFrom(parts, idx-1, a) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,214 @@
+package css
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/html"
+)
+
+// Tests for the extended selector surface: attribute selectors, :not(),
+// and !important in the cascade.
+
+func TestAttributeSelectorParsing(t *testing.T) {
+	sels, err := ParseSelectors(`input[type="text"], a[href], div[data-k=v]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 3 {
+		t.Fatalf("groups = %d", len(sels))
+	}
+	c0 := sels[0].Subject()
+	if len(c0.Attrs) != 1 || c0.Attrs[0].Name != "type" || c0.Attrs[0].Value != "text" || !c0.Attrs[0].Exact {
+		t.Fatalf("c0 attrs = %+v", c0.Attrs)
+	}
+	c1 := sels[1].Subject()
+	if len(c1.Attrs) != 1 || c1.Attrs[0].Exact {
+		t.Fatalf("c1 attrs = %+v", c1.Attrs)
+	}
+	c2 := sels[2].Subject()
+	if c2.Attrs[0].Value != "v" {
+		t.Fatalf("c2 attrs = %+v", c2.Attrs)
+	}
+}
+
+func TestAttributeSelectorMatching(t *testing.T) {
+	doc := html.Parse(`<body>
+		<input id="a" type="text">
+		<input id="b" type="checkbox">
+		<a id="c" href="/x">link</a>
+		<a id="d">anchor</a>
+	</body>`)
+	cases := []struct {
+		sel   string
+		id    string
+		match bool
+	}{
+		{`input[type="text"]`, "a", true},
+		{`input[type="text"]`, "b", false},
+		{`input[type]`, "b", true},
+		{`a[href]`, "c", true},
+		{`a[href]`, "d", false},
+		{`[href="/x"]`, "c", true},
+		{`[href="/y"]`, "c", false},
+	}
+	for _, c := range cases {
+		sels, err := ParseSelectors(c.sel)
+		if err != nil {
+			t.Fatalf("%q: %v", c.sel, err)
+		}
+		n := doc.GetElementByID(c.id)
+		if got := sels[0].Matches(n); got != c.match {
+			t.Errorf("Matches(%q, #%s) = %v, want %v", c.sel, c.id, got, c.match)
+		}
+	}
+}
+
+func TestNotSelector(t *testing.T) {
+	doc := html.Parse(`<body>
+		<div id="a" class="x">1</div>
+		<div id="b" class="y">2</div>
+		<span id="c" class="x">3</span>
+	</body>`)
+	cases := []struct {
+		sel   string
+		id    string
+		match bool
+	}{
+		{`div:not(.y)`, "a", true},
+		{`div:not(.y)`, "b", false},
+		{`:not(span)`, "a", true},
+		{`:not(span)`, "c", false},
+		{`.x:not(#c)`, "a", true},
+		{`.x:not(#c)`, "c", false},
+	}
+	for _, c := range cases {
+		sels, err := ParseSelectors(c.sel)
+		if err != nil {
+			t.Fatalf("%q: %v", c.sel, err)
+		}
+		if got := sels[0].Matches(doc.GetElementByID(c.id)); got != c.match {
+			t.Errorf("Matches(%q, #%s) = %v, want %v", c.sel, c.id, got, c.match)
+		}
+	}
+}
+
+func TestNotSelectorErrors(t *testing.T) {
+	for _, bad := range []string{`:not(`, `:not()`, `div:not(a b)`} {
+		if _, err := ParseSelectors(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestExtendedSpecificity(t *testing.T) {
+	cases := map[string]Specificity{
+		`[href]`:           {0, 1, 0},
+		`input[type=text]`: {0, 1, 1},
+		`div:not(.x)`:      {0, 1, 1}, // :not itself free; argument counts
+		`div:not(#a)`:      {1, 0, 1},
+		`a[x][y]:not(.z)`:  {0, 3, 1},
+	}
+	for src, want := range cases {
+		sels, err := ParseSelectors(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := sels[0].Specificity(); got != want {
+			t.Errorf("specificity(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestExtendedSelectorStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`input[type="text"]`,
+		`a[href]`,
+		`div:not(.y)`,
+		`.x:not(#c):QoS`,
+	} {
+		sels, err := ParseSelectors(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		text := sels[0].String()
+		again, err := ParseSelectors(text)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", text, err)
+		}
+		if again[0].String() != text {
+			t.Errorf("round trip %q → %q → %q", src, text, again[0].String())
+		}
+	}
+}
+
+func TestImportantParsing(t *testing.T) {
+	sheet := MustParse(`p { color: red !important; margin: 1px; }`)
+	d := sheet.Rules[0].Decls[0]
+	if !d.Important || d.Value != "red" {
+		t.Fatalf("decl = %+v", d)
+	}
+	if sheet.Rules[0].Decls[1].Important {
+		t.Fatal("margin wrongly important")
+	}
+	// Serialization keeps the flag, and reparsing agrees.
+	text := sheet.Serialize()
+	again := MustParse(text)
+	if !again.Rules[0].Decls[0].Important {
+		t.Fatalf("important lost in round trip: %s", text)
+	}
+}
+
+func TestImportantBeatsSpecificity(t *testing.T) {
+	doc := html.Parse(`<body><p id="x" class="c">t</p></body>`)
+	sheet := MustParse(`
+		p { color: green !important; }
+		#x.c { color: red; }
+	`)
+	Cascade(doc, sheet)
+	if got := doc.GetElementByID("x").Computed("color"); got != "green" {
+		t.Fatalf("color = %q; !important must beat higher specificity", got)
+	}
+}
+
+func TestImportantTieBreaksBySpecificity(t *testing.T) {
+	doc := html.Parse(`<body><p id="x">t</p></body>`)
+	sheet := MustParse(`
+		#x { color: blue !important; }
+		p { color: green !important; }
+	`)
+	Cascade(doc, sheet)
+	if got := doc.GetElementByID("x").Computed("color"); got != "blue" {
+		t.Fatalf("color = %q; among important, specificity decides", got)
+	}
+}
+
+func TestQoSRuleWithAttributeSelector(t *testing.T) {
+	// GreenWeb rules compose with the extended selectors.
+	doc := html.Parse(`<body><div id="d" data-role="carousel">x</div></body>`)
+	sheet := MustParse(`div[data-role="carousel"]:QoS { ontouchmove-qos: continuous; }`)
+	as := NewAnnotationSet(sheet)
+	if _, ok := as.Lookup(doc.GetElementByID("d"), "touchmove"); !ok {
+		t.Fatal("attribute-selected QoS rule did not resolve")
+	}
+}
+
+func TestQueryAndQueryAll(t *testing.T) {
+	doc := html.Parse(`<body>
+		<ul id="list"><li class="x">1</li><li>2</li><li class="x">3</li></ul>
+	</body>`)
+	first, err := Query(doc, "li.x")
+	if err != nil || first == nil || first.TextContent() != "1" {
+		t.Fatalf("Query = %v, %v", first, err)
+	}
+	all, err := QueryAll(doc, "#list li")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("QueryAll = %d, %v", len(all), err)
+	}
+	none, err := QueryAll(doc, ".missing")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("QueryAll missing = %v, %v", none, err)
+	}
+	if _, err := Query(doc, "::"); err == nil {
+		t.Fatal("bad selector accepted")
+	}
+}

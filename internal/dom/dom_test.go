@@ -1,0 +1,356 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildDoc(t *testing.T) (*Document, *Node, *Node, *Node) {
+	t.Helper()
+	d := NewDocument()
+	html := d.NewElement("html")
+	body := d.NewElement("body")
+	div := d.NewElement("div")
+	div.SetAttr("id", "main")
+	div.SetAttr("class", "panel wide")
+	d.Root.AppendChild(html)
+	html.AppendChild(body)
+	body.AppendChild(div)
+	return d, html, body, div
+}
+
+func TestTreeConstruction(t *testing.T) {
+	d, html, body, div := buildDoc(t)
+	if div.Parent != body || body.Parent != html || html.Parent != d.Root {
+		t.Fatal("parent links wrong")
+	}
+	if d.CountNodes() != 4 {
+		t.Fatalf("CountNodes = %d, want 4", d.CountNodes())
+	}
+	if len(d.Elements()) != 3 {
+		t.Fatalf("Elements = %d, want 3", len(d.Elements()))
+	}
+}
+
+func TestGetElementByID(t *testing.T) {
+	d, _, _, div := buildDoc(t)
+	if d.GetElementByID("main") != div {
+		t.Fatal("GetElementByID failed")
+	}
+	if d.GetElementByID("missing") != nil {
+		t.Fatal("GetElementByID returned non-nil for missing id")
+	}
+	div.SetAttr("id", "renamed")
+	if d.GetElementByID("main") != nil {
+		t.Fatal("old id still indexed after rename")
+	}
+	if d.GetElementByID("renamed") != div {
+		t.Fatal("new id not indexed")
+	}
+}
+
+func TestIDIndexOnAttachDetach(t *testing.T) {
+	d, _, body, _ := buildDoc(t)
+	n := d.NewElement("span")
+	n.SetAttr("id", "late")
+	if d.GetElementByID("late") == n {
+		t.Fatal("detached node should not be indexed yet")
+	}
+	body.AppendChild(n)
+	if d.GetElementByID("late") != n {
+		t.Fatal("attached node not indexed")
+	}
+	body.RemoveChild(n)
+	if d.GetElementByID("late") != nil {
+		t.Fatal("removed node still indexed")
+	}
+}
+
+func TestGetElementsByTagAndClass(t *testing.T) {
+	d, _, body, _ := buildDoc(t)
+	for i := 0; i < 3; i++ {
+		p := d.NewElement("p")
+		p.SetAttr("class", "txt")
+		body.AppendChild(p)
+	}
+	if got := len(d.GetElementsByTag("p")); got != 3 {
+		t.Fatalf("GetElementsByTag(p) = %d", got)
+	}
+	if got := len(d.GetElementsByTag("P")); got != 3 {
+		t.Fatalf("tag lookup not case-insensitive: %d", got)
+	}
+	if got := len(d.GetElementsByClass("txt")); got != 3 {
+		t.Fatalf("GetElementsByClass = %d", got)
+	}
+	if got := len(d.GetElementsByClass("panel")); got != 1 {
+		t.Fatalf("GetElementsByClass(panel) = %d", got)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	cs := div.Classes()
+	if len(cs) != 2 || cs[0] != "panel" || cs[1] != "wide" {
+		t.Fatalf("Classes = %v", cs)
+	}
+	if !div.HasClass("wide") || div.HasClass("narrow") {
+		t.Fatal("HasClass wrong")
+	}
+}
+
+func TestAppendChildReparents(t *testing.T) {
+	d, _, body, div := buildDoc(t)
+	span := d.NewElement("span")
+	div.AppendChild(span)
+	body.AppendChild(span) // reparent
+	if span.Parent != body {
+		t.Fatal("reparent failed")
+	}
+	if len(div.Children) != 0 {
+		t.Fatal("old parent still holds child")
+	}
+}
+
+func TestAppendChildCyclePanics(t *testing.T) {
+	_, _, body, div := buildDoc(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending ancestor did not panic")
+		}
+	}()
+	div.AppendChild(body)
+}
+
+func TestRemoveNonChildPanics(t *testing.T) {
+	d, _, body, _ := buildDoc(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing non-child did not panic")
+		}
+	}()
+	body.RemoveChild(d.NewElement("q"))
+}
+
+func TestMutationObserver(t *testing.T) {
+	d, _, body, div := buildDoc(t)
+	var muts []*Node
+	d.OnMutation(func(n *Node) { muts = append(muts, n) })
+	div.SetAttr("data-x", "1")
+	div.SetStyle("width", "100px")
+	body.AppendChild(d.NewElement("em"))
+	if len(muts) != 3 {
+		t.Fatalf("mutations = %d, want 3", len(muts))
+	}
+}
+
+func TestStyleAccessors(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	div.SetStyle("width", "100px")
+	if div.Style("width") != "100px" {
+		t.Fatal("inline style lost")
+	}
+	div.ComputedStyle = map[string]string{"color": "red", "width": "50px"}
+	if div.Computed("color") != "red" {
+		t.Fatal("computed fallback failed")
+	}
+	if div.Computed("width") != "100px" {
+		t.Fatal("inline must override computed")
+	}
+	if div.Computed("missing") != "" {
+		t.Fatal("missing property should be empty")
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	d, _, body, _ := buildDoc(t)
+	body.AppendChild(d.NewText("hello "))
+	em := d.NewElement("em")
+	em.AppendChild(d.NewText("world"))
+	body.AppendChild(em)
+	if got := body.TextContent(); got != "hello world" {
+		t.Fatalf("TextContent = %q", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	if got := div.Path(); got != "html>body>div#main" {
+		t.Fatalf("Path = %q", got)
+	}
+}
+
+func TestAttrNamesSorted(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	names := div.AttrNames()
+	if len(names) != 2 || names[0] != "class" || names[1] != "id" {
+		t.Fatalf("AttrNames = %v", names)
+	}
+	if v, ok := div.Attr("ID"); !ok || v != "main" {
+		t.Fatal("Attr not case-insensitive")
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	d, _, _, div := buildDoc(t)
+	if div.String() != "<div>" {
+		t.Fatalf("element String = %q", div.String())
+	}
+	if d.Root.String() != "#document" {
+		t.Fatalf("root String = %q", d.Root.String())
+	}
+	if !strings.Contains(d.NewText("x").String(), "x") {
+		t.Fatal("text String wrong")
+	}
+	if ElementNode.String() != "element" || TextNode.String() != "text" || DocumentNode.String() != "document" {
+		t.Fatal("NodeType strings wrong")
+	}
+}
+
+func TestEventDispatchBubbles(t *testing.T) {
+	_, html, body, div := buildDoc(t)
+	var order []string
+	div.AddEventListener("click", func(e *Event) {
+		order = append(order, "div")
+		if e.Target != div || e.CurrentTarget != div {
+			t.Error("target wrong at div")
+		}
+	})
+	body.AddEventListener("click", func(e *Event) {
+		order = append(order, "body")
+		if e.Target != div || e.CurrentTarget != body {
+			t.Error("target wrong at body")
+		}
+	})
+	html.AddEventListener("click", func(e *Event) { order = append(order, "html") })
+	ran := Dispatch(div, "click", nil)
+	if ran != 3 {
+		t.Fatalf("ran %d handlers, want 3", ran)
+	}
+	want := "div,body,html"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("bubble order = %s, want %s", got, want)
+	}
+}
+
+func TestStopPropagation(t *testing.T) {
+	_, _, body, div := buildDoc(t)
+	div.AddEventListener("click", func(e *Event) { e.StopPropagation() })
+	body.AddEventListener("click", func(e *Event) { t.Error("propagation not stopped") })
+	if ran := Dispatch(div, "click", nil); ran != 1 {
+		t.Fatalf("ran %d handlers, want 1", ran)
+	}
+}
+
+func TestPreventDefault(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	div.AddEventListener("touchmove", func(e *Event) { e.PreventDefault() })
+	e := &Event{Name: "touchmove", Target: div, CurrentTarget: div}
+	for _, l := range div.Listeners("touchmove") {
+		l.Handler(e)
+	}
+	if !e.DefaultPrevented() {
+		t.Fatal("DefaultPrevented = false")
+	}
+}
+
+func TestRemoveEventListener(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	fired := 0
+	l := div.AddEventListener("click", func(*Event) { fired++ })
+	Dispatch(div, "click", nil)
+	div.RemoveEventListener(l)
+	Dispatch(div, "click", nil)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	div.RemoveEventListener(l) // double remove is a no-op
+	div.RemoveEventListener(nil)
+}
+
+func TestHandlerMayMutateListeners(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	n := 0
+	div.AddEventListener("click", func(*Event) {
+		n++
+		div.AddEventListener("click", func(*Event) { n += 100 })
+	})
+	Dispatch(div, "click", nil)
+	// The newly added listener must not run during the same dispatch.
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+}
+
+func TestEventData(t *testing.T) {
+	_, _, _, div := buildDoc(t)
+	var got float64
+	div.AddEventListener("scroll", func(e *Event) { got = e.Data["delta"] })
+	Dispatch(div, "scroll", map[string]float64{"delta": 42})
+	if got != 42 {
+		t.Fatalf("data = %v", got)
+	}
+}
+
+func TestHasListenerAndTargets(t *testing.T) {
+	d, _, body, div := buildDoc(t)
+	div.AddEventListener("click", func(*Event) {})
+	div.AddEventListener("transitionend", func(*Event) {})
+	if !body.HasListener("click") {
+		t.Fatal("HasListener should see descendant listeners")
+	}
+	if body.HasListener("scroll") {
+		t.Fatal("HasListener false positive")
+	}
+	// ListenerTargets only reports mobile-interaction events.
+	targets := d.ListenerTargets()
+	if len(targets) != 1 || targets[0].Event != "click" || targets[0].Node != div {
+		t.Fatalf("ListenerTargets = %v", targets)
+	}
+}
+
+func TestMobileEventClassification(t *testing.T) {
+	for _, ev := range MobileEvents() {
+		if !IsMobileEvent(ev) {
+			t.Errorf("IsMobileEvent(%q) = false", ev)
+		}
+	}
+	for _, ev := range []string{"mouseover", "drag", "transitionend", "keydown"} {
+		if IsMobileEvent(ev) {
+			t.Errorf("IsMobileEvent(%q) = true", ev)
+		}
+	}
+	if !IsMobileEvent("CLICK") {
+		t.Error("IsMobileEvent not case-insensitive")
+	}
+}
+
+// Property: after any sequence of appends, every reachable node's Parent
+// pointer and the children slices agree, and CountNodes matches a manual
+// walk.
+func TestPropertyTreeConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDocument()
+		nodes := []*Node{d.Root}
+		for _, op := range ops {
+			parent := nodes[int(op)%len(nodes)]
+			n := d.NewElement("div")
+			parent.AppendChild(n)
+			nodes = append(nodes, n)
+		}
+		count := 0
+		ok := true
+		d.Root.Walk(func(n *Node) {
+			count++
+			for _, c := range n.Children {
+				if c.Parent != n {
+					ok = false
+				}
+			}
+		})
+		return ok && count == len(nodes) && count == d.CountNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package dom
+
+import "strings"
+
+// Mobile interaction events. The paper focuses on events that LTM
+// interactions (loading, tapping, moving) trigger on mobile devices
+// (Sec. 3.1) and explicitly excludes desktop-only events such as drag and
+// mouseover.
+const (
+	EventClick      = "click"
+	EventScroll     = "scroll"
+	EventTouchStart = "touchstart"
+	EventTouchEnd   = "touchend"
+	EventTouchMove  = "touchmove"
+	EventLoad       = "load"
+
+	// Animation lifecycle events (used by AUTOGREEN's detection and by the
+	// CSS transition machinery).
+	EventTransitionEnd = "transitionend"
+	EventAnimationEnd  = "animationend"
+)
+
+// MobileEvents lists the user-interaction events GreenWeb annotates.
+func MobileEvents() []string {
+	return []string{EventClick, EventScroll, EventTouchStart, EventTouchEnd, EventTouchMove, EventLoad}
+}
+
+// IsMobileEvent reports whether name is one of the LTM-triggered events.
+func IsMobileEvent(name string) bool {
+	switch strings.ToLower(name) {
+	case EventClick, EventScroll, EventTouchStart, EventTouchEnd, EventTouchMove, EventLoad:
+		return true
+	}
+	return false
+}
+
+// Event is a dispatched DOM event.
+type Event struct {
+	Name          string
+	Target        *Node // element the event was fired on
+	CurrentTarget *Node // element whose listener is running (bubbling)
+	// Data carries event-specific payload (e.g. scroll delta) for scripts.
+	Data map[string]float64
+
+	stopped          bool
+	defaultPrevented bool
+}
+
+// StopPropagation halts bubbling after the current node's listeners run.
+func (e *Event) StopPropagation() { e.stopped = true }
+
+// PreventDefault marks the event's default action suppressed.
+func (e *Event) PreventDefault() { e.defaultPrevented = true }
+
+// DefaultPrevented reports whether PreventDefault was called.
+func (e *Event) DefaultPrevented() bool { return e.defaultPrevented }
+
+// Handler is an event callback. The browser accounts its execution cost
+// separately; the DOM only routes the call.
+type Handler func(*Event)
+
+// Listener is a registered event handler; keep the value returned by
+// AddEventListener to remove it later.
+type Listener struct {
+	ID      int
+	Event   string
+	Node    *Node
+	Handler Handler
+}
+
+// AddEventListener registers a handler for the named event on this node.
+func (n *Node) AddEventListener(event string, h Handler) *Listener {
+	event = strings.ToLower(event)
+	if n.listeners == nil {
+		n.listeners = make(map[string][]*Listener)
+	}
+	id := 0
+	if n.doc != nil {
+		n.doc.listenerSeq++
+		id = n.doc.listenerSeq
+	}
+	l := &Listener{ID: id, Event: event, Node: n, Handler: h}
+	n.listeners[event] = append(n.listeners[event], l)
+	return l
+}
+
+// RemoveEventListener unregisters a listener previously returned by
+// AddEventListener. Unknown listeners are ignored.
+func (n *Node) RemoveEventListener(l *Listener) {
+	if n.listeners == nil || l == nil {
+		return
+	}
+	ls := n.listeners[l.Event]
+	for i, x := range ls {
+		if x == l {
+			n.listeners[l.Event] = append(ls[:i], ls[i+1:]...)
+			return
+		}
+	}
+}
+
+// Listeners returns the listeners registered for the named event on this
+// node only (no ancestors).
+func (n *Node) Listeners(event string) []*Listener {
+	if n.listeners == nil {
+		return nil
+	}
+	return n.listeners[strings.ToLower(event)]
+}
+
+// HasListener reports whether this node or any descendant listens for the
+// named event. AUTOGREEN uses this during DOM discovery.
+func (n *Node) HasListener(event string) bool {
+	event = strings.ToLower(event)
+	found := false
+	n.Walk(func(m *Node) {
+		if len(m.Listeners(event)) > 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// Dispatch fires the named event at target with bubbling: listeners run on
+// the target first, then on each ancestor element up to the root, unless a
+// handler stops propagation. It reports how many handlers ran.
+func Dispatch(target *Node, name string, data map[string]float64) int {
+	e := &Event{Name: strings.ToLower(name), Target: target, Data: data}
+	ran := 0
+	for n := target; n != nil; n = n.Parent {
+		e.CurrentTarget = n
+		// Copy: a handler may add/remove listeners while we iterate.
+		ls := append([]*Listener(nil), n.Listeners(e.Name)...)
+		for _, l := range ls {
+			l.Handler(e)
+			ran++
+		}
+		if e.stopped {
+			break
+		}
+	}
+	return ran
+}
+
+// ListenerTargets returns every (node, event) pair in the document with at
+// least one listener for a mobile-interaction event, in tree order.
+// AUTOGREEN's discovery phase iterates this.
+func (d *Document) ListenerTargets() []*Listener {
+	var out []*Listener
+	d.Root.Walk(func(n *Node) {
+		for _, ev := range MobileEvents() {
+			out = append(out, n.Listeners(ev)...)
+		}
+	})
+	return out
+}

@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+func TestDumpAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := NewSuite()
+	f9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("=== Fig 9 (micro): energy% of Perf; extra viol pts ===")
+	for _, r := range f9 {
+		t.Logf("%-11s  I=%5.1f%%  U=%5.1f%%  violI=%+5.2f  violU=%+5.2f", r.App, r.EnergyPctI, r.EnergyPctU, r.ExtraViolI, r.ExtraViolU)
+	}
+	sI, sU, vI, vU := Fig9Averages(f9)
+	t.Logf("AVG savings: I=%.1f%% U=%.1f%% (paper 31.9/78.0); viol I=%.2f U=%.2f (paper 1.3/1.2)", sI, sU, vI, vU)
+
+	f10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("=== Fig 10 (full): energy% of Perf ===")
+	for _, r := range f10 {
+		t.Logf("%-11s  Inter=%5.1f%%  GW-I=%5.1f%%  GW-U=%5.1f%%  violI(GW)=%+5.2f violU(GW)=%+5.2f violI(Int)=%+5.2f",
+			r.App, r.InteractivePct, r.GreenWebIPct, r.GreenWebUPct, r.GreenWebViolI, r.GreenWebViolU, r.InteractiveViolI)
+	}
+	aI, aU, avI, avU := Fig10Averages(f10)
+	t.Logf("AVG GW vs Interactive: I=%.1f%% U=%.1f%% (paper 29.2/66.0); viol I=%.2f U=%.2f (paper 0.8/0.6)", aI, aU, avI, avU)
+
+	f12, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("=== Fig 12: switches per frame (%) ===")
+	for _, r := range f12 {
+		t.Logf("%-11s  I: freq=%5.1f mig=%5.1f   U: freq=%5.1f mig=%5.1f", r.App, r.FreqI, r.MigI, r.FreqU, r.MigU)
+	}
+}

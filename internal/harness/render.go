@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/metrics"
+)
+
+// RenderAll regenerates every paper table and figure and writes a plain-
+// text report — the data behind EXPERIMENTS.md. cmd/greenbench calls this.
+func RenderAll(w io.Writer, s *Suite) error {
+	fmt.Fprintln(w, "GreenWeb reproduction — paper tables and figures")
+	fmt.Fprintln(w, strings.Repeat("=", 64))
+
+	fmt.Fprintln(w, "\nTable 1 — interaction categories (QoS type × QoS target)")
+	for _, c := range Table1() {
+		fmt.Fprintf(w, "  %-12s  type=%-10s  TI=%-8v TU=%-8v  triggers=%s\n",
+			c.Name, c.Type, c.Target.TI, c.Target.TU, c.Interactions)
+	}
+
+	fmt.Fprintln(w, "\nTable 2 — GreenWeb API rule forms")
+	for i, r := range Table2() {
+		fmt.Fprintf(w, "  %d. %s\n     %s\n     example: %s\n", i+1, r.Syntax, r.Semantics, r.Example)
+	}
+
+	fmt.Fprintln(w, "\nTable 3 — applications")
+	t3, err := Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %-8s %-11s %-22s %6s %7s %10s\n",
+		"App", "Micro", "QoS type", "QoS target", "Time", "Events", "Annotated")
+	for _, r := range t3 {
+		fmt.Fprintf(w, "  %-11s %-8s %-11s %-22s %5.0fs %7d %9.1f%%\n",
+			r.App, r.Interaction, r.QoSType, r.QoSTarget, r.FullSeconds, r.FullEvents, r.AnnotatedPct)
+	}
+
+	fmt.Fprintln(w, "\nFig. 9a/9b — microbenchmarks (energy % of Perf; extra violation points)")
+	f9, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %8s %8s %10s %10s\n", "App", "GW-I", "GW-U", "violI", "violU")
+	for _, r := range f9 {
+		fmt.Fprintf(w, "  %-11s %7.1f%% %7.1f%% %+9.2f %+9.2f\n",
+			r.App, r.EnergyPctI, r.EnergyPctU, r.ExtraViolI, r.ExtraViolU)
+	}
+	fmt.Fprintln(w, "\n  Fig. 9a as bars (energy, % of Perf; shorter is better)")
+	for _, r := range f9 {
+		fmt.Fprintf(w, "  %-11s I %s\n", r.App, bar(r.EnergyPctI, 100, 40))
+		fmt.Fprintf(w, "  %-11s U %s\n", "", bar(r.EnergyPctU, 100, 40))
+	}
+	sI, sU, vI, vU := Fig9Averages(f9)
+	fmt.Fprintf(w, "  average savings: GW-I %.1f%%, GW-U %.1f%% (paper: 31.9%%, 78.0%%)\n", sI, sU)
+	fmt.Fprintf(w, "  average extra violations: GW-I %.2f, GW-U %.2f points (paper: 1.3, 1.2)\n", vI, vU)
+
+	fmt.Fprintln(w, "\nFig. 10a/b/c — full interactions (energy % of Perf; extra violation points)")
+	f10, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %8s %8s %8s %9s %9s %9s\n",
+		"App", "Inter", "GW-I", "GW-U", "vI(GW)", "vU(GW)", "vI(Int)")
+	for _, r := range f10 {
+		fmt.Fprintf(w, "  %-11s %7.1f%% %7.1f%% %7.1f%% %+8.2f %+8.2f %+8.2f\n",
+			r.App, r.InteractivePct, r.GreenWebIPct, r.GreenWebUPct,
+			r.GreenWebViolI, r.GreenWebViolU, r.InteractiveViolI)
+	}
+	aI, aU, avI, avU := Fig10Averages(f10)
+	fmt.Fprintf(w, "  average savings vs Interactive: GW-I %.1f%%, GW-U %.1f%% (paper: 29.2%%, 66.0%%)\n", aI, aU)
+	fmt.Fprintf(w, "  average extra violations: GW-I %.2f, GW-U %.2f points (paper: 0.8, 0.6)\n", avI, avU)
+	fmt.Fprintln(w, "\n  Fig. 10a as bars (energy, % of Perf; shorter is better)")
+	for _, r := range f10 {
+		fmt.Fprintf(w, "  %-11s Int  %s\n", r.App, bar(r.InteractivePct, 100, 40))
+		fmt.Fprintf(w, "  %-11s GW-I %s\n", "", bar(r.GreenWebIPct, 100, 40))
+		fmt.Fprintf(w, "  %-11s GW-U %s\n", "", bar(r.GreenWebUPct, 100, 40))
+	}
+
+	for _, variant := range []struct {
+		kind  Kind
+		label string
+	}{{GreenWebI, "Fig. 11a — configuration distribution, GreenWeb-I"},
+		{GreenWebU, "Fig. 11b — configuration distribution, GreenWeb-U"}} {
+		fmt.Fprintln(w, "\n"+variant.label)
+		f11, err := s.Fig11(variant.kind)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-11s %8s %8s  top configurations\n", "App", "little", "big")
+		for _, r := range f11 {
+			top := topShares(r, 3)
+			fmt.Fprintf(w, "  %-11s %7.1f%% %7.1f%%  %s\n", r.App, r.Little*100, r.Big*100, top)
+		}
+	}
+
+	fmt.Fprintln(w, "\nFig. 12 — configuration switching (per frame, %)")
+	f12, err := s.Fig12()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %18s %18s\n", "App", "GreenWeb-I", "GreenWeb-U")
+	for _, r := range f12 {
+		fmt.Fprintf(w, "  %-11s freq=%5.1f mig=%5.1f  freq=%5.1f mig=%5.1f\n",
+			r.App, r.FreqI, r.MigI, r.FreqU, r.MigU)
+	}
+
+	fmt.Fprintln(w, "\nAblation — single-cluster runtimes (energy % of Perf, usable scenario)")
+	abl, err := s.AblationSingleCluster()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %9s %9s %11s %12s\n", "App", "ACMP", "big-only", "little-only", "lo viol(I)")
+	for _, r := range abl {
+		fmt.Fprintf(w, "  %-11s %8.1f%% %8.1f%% %10.1f%% %+11.2f\n",
+			r.App, r.FullPct, r.BigOnlyPct, r.LittleOnlyPct, r.LittleOnlyViol)
+	}
+
+	fmt.Fprintln(w, "\nAblation — reactive vs profiling-guided predictor (GreenWeb-I)")
+	pred, err := s.AblationPredictor()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %16s %16s %16s\n", "App", "viol cold→train", "switches", "energy %Perf")
+	for _, r := range pred {
+		fmt.Fprintf(w, "  %-11s %6.2f → %-6.2f %7d → %-6d %6.1f%% → %-5.1f%%\n",
+			r.App, r.ColdViol, r.TrainedViol, r.ColdSwitches, r.TrainedSwitches, r.ColdPct, r.TrainedPct)
+	}
+
+	fmt.Fprintln(w, "\nMulti-application environment (Sec. 8) — GreenWeb-I with a background app")
+	bg, err := s.ExperimentBackground("MSN", "Amazon", "W3Schools")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %24s %26s\n", "App", "extra viol (I)", "interaction energy")
+	for _, r := range bg {
+		fmt.Fprintf(w, "  %-11s solo=%+6.2f loaded=%+6.2f   solo=%6.2fJ loaded=%6.2fJ\n",
+			r.App, r.SoloViolI, r.LoadedViolI, r.SoloEnergy, r.LoadedEnergy)
+	}
+
+	fmt.Fprintln(w, "\nComparison — manual vs AUTOGREEN annotations (GreenWeb-I)")
+	ag, err := s.ComparisonAutoGreen()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %22s %22s %9s\n", "App", "energy %Perf", "extra viol (I)", "findings")
+	for _, r := range ag {
+		fmt.Fprintf(w, "  %-11s man=%6.1f%% auto=%6.1f%%  man=%+6.2f auto=%+7.2f %8d\n",
+			r.App, r.ManualPct, r.AutoPct, r.ManualViol, r.AutoViol, r.Findings)
+	}
+
+	fmt.Fprintln(w, "\nComparison — EBS (annotation-free, Sec. 9) vs GreenWeb-I")
+	ebs, err := s.ComparisonEBS()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-11s %18s %22s\n", "App", "extra viol (I)", "energy %Perf")
+	for _, r := range ebs {
+		fmt.Fprintf(w, "  %-11s EBS=%+6.2f GW=%+6.2f   EBS=%6.1f%% GW=%6.1f%%\n",
+			r.App, r.EBSViol, r.GreenWebViol, r.EBSPct, r.GreenWebPct)
+	}
+	return nil
+}
+
+// bar renders value (against scale) as a fixed-width ASCII bar with the
+// numeric value appended.
+func bar(value, scale float64, width int) string {
+	if value < 0 {
+		value = 0
+	}
+	n := int(value/scale*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-*s %5.1f%%", width, strings.Repeat("█", n), value)
+}
+
+func topShares(r Fig11Row, n int) string {
+	shares := append([]metrics.ConfigShare(nil), r.Shares...)
+	sort.Slice(shares, func(i, j int) bool { return shares[i].Share > shares[j].Share })
+	if len(shares) > n {
+		shares = shares[:n]
+	}
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmt.Sprintf("%s %.0f%%", s.Config, s.Share*100)
+	}
+	return strings.Join(parts, ", ")
+}

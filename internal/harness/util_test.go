@@ -1,0 +1,16 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/css"
+)
+
+func mustParseCSS(t *testing.T, src string) *css.Stylesheet {
+	t.Helper()
+	sheet, errs := css.Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("css parse: %v", errs)
+	}
+	return sheet
+}

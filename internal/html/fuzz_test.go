@@ -1,0 +1,34 @@
+package html
+
+import "testing"
+
+// FuzzParse drives the HTML parser with arbitrary bytes: it must never
+// panic, and rendering what it parsed must reach a serialization fixed
+// point (run with `go test -fuzz=FuzzParse ./internal/html`).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>x</p></body></html>",
+		"<div id=a class='b c'><br><img src=x></div>",
+		"<script>if (a < b) { x = 1; }</script>",
+		"<!DOCTYPE html><!-- c --><p>&amp;&#65;</p>",
+		"<div><p>unclosed",
+		"</stray><<<>>",
+		"<style>p { color: red; }</style>",
+		"<a href=\"x\">&unknown;</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc == nil {
+			t.Fatal("nil document")
+		}
+		r1 := Render(doc)
+		r2 := Render(Parse(r1))
+		if r1 != r2 {
+			t.Fatalf("render not a fixed point:\n%q\n%q", r1, r2)
+		}
+	})
+}

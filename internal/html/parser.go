@@ -1,0 +1,136 @@
+package html
+
+import (
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+)
+
+// voidTags never have children; a start tag closes immediately.
+var voidTags = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Parse builds a DOM document from HTML source. It never fails: malformed
+// markup is repaired the way engines repair it (unmatched end tags are
+// dropped, unclosed elements are closed at end of input).
+func Parse(src string) *dom.Document {
+	doc := dom.NewDocument()
+	z := NewTokenizer(src)
+
+	stack := []*dom.Node{doc.Root}
+	top := func() *dom.Node { return stack[len(stack)-1] }
+
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			// Whitespace-only text between elements is layout-irrelevant
+			// noise; keep text that has content.
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			top().AppendChild(doc.NewText(tok.Data))
+
+		case CommentToken, DoctypeToken:
+			// Dropped: neither affects rendering or QoS semantics.
+
+		case StartTagToken, SelfClosingTagToken:
+			el := doc.NewElement(tok.Tag)
+			top().AppendChild(el)
+			for _, a := range tok.Attrs {
+				el.SetAttr(a.Name, a.Value)
+			}
+			if tok.Type == StartTagToken && !voidTags[tok.Tag] {
+				stack = append(stack, el)
+			}
+
+		case EndTagToken:
+			// Pop to the nearest matching open element; ignore the end tag
+			// if nothing matches (engine-style recovery).
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// ScriptSources returns the text content of every <script> element in
+// document order. The browser feeds these to the script engine on load.
+func ScriptSources(doc *dom.Document) []string {
+	var out []string
+	for _, s := range doc.GetElementsByTag("script") {
+		if txt := s.TextContent(); strings.TrimSpace(txt) != "" {
+			out = append(out, txt)
+		}
+	}
+	return out
+}
+
+// StyleSources returns the text content of every <style> element in
+// document order. The browser feeds these to the CSS engine on load.
+func StyleSources(doc *dom.Document) []string {
+	var out []string
+	for _, s := range doc.GetElementsByTag("style") {
+		if txt := s.TextContent(); strings.TrimSpace(txt) != "" {
+			out = append(out, txt)
+		}
+	}
+	return out
+}
+
+// Render serializes a DOM tree back to HTML. Round-tripping a parsed
+// document yields equivalent markup (attribute order is normalized).
+// AUTOGREEN uses this to write annotated documents back out.
+func Render(doc *dom.Document) string {
+	var b strings.Builder
+	for _, c := range doc.Root.Children {
+		renderNode(&b, c, 0)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *dom.Node, depth int) {
+	switch n.Type {
+	case dom.TextNode:
+		if rawParent(n) {
+			b.WriteString(n.Text)
+		} else {
+			b.WriteString(Escape(n.Text))
+		}
+	case dom.ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, name := range n.AttrNames() {
+			v, _ := n.Attr(name)
+			b.WriteByte(' ')
+			b.WriteString(name)
+			b.WriteString(`="`)
+			b.WriteString(Escape(v))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidTags[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			renderNode(b, c, depth+1)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+func rawParent(n *dom.Node) bool {
+	return n.Parent != nil && rawTextTags[n.Parent.Tag]
+}

@@ -1,0 +1,317 @@
+package js
+
+// The AST is a small set of statement and expression node types. Nodes keep
+// their source line for runtime error messages.
+
+// Node is the common interface of AST nodes.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Body []Stmt
+}
+
+// VarDecl declares one variable with an optional initializer
+// (var/let/const are treated alike, with lexical scoping).
+type VarDecl struct {
+	pos
+	Name string
+	Init Expr // nil means undefined
+}
+
+// VarDeclGroup declares several variables from one statement
+// ("var a = 1, b = 2;"); unlike BlockStmt it introduces no scope.
+type VarDeclGroup struct {
+	pos
+	Decls []*VarDecl
+}
+
+// FuncDecl declares a named function in the enclosing scope.
+type FuncDecl struct {
+	pos
+	Name string
+	Fn   *FuncLit
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is a C-style for loop. Init may be a VarDecl or ExprStmt; any of
+// the three clauses may be nil.
+type ForStmt struct {
+	pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	pos
+	X Expr // nil returns undefined
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ pos }
+
+// ThrowStmt raises a runtime error carrying the value.
+type ThrowStmt struct {
+	pos
+	X Expr
+}
+
+// BlockStmt is a braced statement list with its own lexical scope.
+type BlockStmt struct {
+	pos
+	Body []Stmt
+}
+
+// SwitchStmt is switch (Tag) { case …: … default: … } with standard
+// fall-through semantics.
+type SwitchStmt struct {
+	pos
+	Tag     Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil when absent
+	// DefaultAt is Default's position among the cases for fall-through
+	// order; -1 when absent.
+	DefaultAt int
+}
+
+// SwitchCase is one case clause.
+type SwitchCase struct {
+	Value Expr
+	Body  []Stmt
+}
+
+// ForInStmt is for (var k in obj) { … }, iterating property names.
+type ForInStmt struct {
+	pos
+	Name string
+	X    Expr
+	Body []Stmt
+}
+
+// TryStmt is try/catch/finally. CatchName may be empty for catch-less try.
+type TryStmt struct {
+	pos
+	Body      []Stmt
+	CatchName string
+	Catch     []Stmt // nil means no catch clause
+	Finally   []Stmt // nil means no finally clause
+}
+
+func (*VarDecl) stmt()      {}
+func (*VarDeclGroup) stmt() {}
+func (*FuncDecl) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ThrowStmt) stmt()    {}
+func (*BlockStmt) stmt()    {}
+func (*SwitchStmt) stmt()   {}
+func (*ForInStmt) stmt()    {}
+func (*TryStmt) stmt()      {}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	pos
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	pos
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct{ pos }
+
+// UndefinedLit is undefined.
+type UndefinedLit struct{ pos }
+
+// ThisLit is this.
+type ThisLit struct{ pos }
+
+// Ident references a variable.
+type Ident struct {
+	pos
+	Name string
+}
+
+// ArrayLit is [a, b, ...].
+type ArrayLit struct {
+	pos
+	Elems []Expr
+}
+
+// ObjectLit is {k: v, ...}.
+type ObjectLit struct {
+	pos
+	Keys   []string
+	Values []Expr
+}
+
+// FuncLit is a function expression.
+type FuncLit struct {
+	pos
+	Name   string // optional, for recursion and diagnostics
+	Params []string
+	Body   []Stmt
+}
+
+// Unary is a prefix operator: -x, +x, !x, typeof x, ++x, --x.
+type Unary struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator.
+type Binary struct {
+	pos
+	Op   string
+	L, R Expr
+}
+
+// Logical is && or || with short-circuit evaluation.
+type Logical struct {
+	pos
+	Op   string
+	L, R Expr
+}
+
+// Cond is the ternary operator.
+type Cond struct {
+	pos
+	Test, Then, Else Expr
+}
+
+// Assign is an assignment; Op is "=", "+=", "-=", "*=", "/=", or "%=".
+// Target must be an Ident, Member, or Index expression.
+type Assign struct {
+	pos
+	Op     string
+	Target Expr
+	Value  Expr
+}
+
+// Member is x.name.
+type Member struct {
+	pos
+	X    Expr
+	Name string
+}
+
+// Index is x[i].
+type Index struct {
+	pos
+	X Expr
+	I Expr
+}
+
+// Call is f(args...). When Fn is a Member or Index expression, the receiver
+// becomes this.
+type Call struct {
+	pos
+	Fn   Expr
+	Args []Expr
+}
+
+// New is new F(args...): supported by calling F with a fresh object as this.
+type New struct {
+	pos
+	Fn   Expr
+	Args []Expr
+}
+
+func (*NumberLit) expr()    {}
+func (*StringLit) expr()    {}
+func (*BoolLit) expr()      {}
+func (*NullLit) expr()      {}
+func (*UndefinedLit) expr() {}
+func (*ThisLit) expr()      {}
+func (*Ident) expr()        {}
+func (*ArrayLit) expr()     {}
+func (*ObjectLit) expr()    {}
+func (*FuncLit) expr()      {}
+func (*Unary) expr()        {}
+func (*Postfix) expr()      {}
+func (*Binary) expr()       {}
+func (*Logical) expr()      {}
+func (*Cond) expr()         {}
+func (*Assign) expr()       {}
+func (*Member) expr()       {}
+func (*Index) expr()        {}
+func (*Call) expr()         {}
+func (*New) expr()          {}

@@ -1,0 +1,528 @@
+package js
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strings"
+)
+
+// arrayMethod synthesizes the built-in array methods scripts use. Methods
+// close over the receiver object so they behave like bound methods.
+func arrayMethod(o *Object, name string) (Value, bool) {
+	if o == nil || !o.IsArray {
+		return Undefined, false
+	}
+	switch name {
+	case "push":
+		return NativeFunc("push", func(in *Interp, this Value, args []Value) (Value, error) {
+			o.Elems = append(o.Elems, args...)
+			in.ChargeOps(int64(len(args)))
+			return Num(float64(len(o.Elems))), nil
+		}), true
+	case "pop":
+		return NativeFunc("pop", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(o.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := o.Elems[len(o.Elems)-1]
+			o.Elems = o.Elems[:len(o.Elems)-1]
+			return v, nil
+		}), true
+	case "shift":
+		return NativeFunc("shift", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(o.Elems) == 0 {
+				return Undefined, nil
+			}
+			v := o.Elems[0]
+			o.Elems = o.Elems[1:]
+			in.ChargeOps(int64(len(o.Elems)))
+			return v, nil
+		}), true
+	case "indexOf":
+		return NativeFunc("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Num(-1), nil
+			}
+			in.ChargeOps(int64(len(o.Elems)))
+			for i, e := range o.Elems {
+				if e.StrictEquals(args[0]) {
+					return Num(float64(i)), nil
+				}
+			}
+			return Num(-1), nil
+		}), true
+	case "join":
+		return NativeFunc("join", func(in *Interp, this Value, args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = args[0].Text()
+			}
+			parts := make([]string, len(o.Elems))
+			for i, e := range o.Elems {
+				parts[i] = e.Text()
+			}
+			in.ChargeOps(int64(len(o.Elems)))
+			return Str(strings.Join(parts, sep)), nil
+		}), true
+	case "slice":
+		return NativeFunc("slice", func(in *Interp, this Value, args []Value) (Value, error) {
+			start, end := 0, len(o.Elems)
+			if len(args) > 0 {
+				start = clampIndex(int(args[0].Number()), len(o.Elems))
+			}
+			if len(args) > 1 {
+				end = clampIndex(int(args[1].Number()), len(o.Elems))
+			}
+			if start > end {
+				start = end
+			}
+			out := NewArray(append([]Value(nil), o.Elems[start:end]...)...)
+			in.ChargeOps(int64(end - start))
+			return ObjVal(out), nil
+		}), true
+	case "concat":
+		return NativeFunc("concat", func(in *Interp, this Value, args []Value) (Value, error) {
+			out := NewArray(append([]Value(nil), o.Elems...)...)
+			for _, a := range args {
+				if ao := a.Object(); ao != nil && ao.IsArray {
+					out.Elems = append(out.Elems, ao.Elems...)
+				} else {
+					out.Elems = append(out.Elems, a)
+				}
+			}
+			in.ChargeOps(int64(len(out.Elems)))
+			return ObjVal(out), nil
+		}), true
+	case "forEach":
+		return NativeFunc("forEach", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Undefined, nil
+			}
+			for i, e := range o.Elems {
+				if _, err := in.CallFunction(args[0], Undefined, []Value{e, Num(float64(i))}); err != nil {
+					return Undefined, err
+				}
+			}
+			return Undefined, nil
+		}), true
+	case "map":
+		return NativeFunc("map", func(in *Interp, this Value, args []Value) (Value, error) {
+			out := NewArray()
+			if len(args) == 0 {
+				return ObjVal(out), nil
+			}
+			for i, e := range o.Elems {
+				v, err := in.CallFunction(args[0], Undefined, []Value{e, Num(float64(i))})
+				if err != nil {
+					return Undefined, err
+				}
+				out.Elems = append(out.Elems, v)
+			}
+			return ObjVal(out), nil
+		}), true
+	case "filter":
+		return NativeFunc("filter", func(in *Interp, this Value, args []Value) (Value, error) {
+			out := NewArray()
+			if len(args) == 0 {
+				return ObjVal(out), nil
+			}
+			for i, e := range o.Elems {
+				v, err := in.CallFunction(args[0], Undefined, []Value{e, Num(float64(i))})
+				if err != nil {
+					return Undefined, err
+				}
+				if v.Truthy() {
+					out.Elems = append(out.Elems, e)
+				}
+			}
+			return ObjVal(out), nil
+		}), true
+	case "reduce":
+		return NativeFunc("reduce", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Undefined, &RuntimeError{Msg: "reduce: missing callback"}
+			}
+			acc := Undefined
+			start := 0
+			if len(args) > 1 {
+				acc = args[1]
+			} else {
+				if len(o.Elems) == 0 {
+					return Undefined, &RuntimeError{Msg: "reduce of empty array with no initial value"}
+				}
+				acc = o.Elems[0]
+				start = 1
+			}
+			for i := start; i < len(o.Elems); i++ {
+				v, err := in.CallFunction(args[0], Undefined, []Value{acc, o.Elems[i], Num(float64(i))})
+				if err != nil {
+					return Undefined, err
+				}
+				acc = v
+			}
+			return acc, nil
+		}), true
+	case "reverse":
+		return NativeFunc("reverse", func(in *Interp, this Value, args []Value) (Value, error) {
+			for i, j := 0, len(o.Elems)-1; i < j; i, j = i+1, j-1 {
+				o.Elems[i], o.Elems[j] = o.Elems[j], o.Elems[i]
+			}
+			in.ChargeOps(int64(len(o.Elems)))
+			return ObjVal(o), nil
+		}), true
+	case "sort":
+		return NativeFunc("sort", func(in *Interp, this Value, args []Value) (Value, error) {
+			var sortErr error
+			in.ChargeOps(int64(len(o.Elems)) * 4)
+			sort.SliceStable(o.Elems, func(i, j int) bool {
+				if sortErr != nil {
+					return false
+				}
+				if len(args) > 0 {
+					v, err := in.CallFunction(args[0], Undefined, []Value{o.Elems[i], o.Elems[j]})
+					if err != nil {
+						sortErr = err
+						return false
+					}
+					return v.Number() < 0
+				}
+				return o.Elems[i].Text() < o.Elems[j].Text()
+			})
+			if sortErr != nil {
+				return Undefined, sortErr
+			}
+			return ObjVal(o), nil
+		}), true
+	}
+	return Undefined, false
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// stringProp synthesizes string properties and methods.
+func stringProp(s string, name string) Value {
+	switch name {
+	case "length":
+		return Num(float64(len(s)))
+	case "charAt":
+		return NativeFunc("charAt", func(in *Interp, this Value, args []Value) (Value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(args[0].Number())
+			}
+			if i < 0 || i >= len(s) {
+				return Str(""), nil
+			}
+			return Str(s[i : i+1]), nil
+		})
+	case "charCodeAt":
+		return NativeFunc("charCodeAt", func(in *Interp, this Value, args []Value) (Value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(args[0].Number())
+			}
+			if i < 0 || i >= len(s) {
+				return Num(math.NaN()), nil
+			}
+			return Num(float64(s[i])), nil
+		})
+	case "indexOf":
+		return NativeFunc("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Num(-1), nil
+			}
+			in.ChargeOps(int64(len(s)) / 4)
+			return Num(float64(strings.Index(s, args[0].Text()))), nil
+		})
+	case "substring":
+		return NativeFunc("substring", func(in *Interp, this Value, args []Value) (Value, error) {
+			start, end := 0, len(s)
+			if len(args) > 0 {
+				start = clampIndex(int(args[0].Number()), len(s))
+			}
+			if len(args) > 1 {
+				end = clampIndex(int(args[1].Number()), len(s))
+			}
+			if start > end {
+				start, end = end, start
+			}
+			return Str(s[start:end]), nil
+		})
+	case "split":
+		return NativeFunc("split", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return ObjVal(NewArray(Str(s))), nil
+			}
+			parts := strings.Split(s, args[0].Text())
+			arr := NewArray()
+			for _, p := range parts {
+				arr.Elems = append(arr.Elems, Str(p))
+			}
+			in.ChargeOps(int64(len(s)) / 4)
+			return ObjVal(arr), nil
+		})
+	case "toUpperCase":
+		return NativeFunc("toUpperCase", func(in *Interp, this Value, args []Value) (Value, error) {
+			in.ChargeOps(int64(len(s)) / 4)
+			return Str(strings.ToUpper(s)), nil
+		})
+	case "toLowerCase":
+		return NativeFunc("toLowerCase", func(in *Interp, this Value, args []Value) (Value, error) {
+			in.ChargeOps(int64(len(s)) / 4)
+			return Str(strings.ToLower(s)), nil
+		})
+	case "trim":
+		return NativeFunc("trim", func(in *Interp, this Value, args []Value) (Value, error) {
+			return Str(strings.TrimSpace(s)), nil
+		})
+	case "replace":
+		return NativeFunc("replace", func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) < 2 {
+				return Str(s), nil
+			}
+			in.ChargeOps(int64(len(s)) / 4)
+			return Str(strings.Replace(s, args[0].Text(), args[1].Text(), 1)), nil
+		})
+	}
+	return Undefined
+}
+
+// rng is a small deterministic PRNG (xorshift64*) so Math.random is
+// reproducible across runs; the simulation must be deterministic.
+type rng struct{ state uint64 }
+
+func (r *rng) next() float64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return float64(r.state*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// InstallStdlib defines Math, console, and misc globals. Console output is
+// delivered to logf (which may be nil to discard).
+func (in *Interp) InstallStdlib(logf func(string)) {
+	r := &rng{state: 0x9E3779B97F4A7C15}
+
+	mathObj := NewObject()
+	math1 := func(name string, f func(float64) float64) {
+		mathObj.Set(name, NativeFunc(name, func(in *Interp, this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Num(math.NaN()), nil
+			}
+			return Num(f(args[0].Number())), nil
+		}))
+	}
+	math1("abs", math.Abs)
+	math1("floor", math.Floor)
+	math1("ceil", math.Ceil)
+	math1("round", math.Round)
+	math1("sqrt", math.Sqrt)
+	math1("sin", math.Sin)
+	math1("cos", math.Cos)
+	math1("log", math.Log)
+	math1("exp", math.Exp)
+	mathObj.Set("pow", NativeFunc("pow", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return Num(math.NaN()), nil
+		}
+		return Num(math.Pow(args[0].Number(), args[1].Number())), nil
+	}))
+	mathObj.Set("min", NativeFunc("min", func(in *Interp, this Value, args []Value) (Value, error) {
+		m := math.Inf(1)
+		for _, a := range args {
+			m = math.Min(m, a.Number())
+		}
+		return Num(m), nil
+	}))
+	mathObj.Set("max", NativeFunc("max", func(in *Interp, this Value, args []Value) (Value, error) {
+		m := math.Inf(-1)
+		for _, a := range args {
+			m = math.Max(m, a.Number())
+		}
+		return Num(m), nil
+	}))
+	mathObj.Set("random", NativeFunc("random", func(in *Interp, this Value, args []Value) (Value, error) {
+		return Num(r.next()), nil
+	}))
+	mathObj.Set("PI", Num(math.Pi))
+	mathObj.Set("E", Num(math.E))
+	in.Globals.Define("Math", ObjVal(mathObj))
+
+	consoleObj := NewObject()
+	logFn := NativeFunc("log", func(in *Interp, this Value, args []Value) (Value, error) {
+		if logf != nil {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = GoString(a)
+			}
+			logf(strings.Join(parts, " "))
+		}
+		return Undefined, nil
+	})
+	consoleObj.Set("log", logFn)
+	consoleObj.Set("warn", logFn)
+	consoleObj.Set("error", logFn)
+	in.Globals.Define("console", ObjVal(consoleObj))
+
+	in.Globals.Define("isNaN", NativeFunc("isNaN", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return True, nil
+		}
+		return Boolean(math.IsNaN(args[0].Number())), nil
+	}))
+	in.Globals.Define("parseInt", NativeFunc("parseInt", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Num(math.NaN()), nil
+		}
+		return Num(math.Trunc(args[0].Number())), nil
+	}))
+	in.Globals.Define("parseFloat", NativeFunc("parseFloat", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Num(math.NaN()), nil
+		}
+		return Num(args[0].Number()), nil
+	}))
+	in.Globals.Define("String", NativeFunc("String", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Str(""), nil
+		}
+		return Str(args[0].Text()), nil
+	}))
+	in.Globals.Define("Number", NativeFunc("Number", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Num(0), nil
+		}
+		return Num(args[0].Number()), nil
+	}))
+
+	arrayObj := NewObject()
+	arrayObj.Set("isArray", NativeFunc("isArray", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return False, nil
+		}
+		o := args[0].Object()
+		return Boolean(o != nil && o.IsArray), nil
+	}))
+	in.Globals.Define("Array", ObjVal(arrayObj))
+
+	objectObj := NewObject()
+	objectObj.Set("keys", NativeFunc("keys", func(in *Interp, this Value, args []Value) (Value, error) {
+		arr := NewArray()
+		if len(args) > 0 {
+			if o := args[0].Object(); o != nil {
+				for _, k := range o.Keys() {
+					arr.Elems = append(arr.Elems, Str(k))
+				}
+				in.ChargeOps(int64(len(arr.Elems)))
+			}
+		}
+		return ObjVal(arr), nil
+	}))
+	in.Globals.Define("Object", ObjVal(objectObj))
+
+	jsonObj := NewObject()
+	jsonObj.Set("stringify", NativeFunc("stringify", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined, nil
+		}
+		data, err := json.Marshal(toGo(args[0], 0))
+		if err != nil {
+			return Undefined, &RuntimeError{Msg: "JSON.stringify: " + err.Error()}
+		}
+		in.ChargeOps(int64(len(data)) / 2)
+		return Str(string(data)), nil
+	}))
+	jsonObj.Set("parse", NativeFunc("parse", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined, &RuntimeError{Msg: "JSON.parse: missing argument"}
+		}
+		var v any
+		if err := json.Unmarshal([]byte(args[0].Text()), &v); err != nil {
+			return Undefined, &RuntimeError{Msg: "JSON.parse: " + err.Error(), Thrown: thrownStr("SyntaxError: " + err.Error())}
+		}
+		in.ChargeOps(int64(len(args[0].Text())) / 2)
+		return fromGo(v), nil
+	}))
+	in.Globals.Define("JSON", ObjVal(jsonObj))
+}
+
+func thrownStr(s string) *Value {
+	v := Str(s)
+	return &v
+}
+
+// toGo converts a script value to a Go value for JSON encoding. Functions
+// and over-deep structures become null (JSON.stringify drops functions;
+// the depth cap guards cyclic objects).
+func toGo(v Value, depth int) any {
+	if depth > 64 {
+		return nil
+	}
+	switch v.Kind() {
+	case KindUndefined, KindNull:
+		return nil
+	case KindBool:
+		return v.Truthy()
+	case KindNumber:
+		return v.Number()
+	case KindString:
+		return v.Text()
+	default:
+		o := v.Object()
+		if o.Fn != nil {
+			return nil
+		}
+		if o.IsArray {
+			out := make([]any, len(o.Elems))
+			for i, e := range o.Elems {
+				out[i] = toGo(e, depth+1)
+			}
+			return out
+		}
+		out := make(map[string]any, len(o.Props))
+		for k, e := range o.Props {
+			out[k] = toGo(e, depth+1)
+		}
+		return out
+	}
+}
+
+// fromGo converts a decoded JSON value into a script value.
+func fromGo(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Boolean(x)
+	case float64:
+		return Num(x)
+	case string:
+		return Str(x)
+	case []any:
+		arr := NewArray()
+		for _, e := range x {
+			arr.Elems = append(arr.Elems, fromGo(e))
+		}
+		return ObjVal(arr)
+	case map[string]any:
+		o := NewObject()
+		for k, e := range x {
+			o.Set(k, fromGo(e))
+		}
+		return ObjVal(o)
+	default:
+		return Undefined
+	}
+}

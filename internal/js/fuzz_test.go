@@ -1,0 +1,58 @@
+package js
+
+import "testing"
+
+// FuzzParse drives the JavaScript parser with arbitrary source: it must
+// never panic — it either errors or produces an AST.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1 + 2 * 3;",
+		"function f(a, b) { return a < b ? a : b; }",
+		"for (var i = 0; i < 10; i++) { s += i; }",
+		"switch (x) { case 1: break; default: y(); }",
+		"try { f(); } catch (e) { g(e); } finally { h(); }",
+		"var o = {a: [1, 2], \"b\": function() { return this; }};",
+		"x &= 1;",
+		"((((",
+		"1 .. 2",
+		"\"unterminated",
+		"/* unterminated",
+		"a ? b : c ? d : e;",
+		"delete o.p; ~x; 1 << 2 >> 3;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}
+
+// FuzzRun executes arbitrary programs under a tight operation budget: the
+// interpreter must never panic and must stop runaway scripts.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"var x = 1; x += 2;",
+		"var a = []; a.push(1); a[5] = 2; a.length = 1;",
+		"function f(n) { return n <= 0 ? 0 : f(n - 1); } f(3);",
+		"var s = \"ab\".toUpperCase() + [1,2].join(\"-\");",
+		"for (var k in {a:1}) { var v = k; }",
+		"try { throw 1; } catch (e) { var c = e; }",
+		"JSON.parse(JSON.stringify({a: [1, null, true]}));",
+		"while (x) { }",
+		"undefinedVar();",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		in := NewInterp()
+		in.InstallStdlib(nil)
+		in.SetOpLimit(100_000)
+		_ = in.RunSource(src) // errors are expected; panics are not
+	})
+}

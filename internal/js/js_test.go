@@ -1,0 +1,683 @@
+package js
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalExpr runs "var __r = <expr>;" and returns __r.
+func evalExpr(t *testing.T, expr string) Value {
+	t.Helper()
+	in := NewInterp()
+	in.InstallStdlib(nil)
+	if err := in.RunSource("var __r = (" + expr + ");"); err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	v, _ := in.Globals.Lookup("__r")
+	return v
+}
+
+func runSrc(t *testing.T, src string) *Interp {
+	t.Helper()
+	in := NewInterp()
+	in.InstallStdlib(nil)
+	if err := in.RunSource(src); err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return in
+}
+
+func global(t *testing.T, in *Interp, name string) Value {
+	t.Helper()
+	v, ok := in.Globals.Lookup(name)
+	if !ok {
+		t.Fatalf("global %q not defined", name)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2":           3,
+		"10 - 4":          6,
+		"6 * 7":           42,
+		"9 / 2":           4.5,
+		"10 % 3":          1,
+		"2 + 3 * 4":       14,
+		"(2 + 3) * 4":     20,
+		"-5 + 2":          -3,
+		"1 + 2 * 3 - 4/2": 5,
+		"0x10 + 1":        17,
+		"1.5e2":           150,
+		"2e-1":            0.2,
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr).Number(); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	if got := evalExpr(t, `"foo" + "bar"`).Text(); got != "foobar" {
+		t.Errorf("concat = %q", got)
+	}
+	if got := evalExpr(t, `"n=" + 42`).Text(); got != "n=42" {
+		t.Errorf("string+number = %q", got)
+	}
+	if got := evalExpr(t, `"abc".length`).Number(); got != 3 {
+		t.Errorf("length = %v", got)
+	}
+	if got := evalExpr(t, `"Hello".toUpperCase()`).Text(); got != "HELLO" {
+		t.Errorf("toUpperCase = %q", got)
+	}
+	if got := evalExpr(t, `"a,b,c".split(",").length`).Number(); got != 3 {
+		t.Errorf("split = %v", got)
+	}
+	if got := evalExpr(t, `"hello".indexOf("ll")`).Number(); got != 2 {
+		t.Errorf("indexOf = %v", got)
+	}
+	if got := evalExpr(t, `"hello".substring(1, 3)`).Text(); got != "el" {
+		t.Errorf("substring = %q", got)
+	}
+	if got := evalExpr(t, `"  x ".trim()`).Text(); got != "x" {
+		t.Errorf("trim = %q", got)
+	}
+	if got := evalExpr(t, `"aXbXc".replace("X", "-")`).Text(); got != "a-bXc" {
+		t.Errorf("replace = %q", got)
+	}
+	if got := evalExpr(t, `"abc".charAt(1)`).Text(); got != "b" {
+		t.Errorf("charAt = %q", got)
+	}
+	if got := evalExpr(t, `"A".charCodeAt(0)`).Number(); got != 65 {
+		t.Errorf("charCodeAt = %v", got)
+	}
+	if got := evalExpr(t, `(3.14159).toFixed(2)`).Text(); got != "3.14" {
+		t.Errorf("toFixed = %q", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	truthy := []string{
+		"1 < 2", "2 <= 2", "3 > 2", "3 >= 3",
+		"1 == 1", `1 == "1"`, "1 === 1", `"a" != "b"`, `1 !== "1"`,
+		"null == undefined", "null === null",
+		`"abc" < "abd"`,
+	}
+	for _, expr := range truthy {
+		if !evalExpr(t, expr).Truthy() {
+			t.Errorf("%s should be true", expr)
+		}
+	}
+	falsy := []string{
+		"2 < 1", `1 === "1"`, "null == 0", "undefined == 0", "null === undefined",
+	}
+	for _, expr := range falsy {
+		if evalExpr(t, expr).Truthy() {
+			t.Errorf("%s should be false", expr)
+		}
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	in := runSrc(t, `
+		var called = false;
+		function f() { called = true; return true; }
+		var a = false && f();
+		var b = true || f();
+	`)
+	if global(t, in, "called").Truthy() {
+		t.Fatal("short circuit failed: f was called")
+	}
+	if got := evalExpr(t, `"x" || "y"`).Text(); got != "x" {
+		t.Errorf("|| value = %q", got)
+	}
+	if got := evalExpr(t, `0 && 1`).Number(); got != 0 {
+		t.Errorf("&& value = %v", got)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	if got := evalExpr(t, `1 < 2 ? "yes" : "no"`).Text(); got != "yes" {
+		t.Errorf("ternary = %q", got)
+	}
+}
+
+func TestVariablesAndScope(t *testing.T) {
+	in := runSrc(t, `
+		var x = 1;
+		var y = 2, z = 3;
+		{
+			var inner = x + y + z;
+			x = inner;
+		}
+	`)
+	if got := global(t, in, "x").Number(); got != 6 {
+		t.Fatalf("x = %v", got)
+	}
+	// Block-scoped variable must not leak.
+	if _, ok := in.Globals.Lookup("inner"); ok {
+		t.Fatal("block variable leaked to global scope")
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	in := runSrc(t, `
+		function makeCounter() {
+			var n = 0;
+			return function() { n = n + 1; return n; };
+		}
+		var c1 = makeCounter();
+		var c2 = makeCounter();
+		c1(); c1();
+		var a = c1();
+		var b = c2();
+	`)
+	if got := global(t, in, "a").Number(); got != 3 {
+		t.Fatalf("a = %v, want 3", got)
+	}
+	if got := global(t, in, "b").Number(); got != 1 {
+		t.Fatalf("b = %v, want 1 (closures must not share state)", got)
+	}
+}
+
+func TestRecursionAndHoisting(t *testing.T) {
+	in := runSrc(t, `
+		var r = even(10);
+		function even(n) { if (n === 0) return true; return odd(n - 1); }
+		function odd(n) { if (n === 0) return false; return even(n - 1); }
+		var fib = function f(n) { return n < 2 ? n : f(n-1) + f(n-2); };
+		var fib10 = fib(10);
+	`)
+	if !global(t, in, "r").Truthy() {
+		t.Fatal("mutual recursion with hoisting failed")
+	}
+	if got := global(t, in, "fib10").Number(); got != 55 {
+		t.Fatalf("fib(10) = %v", got)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	in := runSrc(t, `
+		var sum = 0;
+		for (var i = 1; i <= 10; i++) { sum += i; }
+		var w = 0;
+		var j = 0;
+		while (j < 5) { w += 2; j++; }
+		var d = 0;
+		do { d++; } while (d < 3);
+		var brk = 0;
+		for (var k = 0; k < 100; k++) { if (k === 5) break; brk = k; }
+		var cont = 0;
+		for (var m = 0; m < 10; m++) { if (m % 2 === 0) continue; cont++; }
+	`)
+	for name, want := range map[string]float64{"sum": 55, "w": 10, "d": 3, "brk": 4, "cont": 5} {
+		if got := global(t, in, name).Number(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestObjectsAndArrays(t *testing.T) {
+	in := runSrc(t, `
+		var o = {a: 1, "b": 2, c: {d: 3}};
+		o.e = o.a + o["b"];
+		var arr = [1, 2, 3];
+		arr.push(4);
+		arr[10] = 99;
+		var len = arr.length;
+		var popped = [5,6].pop();
+		var mapped = [1,2,3].map(function(x) { return x * 2; });
+		var filtered = [1,2,3,4].filter(function(x) { return x % 2 === 0; });
+		var joined = ["a","b"].join("-");
+		var total = 0;
+		[10, 20, 30].forEach(function(v, i) { total += v + i; });
+		var sorted = [3,1,2].sort(function(a,b){ return a-b; });
+		var idx = ["x","y"].indexOf("y");
+		var sliced = [1,2,3,4].slice(1, 3);
+		var cat = [1].concat([2,3], 4);
+	`)
+	o := global(t, in, "o").Object()
+	if o.Get("e").Number() != 3 {
+		t.Fatal("object property math wrong")
+	}
+	if o.Get("c").Object().Get("d").Number() != 3 {
+		t.Fatal("nested object wrong")
+	}
+	if got := global(t, in, "len").Number(); got != 11 {
+		t.Fatalf("sparse array length = %v, want 11", got)
+	}
+	if got := global(t, in, "popped").Number(); got != 6 {
+		t.Fatalf("pop = %v", got)
+	}
+	if got := global(t, in, "mapped").Object().Elems[2].Number(); got != 6 {
+		t.Fatalf("map = %v", got)
+	}
+	if got := len(global(t, in, "filtered").Object().Elems); got != 2 {
+		t.Fatalf("filter = %d elems", got)
+	}
+	if got := global(t, in, "joined").Text(); got != "a-b" {
+		t.Fatalf("join = %q", got)
+	}
+	if got := global(t, in, "total").Number(); got != 63 {
+		t.Fatalf("forEach total = %v", got)
+	}
+	if got := global(t, in, "sorted").Object().Elems[0].Number(); got != 1 {
+		t.Fatalf("sort = %v", got)
+	}
+	if got := global(t, in, "idx").Number(); got != 1 {
+		t.Fatalf("indexOf = %v", got)
+	}
+	sl := global(t, in, "sliced").Object()
+	if len(sl.Elems) != 2 || sl.Elems[0].Number() != 2 {
+		t.Fatalf("slice = %v", sl.Elems)
+	}
+	if got := len(global(t, in, "cat").Object().Elems); got != 4 {
+		t.Fatalf("concat = %d elems", got)
+	}
+}
+
+func TestThisBinding(t *testing.T) {
+	in := runSrc(t, `
+		var obj = {
+			n: 10,
+			get: function() { return this.n; }
+		};
+		var got = obj.get();
+	`)
+	if got := global(t, in, "got").Number(); got != 10 {
+		t.Fatalf("this.n = %v", got)
+	}
+}
+
+func TestNewConstructor(t *testing.T) {
+	in := runSrc(t, `
+		function Point(x, y) { this.x = x; this.y = y; }
+		var p = new Point(3, 4);
+		var d2 = p.x * p.x + p.y * p.y;
+	`)
+	if got := global(t, in, "d2").Number(); got != 25 {
+		t.Fatalf("d2 = %v", got)
+	}
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	in := runSrc(t, `
+		var a = 5;
+		var post = a++;
+		var b = a;
+		var pre = ++a;
+		var o = {n: 0};
+		o.n++;
+		o.n++;
+		var arr = [10];
+		arr[0]--;
+	`)
+	for name, want := range map[string]float64{"post": 5, "b": 6, "pre": 7} {
+		if got := global(t, in, name).Number(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := global(t, in, "o").Object().Get("n").Number(); got != 2 {
+		t.Errorf("o.n = %v", got)
+	}
+	if got := global(t, in, "arr").Object().Elems[0].Number(); got != 9 {
+		t.Errorf("arr[0] = %v", got)
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	in := runSrc(t, `
+		var x = 10;
+		x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+	`)
+	if got := global(t, in, "x").Number(); got != 2 {
+		t.Fatalf("x = %v, want 2", got)
+	}
+}
+
+func TestTypeof(t *testing.T) {
+	cases := map[string]string{
+		`typeof 1`:            "number",
+		`typeof "s"`:          "string",
+		`typeof true`:         "boolean",
+		`typeof undefined`:    "undefined",
+		`typeof null`:         "object",
+		`typeof {}`:           "object",
+		`typeof []`:           "object",
+		`typeof function(){}`: "function",
+		`typeof neverDefined`: "undefined",
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr).Text(); got != want {
+			t.Errorf("%s = %q, want %q", expr, got, want)
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	cases := map[string]float64{
+		"Math.abs(-3)":     3,
+		"Math.floor(2.9)":  2,
+		"Math.ceil(2.1)":   3,
+		"Math.round(2.5)":  3,
+		"Math.sqrt(16)":    4,
+		"Math.pow(2, 10)":  1024,
+		"Math.min(3,1,2)":  1,
+		"Math.max(3,1,2)":  3,
+		"Math.log(Math.E)": 1,
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr).Number(); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+	r := evalExpr(t, "Math.random()").Number()
+	if r < 0 || r >= 1 {
+		t.Errorf("Math.random() = %v", r)
+	}
+	// Determinism: two fresh interpreters yield the same sequence.
+	a := evalExpr(t, "Math.random() + Math.random()")
+	b := evalExpr(t, "Math.random() + Math.random()")
+	if a.Number() != b.Number() {
+		t.Error("Math.random not deterministic across interpreters")
+	}
+}
+
+func TestConsoleLog(t *testing.T) {
+	var msgs []string
+	in := NewInterp()
+	in.InstallStdlib(func(s string) { msgs = append(msgs, s) })
+	if err := in.RunSource(`console.log("x =", 42, [1,2], {a: 1});`); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0] != "x = 42 [1, 2] {a: 1}" {
+		t.Fatalf("console output = %q", msgs)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`undefinedVar + 1;`,
+		`var x = null; x.prop;`,
+		`var y; y.foo = 1;`,
+		`var f = 42; f();`,
+		`notAFunction();`,
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		in.InstallStdlib(nil)
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestThrow(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`throw "boom";`)
+	if err == nil {
+		t.Fatal("throw did not error")
+	}
+	re, ok := err.(*RuntimeError)
+	if !ok || re.Thrown == nil || re.Thrown.Text() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpLimitStopsRunawayScript(t *testing.T) {
+	in := NewInterp()
+	in.SetOpLimit(10_000)
+	err := in.RunSource(`while (true) { var x = 1; }`)
+	if err == nil {
+		t.Fatal("runaway loop not stopped")
+	}
+	if !strings.Contains(err.Error(), "operation limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStackOverflowCaught(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`function f() { return f(); } f();`)
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpsMetering(t *testing.T) {
+	in := NewInterp()
+	in.InstallStdlib(nil)
+	if err := in.RunSource(`var x = 0;`); err != nil {
+		t.Fatal(err)
+	}
+	base := in.ResetOps()
+	if base <= 0 {
+		t.Fatal("no ops counted")
+	}
+	if err := in.RunSource(`for (var i = 0; i < 100; i++) { x += i; }`); err != nil {
+		t.Fatal(err)
+	}
+	loop := in.ResetOps()
+	if loop < 300 {
+		t.Fatalf("loop ops = %d, expected several per iteration", loop)
+	}
+	if in.Ops() != 0 {
+		t.Fatal("ResetOps did not zero counter")
+	}
+	in.ChargeOps(500)
+	if in.Ops() != 500 {
+		t.Fatalf("ChargeOps not reflected: %d", in.Ops())
+	}
+}
+
+func TestHostObjectProtocol(t *testing.T) {
+	type hostRec struct {
+		gets []string
+		sets map[string]Value
+	}
+	h := &hostRec{sets: map[string]Value{}}
+	host := hostFunc{
+		get: func(name string) (Value, bool) {
+			h.gets = append(h.gets, name)
+			if name == "answer" {
+				return Num(42), true
+			}
+			return Undefined, false
+		},
+		set: func(name string, v Value) bool {
+			if name == "writable" {
+				h.sets[name] = v
+				return true
+			}
+			return false
+		},
+	}
+	in := NewInterp()
+	in.Globals.Define("host", ObjVal(NewHost(host)))
+	err := in.RunSource(`
+		var a = host.answer;
+		host.writable = "w";
+		host.plain = 7;
+		var p = host.plain;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := in.Globals.Lookup("a"); v.Number() != 42 {
+		t.Fatalf("host get = %v", v)
+	}
+	if h.sets["writable"].Text() != "w" {
+		t.Fatal("host set not routed")
+	}
+	if v, _ := in.Globals.Lookup("p"); v.Number() != 7 {
+		t.Fatalf("fallthrough property = %v", v)
+	}
+}
+
+type hostFunc struct {
+	get func(string) (Value, bool)
+	set func(string, Value) bool
+}
+
+func (h hostFunc) HostGet(name string) (Value, bool) { return h.get(name) }
+func (h hostFunc) HostSet(name string, v Value) bool { return h.set(name, v) }
+
+func TestValueCoercions(t *testing.T) {
+	if Num(0).Truthy() || !Num(1).Truthy() || Str("").Truthy() || !Str("x").Truthy() {
+		t.Fatal("truthiness wrong")
+	}
+	if Str("42").Number() != 42 || Str(" 3.5 ").Number() != 3.5 {
+		t.Fatal("string to number wrong")
+	}
+	if True.Number() != 1 || False.Number() != 0 || Null.Number() != 0 {
+		t.Fatal("bool/null to number wrong")
+	}
+	if Num(1.5).Text() != "1.5" || Num(100).Text() != "100" {
+		t.Fatal("number to string wrong")
+	}
+	if ObjVal(NewArray(Num(1), Num(2))).Text() != "1,2" {
+		t.Fatal("array to string wrong")
+	}
+	if ObjVal(NewObject()).Text() != "[object Object]" {
+		t.Fatal("object to string wrong")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`var = 1;`,
+		`function () {}`,
+		`if (x`,
+		`1 +`,
+		`{a: }`,
+		`"unterminated`,
+		`/* unterminated`,
+		`var x = 3 = 4;`,
+		`@`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected syntax error", src)
+		}
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	// Optional semicolons before '}' and at EOF, else-if chains, unary
+	// plus, empty statements, nested ternaries.
+	srcs := []string{
+		`var x = 1`,
+		`function f() { return 1 }`,
+		`if (1) { } else if (2) { } else { }`,
+		`var y = +"3";`,
+		`;;;`,
+		`var z = 1 ? 2 : 3 ? 4 : 5;`,
+		`for (;;) { break; }`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: unexpected error %v", src, err)
+		}
+	}
+}
+
+// Property: the interpreter computes the same sum as Go for random inputs.
+func TestPropertyLoopSum(t *testing.T) {
+	f := func(n uint8) bool {
+		in := NewInterp()
+		src := `var s = 0; for (var i = 0; i < ` + Num(float64(n)).Text() + `; i++) { s += i; }`
+		if err := in.RunSource(src); err != nil {
+			return false
+		}
+		v, _ := in.Globals.Lookup("s")
+		want := float64(int(n)*(int(n)-1)) / 2
+		return v.Number() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string round-trip through the interpreter is identity.
+func TestPropertyStringIdentity(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\"\\\n\r") || !isPrintable(s) {
+			return true // skip strings needing escaping; covered elsewhere
+		}
+		in := NewInterp()
+		if err := in.RunSource(`var v = "` + s + `";`); err != nil {
+			return false
+		}
+		v, _ := in.Globals.Lookup("v")
+		return v.Text() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isPrintable(s string) bool {
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGoStringFormatting(t *testing.T) {
+	if GoString(Num(3)) != "3" {
+		t.Fatal("number formatting")
+	}
+	if GoString(Str("s")) != "s" {
+		t.Fatal("string formatting")
+	}
+	obj := NewObject()
+	obj.Set("b", Num(2))
+	obj.Set("a", Num(1))
+	if GoString(ObjVal(obj)) != "{a: 1, b: 2}" {
+		t.Fatalf("object formatting = %s", GoString(ObjVal(obj)))
+	}
+}
+
+func TestArgumentsObject(t *testing.T) {
+	in := runSrc(t, `
+		function f() { return arguments.length + arguments[0]; }
+		var r = f(10, 20, 30);
+	`)
+	if got := global(t, in, "r").Number(); got != 13 {
+		t.Fatalf("arguments = %v", got)
+	}
+}
+
+func TestMissingArgsAreUndefined(t *testing.T) {
+	in := runSrc(t, `
+		function f(a, b) { return typeof b; }
+		var r = f(1);
+	`)
+	if got := global(t, in, "r").Text(); got != "undefined" {
+		t.Fatalf("missing arg = %q", got)
+	}
+}
+
+func BenchmarkInterpFib(b *testing.B) {
+	prog := MustParse(`var f = function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }; f(15);`)
+	for i := 0; i < b.N; i++ {
+		in := NewInterp()
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpLoop(b *testing.B) {
+	prog := MustParse(`var s = 0; for (var i = 0; i < 10000; i++) { s += i; }`)
+	for i := 0; i < b.N; i++ {
+		in := NewInterp()
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package js
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the extended language surface: switch, for-in, try/catch/
+// finally, bitwise operators, delete, JSON, and Object.keys.
+
+func TestSwitchBasic(t *testing.T) {
+	in := runSrc(t, `
+		function classify(n) {
+			switch (n) {
+			case 1: return "one";
+			case 2: return "two";
+			default: return "many";
+			}
+		}
+		var a = classify(1), b = classify(2), c = classify(9);
+	`)
+	if global(t, in, "a").Text() != "one" || global(t, in, "b").Text() != "two" || global(t, in, "c").Text() != "many" {
+		t.Fatal("switch dispatch wrong")
+	}
+}
+
+func TestSwitchFallThrough(t *testing.T) {
+	in := runSrc(t, `
+		var log = [];
+		switch (2) {
+		case 1: log.push("one");
+		case 2: log.push("two");
+		case 3: log.push("three");
+			break;
+		case 4: log.push("four");
+		}
+		var out = log.join(",");
+	`)
+	if got := global(t, in, "out").Text(); got != "two,three" {
+		t.Fatalf("fall-through = %q, want %q", got, "two,three")
+	}
+}
+
+func TestSwitchDefaultInMiddle(t *testing.T) {
+	in := runSrc(t, `
+		var log = [];
+		switch (99) {
+		case 1: log.push("one");
+		default: log.push("dflt");
+		case 2: log.push("two"); break;
+		case 3: log.push("three");
+		}
+		var out = log.join(",");
+	`)
+	// No case matches → default runs, falls through into case 2.
+	if got := global(t, in, "out").Text(); got != "dflt,two" {
+		t.Fatalf("middle default = %q", got)
+	}
+}
+
+func TestSwitchStrictMatching(t *testing.T) {
+	in := runSrc(t, `
+		var hit = "";
+		switch ("1") {
+		case 1: hit = "number"; break;
+		case "1": hit = "string"; break;
+		}
+	`)
+	if global(t, in, "hit").Text() != "string" {
+		t.Fatal("switch must use strict equality")
+	}
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	in := runSrc(t, `
+		var ran = false;
+		switch (5) { case 1: ran = true; }
+	`)
+	if global(t, in, "ran").Truthy() {
+		t.Fatal("unmatched switch ran a case")
+	}
+}
+
+func TestSwitchDuplicateDefaultRejected(t *testing.T) {
+	if _, err := Parse(`switch (1) { default: ; default: ; }`); err == nil {
+		t.Fatal("duplicate default accepted")
+	}
+}
+
+func TestForInObject(t *testing.T) {
+	in := runSrc(t, `
+		var o = {b: 2, a: 1, c: 3};
+		var keys = [];
+		var sum = 0;
+		for (var k in o) { keys.push(k); sum += o[k]; }
+		var out = keys.join(",");
+	`)
+	// Keys() is sorted, so iteration order is deterministic.
+	if got := global(t, in, "out").Text(); got != "a,b,c" {
+		t.Fatalf("for-in keys = %q", got)
+	}
+	if global(t, in, "sum").Number() != 6 {
+		t.Fatal("for-in values wrong")
+	}
+}
+
+func TestForInArrayIndexes(t *testing.T) {
+	in := runSrc(t, `
+		var a = [10, 20, 30];
+		var total = 0;
+		for (var i in a) { total += a[i]; }
+	`)
+	if global(t, in, "total").Number() != 60 {
+		t.Fatal("for-in over array wrong")
+	}
+}
+
+func TestForInBreakAndNonObject(t *testing.T) {
+	in := runSrc(t, `
+		var n = 0;
+		for (var k in {a:1, b:2, c:3}) { n++; if (n === 2) break; }
+		for (var j in 42) { n += 100; } // non-object: no iterations
+	`)
+	if global(t, in, "n").Number() != 2 {
+		t.Fatalf("n = %v", global(t, in, "n"))
+	}
+}
+
+func TestTryCatchThrownValue(t *testing.T) {
+	in := runSrc(t, `
+		var caught = null;
+		try {
+			throw {code: 42, msg: "boom"};
+		} catch (e) {
+			caught = e.code;
+		}
+	`)
+	if global(t, in, "caught").Number() != 42 {
+		t.Fatal("thrown object not caught")
+	}
+}
+
+func TestTryCatchRuntimeError(t *testing.T) {
+	in := runSrc(t, `
+		var caught = "";
+		try {
+			missingVariable.x = 1;
+		} catch (e) {
+			caught = "yes";
+		}
+	`)
+	if global(t, in, "caught").Text() != "yes" {
+		t.Fatal("runtime error not catchable")
+	}
+}
+
+func TestTryFinallyAlwaysRuns(t *testing.T) {
+	in := runSrc(t, `
+		var log = [];
+		function f(fail) {
+			try {
+				if (fail) { throw "x"; }
+				return "ok";
+			} catch (e) {
+				return "caught";
+			} finally {
+				log.push("fin");
+			}
+		}
+		var a = f(false), b = f(true);
+		var fins = log.length;
+	`)
+	if global(t, in, "a").Text() != "ok" || global(t, in, "b").Text() != "caught" {
+		t.Fatal("try/catch returns wrong")
+	}
+	if global(t, in, "fins").Number() != 2 {
+		t.Fatal("finally skipped")
+	}
+}
+
+func TestFinallyOverridesReturn(t *testing.T) {
+	in := runSrc(t, `
+		function f() {
+			try { return "try"; } finally { return "finally"; }
+		}
+		var r = f();
+	`)
+	if global(t, in, "r").Text() != "finally" {
+		t.Fatalf("r = %v", global(t, in, "r"))
+	}
+}
+
+func TestUncaughtRethrow(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`try { throw "inner"; } finally { var x = 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "inner") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpLimitNotCatchable(t *testing.T) {
+	in := NewInterp()
+	in.SetOpLimit(5_000)
+	err := in.RunSource(`
+		try {
+			while (true) { var x = 1; }
+		} catch (e) {
+			// Must NOT reach here: resource limits are not script-visible.
+		}
+	`)
+	if err == nil || !strings.Contains(err.Error(), "operation limit") {
+		t.Fatalf("op limit swallowed by catch: %v", err)
+	}
+}
+
+func TestTryWithoutCatchOrFinallyRejected(t *testing.T) {
+	if _, err := Parse(`try { var x = 1; }`); err == nil {
+		t.Fatal("bare try accepted")
+	}
+}
+
+func TestBitwiseOperators(t *testing.T) {
+	cases := map[string]float64{
+		"5 & 3":       1,
+		"5 | 3":       7,
+		"5 ^ 3":       6,
+		"~5":          -6,
+		"1 << 4":      16,
+		"-16 >> 2":    -4,
+		"255 & 15":    15,
+		"1 << 31":     -2147483648, // int32 wraparound
+		"3 | 4 & 2":   3,           // & binds tighter than |
+		"1 + 2 << 1":  6,           // shift below additive
+		"7 & 3 === 3": 1,           // equality binds tighter than &
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr).Number(); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestDeleteOperator(t *testing.T) {
+	in := runSrc(t, `
+		var o = {a: 1, b: 2};
+		delete o.a;
+		var hasA = typeof o.a;
+		delete o["b"];
+		var n = 0;
+		for (var k in o) { n++; }
+	`)
+	if global(t, in, "hasA").Text() != "undefined" || global(t, in, "n").Number() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestJSONStringify(t *testing.T) {
+	cases := map[string]string{
+		`JSON.stringify(42)`:                 "42",
+		`JSON.stringify("hi")`:               `"hi"`,
+		`JSON.stringify(true)`:               "true",
+		`JSON.stringify(null)`:               "null",
+		`JSON.stringify([1, "a", false])`:    `[1,"a",false]`,
+		`JSON.stringify({a: 1})`:             `{"a":1}`,
+		`JSON.stringify({f: function(){} })`: `{"f":null}`,
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr).Text(); got != want {
+			t.Errorf("%s = %q, want %q", expr, got, want)
+		}
+	}
+}
+
+func TestJSONParse(t *testing.T) {
+	in := runSrc(t, `
+		var o = JSON.parse('{"name": "cart", "items": [1, 2, 3], "open": true}');
+		var name = o.name;
+		var second = o.items[1];
+		var open = o.open;
+		var nested = JSON.parse('[{"x": 5}]')[0].x;
+	`)
+	if global(t, in, "name").Text() != "cart" || global(t, in, "second").Number() != 2 {
+		t.Fatal("JSON.parse wrong")
+	}
+	if !global(t, in, "open").Truthy() || global(t, in, "nested").Number() != 5 {
+		t.Fatal("JSON.parse nested wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := runSrc(t, `
+		var orig = {a: [1, 2, {b: "x"}], c: null};
+		var back = JSON.parse(JSON.stringify(orig));
+		var same = back.a[2].b === "x" && back.a.length === 3 && back.c === null;
+	`)
+	if !global(t, in, "same").Truthy() {
+		t.Fatal("JSON round trip failed")
+	}
+}
+
+func TestJSONParseErrorCatchable(t *testing.T) {
+	in := runSrc(t, `
+		var ok = false;
+		try { JSON.parse("{broken"); } catch (e) { ok = true; }
+	`)
+	if !global(t, in, "ok").Truthy() {
+		t.Fatal("JSON.parse error not catchable")
+	}
+}
+
+func TestObjectKeys(t *testing.T) {
+	in := runSrc(t, `
+		var ks = Object.keys({z: 1, a: 2});
+		var out = ks.join(",");
+		var arrKeys = Object.keys([9, 9]).join(",");
+		var none = Object.keys(5).length;
+	`)
+	if global(t, in, "out").Text() != "a,z" {
+		t.Fatalf("Object.keys = %q", global(t, in, "out").Text())
+	}
+	if global(t, in, "arrKeys").Text() != "0,1" {
+		t.Fatal("Object.keys over array wrong")
+	}
+	if global(t, in, "none").Number() != 0 {
+		t.Fatal("Object.keys over number should be empty")
+	}
+}
+
+func TestSwitchInsideLoopContinue(t *testing.T) {
+	in := runSrc(t, `
+		var evens = 0;
+		for (var i = 0; i < 10; i++) {
+			switch (i % 2) {
+			case 1: continue;
+			}
+			evens++;
+		}
+	`)
+	if global(t, in, "evens").Number() != 5 {
+		t.Fatalf("evens = %v", global(t, in, "evens"))
+	}
+}
+
+func TestReduceAndReverse(t *testing.T) {
+	in := runSrc(t, `
+		var sum = [1, 2, 3, 4].reduce(function(acc, v) { return acc + v; }, 0);
+		var noInit = [5, 6].reduce(function(acc, v) { return acc + v; });
+		var rev = [1, 2, 3].reverse().join(",");
+	`)
+	if global(t, in, "sum").Number() != 10 || global(t, in, "noInit").Number() != 11 {
+		t.Fatal("reduce wrong")
+	}
+	if global(t, in, "rev").Text() != "3,2,1" {
+		t.Fatal("reverse wrong")
+	}
+	// Empty reduce without init is an error, catchable by scripts.
+	in2 := runSrc(t, `
+		var caught = false;
+		try { [].reduce(function(a, b) { return a; }); } catch (e) { caught = true; }
+	`)
+	if !global(t, in2, "caught").Truthy() {
+		t.Fatal("empty reduce error not raised")
+	}
+}
+
+func TestArrayIsArray(t *testing.T) {
+	truthy := []string{`Array.isArray([])`, `Array.isArray([1,2])`}
+	falsy := []string{`Array.isArray({})`, `Array.isArray("s")`, `Array.isArray()`, `Array.isArray(5)`}
+	for _, expr := range truthy {
+		if !evalExpr(t, expr).Truthy() {
+			t.Errorf("%s should be true", expr)
+		}
+	}
+	for _, expr := range falsy {
+		if evalExpr(t, expr).Truthy() {
+			t.Errorf("%s should be false", expr)
+		}
+	}
+}
+
+func TestContinueInWhileAndDoWhile(t *testing.T) {
+	in := runSrc(t, `
+		var odd = 0, i = 0;
+		while (i < 10) { i++; if (i % 2 === 0) { continue; } odd++; }
+		var d = 0, j = 0;
+		do { j++; if (j % 3 !== 0) { continue; } d++; } while (j < 9);
+	`)
+	if global(t, in, "odd").Number() != 5 {
+		t.Fatalf("while continue: odd = %v", global(t, in, "odd"))
+	}
+	if global(t, in, "d").Number() != 3 {
+		t.Fatalf("do-while continue: d = %v", global(t, in, "d"))
+	}
+}
+
+func TestOpsCountDeterministic(t *testing.T) {
+	// Cost attribution depends on op counts being exactly reproducible.
+	src := `
+		var s = 0;
+		for (var i = 0; i < 200; i++) {
+			s += i * 2;
+			if (i % 7 === 0) { s -= 1; }
+		}
+		var o = {a: [1,2,3]};
+		for (var k in o.a) { s += o.a[k]; }
+		JSON.stringify(o);
+	`
+	count := func() int64 {
+		in := NewInterp()
+		in.InstallStdlib(nil)
+		if err := in.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+		return in.Ops()
+	}
+	a, b := count(), count()
+	if a != b || a == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,812 @@
+package js
+
+import "fmt"
+
+// Parser builds an AST from tokens using Pratt-style precedence climbing
+// for expressions and recursive descent for statements.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, s)
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for tests and embedded app sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *Parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf(p.cur(), "expected %q, found %v", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) at(t Token) pos { return pos{t.Line, t.Col} }
+
+// ---- Statements ----
+
+func (p *Parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword:
+		switch t.Text {
+		case "var", "let", "const":
+			return p.varDecl()
+		case "function":
+			return p.funcDecl()
+		case "if":
+			return p.ifStmt()
+		case "while":
+			return p.whileStmt()
+		case "do":
+			return p.doWhileStmt()
+		case "for":
+			return p.forStmt()
+		case "return":
+			p.next()
+			rs := &ReturnStmt{pos: p.at(t)}
+			if !p.isPunct(";") && !p.isPunct("}") && !p.atEOF() {
+				x, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				rs.X = x
+			}
+			p.acceptPunct(";")
+			return rs, nil
+		case "break":
+			p.next()
+			p.acceptPunct(";")
+			return &BreakStmt{pos: p.at(t)}, nil
+		case "continue":
+			p.next()
+			p.acceptPunct(";")
+			return &ContinueStmt{pos: p.at(t)}, nil
+		case "throw":
+			p.next()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			p.acceptPunct(";")
+			return &ThrowStmt{pos: p.at(t), X: x}, nil
+		case "switch":
+			return p.switchStmt()
+		case "try":
+			return p.tryStmt()
+		}
+	case p.isPunct("{"):
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{pos: p.at(t), Body: body}, nil
+	case p.isPunct(";"):
+		p.next()
+		return &BlockStmt{pos: p.at(t)}, nil // empty statement
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	return &ExprStmt{pos: p.at(t), X: x}, nil
+}
+
+func (p *Parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errorf(p.cur(), "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.next() // }
+	return body, nil
+}
+
+// blockOrSingle parses either a braced block or a single statement body.
+func (p *Parser) blockOrSingle() ([]Stmt, error) {
+	if p.isPunct("{") {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *Parser) varDecl() (Stmt, error) {
+	kw := p.next() // var/let/const
+	var decls []*VarDecl
+	for {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			return nil, p.errorf(t, "expected variable name after %q", kw.Text)
+		}
+		p.next()
+		d := &VarDecl{pos: p.at(t), Name: t.Text}
+		if p.acceptPunct("=") {
+			x, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = x
+		}
+		decls = append(decls, d)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.acceptPunct(";")
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &VarDeclGroup{pos: decls[0].pos, Decls: decls}, nil
+}
+
+func (p *Parser) funcDecl() (Stmt, error) {
+	kw := p.next() // function
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, p.errorf(t, "expected function name")
+	}
+	p.next()
+	fn, err := p.funcRest(t.Text, kw)
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{pos: p.at(kw), Name: t.Text, Fn: fn}, nil
+}
+
+func (p *Parser) funcRest(name string, at Token) (*FuncLit, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.isPunct(")") {
+		t := p.cur()
+		if t.Kind != TokIdent {
+			return nil, p.errorf(t, "expected parameter name")
+		}
+		p.next()
+		params = append(params, t.Text)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncLit{pos: p.at(at), Name: name, Params: params, Body: body}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{pos: p.at(kw), Cond: cond, Then: then}
+	if p.isKeyword("else") {
+		p.next()
+		if p.isKeyword("if") {
+			s, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{s}
+		} else {
+			els, err := p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos: p.at(kw), Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) doWhileStmt() (Stmt, error) {
+	kw := p.next() // do
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isKeyword("while") {
+		return nil, p.errorf(p.cur(), "expected while after do body")
+	}
+	p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	return &DoWhileStmt{pos: p.at(kw), Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) switchStmt() (Stmt, error) {
+	kw := p.next() // switch
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	tag, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{pos: p.at(kw), Tag: tag, DefaultAt: -1}
+	parseBody := func() ([]Stmt, error) {
+		var body []Stmt
+		for !p.isKeyword("case") && !p.isKeyword("default") && !p.isPunct("}") {
+			if p.atEOF() {
+				return nil, p.errorf(p.cur(), "unterminated switch")
+			}
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, s)
+		}
+		return body, nil
+	}
+	for !p.isPunct("}") {
+		switch {
+		case p.isKeyword("case"):
+			p.next()
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := parseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Value: v, Body: body})
+		case p.isKeyword("default"):
+			if st.DefaultAt >= 0 {
+				return nil, p.errorf(p.cur(), "duplicate default clause")
+			}
+			p.next()
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			body, err := parseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.DefaultAt = len(st.Cases)
+			st.Default = body
+		default:
+			return nil, p.errorf(p.cur(), "expected case or default in switch")
+		}
+	}
+	p.next() // }
+	return st, nil
+}
+
+func (p *Parser) tryStmt() (Stmt, error) {
+	kw := p.next() // try
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &TryStmt{pos: p.at(kw), Body: body}
+	if p.isKeyword("catch") {
+		p.next()
+		if p.acceptPunct("(") {
+			t := p.cur()
+			if t.Kind != TokIdent {
+				return nil, p.errorf(t, "expected catch parameter name")
+			}
+			p.next()
+			st.CatchName = t.Text
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		catch, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if catch == nil {
+			catch = []Stmt{}
+		}
+		st.Catch = catch
+	}
+	if p.isKeyword("finally") {
+		p.next()
+		fin, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if fin == nil {
+			fin = []Stmt{}
+		}
+		st.Finally = fin
+	}
+	if st.Catch == nil && st.Finally == nil {
+		return nil, p.errorf(p.cur(), "try needs catch or finally")
+	}
+	return st, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	kw := p.next()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	// for (var k in obj) — look ahead for the for-in form.
+	if p.isKeyword("var") || p.isKeyword("let") || p.isKeyword("const") {
+		save := p.pos
+		p.next()
+		if p.cur().Kind == TokIdent {
+			name := p.next().Text
+			if p.isKeyword("in") {
+				p.next()
+				x, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				body, err := p.blockOrSingle()
+				if err != nil {
+					return nil, err
+				}
+				return &ForInStmt{pos: p.at(kw), Name: name, X: x, Body: body}, nil
+			}
+		}
+		p.pos = save
+	}
+	st := &ForStmt{pos: p.at(kw)}
+	if !p.isPunct(";") {
+		if p.isKeyword("var") || p.isKeyword("let") || p.isKeyword("const") {
+			s, err := p.varDecl() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		} else {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{pos: st.pos, X: x}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.isPunct(";") {
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = x
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = x
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+// expression parses a full expression including comma-free assignment.
+func (p *Parser) expression() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	left, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "=", "+=", "-=", "*=", "/=", "%=":
+			switch left.(type) {
+			case *Ident, *Member, *Index:
+			default:
+				return nil, p.errorf(t, "invalid assignment target")
+			}
+			p.next()
+			right, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{pos: p.at(t), Op: t.Text, Target: left, Value: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) condExpr() (Expr, error) {
+	test, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("?") {
+		return test, nil
+	}
+	t := p.next()
+	then, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{pos: p.at(t), Test: test, Then: then, Else: els}, nil
+}
+
+// binPrec follows JavaScript's precedence: logical < bitwise < equality <
+// relational < shift < additive < multiplicative.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6, "===": 6, "!==": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) binaryExpr(minPrec int) (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return left, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if t.Text == "&&" || t.Text == "||" {
+			left = &Logical{pos: p.at(t), Op: t.Text, L: left, R: right}
+		} else {
+			left = &Binary{pos: p.at(t), Op: t.Text, L: left, R: right}
+		}
+	}
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "+" || t.Text == "!" || t.Text == "~" || t.Text == "++" || t.Text == "--") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: p.at(t), Op: t.Text, X: x}, nil
+	}
+	if t.Kind == TokKeyword && (t.Text == "typeof" || t.Text == "delete") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: p.at(t), Op: t.Text, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.callExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "++" || t.Text == "--") {
+		p.next()
+		return &Postfix{pos: p.at(t), Op: t.Text, X: x}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) callExpr() (Expr, error) {
+	var x Expr
+	var err error
+	if p.isKeyword("new") {
+		kw := p.next()
+		fn, err := p.callExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Re-shape a parsed call into a constructor call.
+		if c, ok := fn.(*Call); ok {
+			return &New{pos: p.at(kw), Fn: c.Fn, Args: c.Args}, nil
+		}
+		return &New{pos: p.at(kw), Fn: fn}, nil
+	}
+	x, err = p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.isPunct("."):
+			p.next()
+			nt := p.cur()
+			if nt.Kind != TokIdent && nt.Kind != TokKeyword {
+				return nil, p.errorf(nt, "expected property name after '.'")
+			}
+			p.next()
+			x = &Member{pos: p.at(t), X: x, Name: nt.Text}
+		case p.isPunct("["):
+			p.next()
+			i, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{pos: p.at(t), X: x, I: i}
+		case p.isPunct("("):
+			p.next()
+			var args []Expr
+			for !p.isPunct(")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			x = &Call{pos: p.at(t), Fn: x, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumberLit{pos: p.at(t), Value: t.Num}, nil
+	case TokString:
+		p.next()
+		return &StringLit{pos: p.at(t), Value: t.Text}, nil
+	case TokIdent:
+		p.next()
+		return &Ident{pos: p.at(t), Name: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &BoolLit{pos: p.at(t), Value: t.Text == "true"}, nil
+		case "null":
+			p.next()
+			return &NullLit{pos: p.at(t)}, nil
+		case "undefined":
+			p.next()
+			return &UndefinedLit{pos: p.at(t)}, nil
+		case "this":
+			p.next()
+			return &ThisLit{pos: p.at(t)}, nil
+		case "function":
+			p.next()
+			name := ""
+			if p.cur().Kind == TokIdent {
+				name = p.next().Text
+			}
+			return p.funcRest(name, t)
+		}
+	case TokPunct:
+		switch t.Text {
+		case "(":
+			p.next()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		case "[":
+			p.next()
+			a := &ArrayLit{pos: p.at(t)}
+			for !p.isPunct("]") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				a.Elems = append(a.Elems, e)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return a, nil
+		case "{":
+			p.next()
+			o := &ObjectLit{pos: p.at(t)}
+			for !p.isPunct("}") {
+				kt := p.cur()
+				var key string
+				switch kt.Kind {
+				case TokIdent, TokKeyword, TokString:
+					key = kt.Text
+				case TokNumber:
+					key = kt.Text
+				default:
+					return nil, p.errorf(kt, "expected property key")
+				}
+				p.next()
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				o.Keys = append(o.Keys, key)
+				o.Values = append(o.Values, v)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			return o, nil
+		}
+	}
+	return nil, p.errorf(t, "unexpected token %v", t)
+}

@@ -1,0 +1,435 @@
+package js
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates runtime value types.
+type Kind int
+
+const (
+	// KindUndefined is the undefined value.
+	KindUndefined Kind = iota
+	// KindNull is the null value.
+	KindNull
+	// KindBool is a boolean.
+	KindBool
+	// KindNumber is a float64 number.
+	KindNumber
+	// KindString is a string.
+	KindString
+	// KindObject covers objects, arrays, and functions.
+	KindObject
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindObject:
+		return "object"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is a runtime value.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+	b    bool
+	obj  *Object
+}
+
+// Undefined and Null are the singleton non-values.
+var (
+	Undefined = Value{kind: KindUndefined}
+	Null      = Value{kind: KindNull}
+	True      = Value{kind: KindBool, b: true}
+	False     = Value{kind: KindBool}
+)
+
+// Num makes a number value.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Str makes a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Boolean makes a bool value.
+func Boolean(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// ObjVal wraps an object.
+func ObjVal(o *Object) Value { return Value{kind: KindObject, obj: o} }
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether the value is undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsNullish reports whether the value is null or undefined.
+func (v Value) IsNullish() bool { return v.kind == KindUndefined || v.kind == KindNull }
+
+// Object returns the underlying object, or nil for non-objects.
+func (v Value) Object() *Object {
+	if v.kind == KindObject {
+		return v.obj
+	}
+	return nil
+}
+
+// Truthy applies JavaScript truthiness.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindUndefined, KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case KindString:
+		return v.str != ""
+	default:
+		return true
+	}
+}
+
+// Number coerces the value to a number (JS ToNumber semantics, simplified).
+func (v Value) Number() float64 {
+	switch v.kind {
+	case KindNumber:
+		return v.num
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		s := strings.TrimSpace(v.str)
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case KindNull:
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// Text coerces the value to a string (JS ToString, simplified).
+func (v Value) Text() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return formatNumber(v.num)
+	case KindString:
+		return v.str
+	default:
+		o := v.obj
+		switch {
+		case o.Fn != nil:
+			name := o.Fn.Name
+			if name == "" {
+				name = "anonymous"
+			}
+			return "function " + name
+		case o.IsArray:
+			parts := make([]string, len(o.Elems))
+			for i, e := range o.Elems {
+				if e.IsNullish() {
+					parts[i] = ""
+				} else {
+					parts[i] = e.Text()
+				}
+			}
+			return strings.Join(parts, ",")
+		default:
+			return "[object Object]"
+		}
+	}
+}
+
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+func (v Value) String() string { return v.Text() }
+
+// StrictEquals implements ===.
+func (v Value) StrictEquals(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindNumber:
+		return v.num == o.num
+	case KindString:
+		return v.str == o.str
+	default:
+		return v.obj == o.obj
+	}
+}
+
+// LooseEquals implements == with the coercions that occur in practice.
+func (v Value) LooseEquals(o Value) bool {
+	if v.kind == o.kind {
+		return v.StrictEquals(o)
+	}
+	if v.IsNullish() && o.IsNullish() {
+		return true
+	}
+	if v.IsNullish() || o.IsNullish() {
+		return false
+	}
+	return v.Number() == o.Number()
+}
+
+// HostObject lets Go-side objects (DOM nodes, style proxies, the browser
+// window) participate in property access. Get reports ok=false to fall
+// through to ordinary properties; Set reports false to store in the ordinary
+// property map instead.
+type HostObject interface {
+	HostGet(name string) (Value, bool)
+	HostSet(name string, v Value) bool
+}
+
+// Object is the heap value behind objects, arrays, and functions.
+type Object struct {
+	Props   map[string]Value
+	Elems   []Value
+	IsArray bool
+	Fn      *Function
+	Host    HostObject
+}
+
+// NewObject returns an empty plain object.
+func NewObject() *Object { return &Object{Props: map[string]Value{}} }
+
+// NewArray returns an array object with the given elements.
+func NewArray(elems ...Value) *Object {
+	return &Object{IsArray: true, Elems: elems, Props: map[string]Value{}}
+}
+
+// NewHost returns an object backed by a host implementation.
+func NewHost(h HostObject) *Object {
+	return &Object{Props: map[string]Value{}, Host: h}
+}
+
+// Get reads a property, consulting the host first, then array intrinsics,
+// then the property map.
+func (o *Object) Get(name string) Value {
+	if o.Host != nil {
+		if v, ok := o.Host.HostGet(name); ok {
+			return v
+		}
+	}
+	if o.IsArray {
+		if name == "length" {
+			return Num(float64(len(o.Elems)))
+		}
+		if i, err := strconv.Atoi(name); err == nil {
+			if i >= 0 && i < len(o.Elems) {
+				return o.Elems[i]
+			}
+			return Undefined
+		}
+	}
+	if v, ok := o.Props[name]; ok {
+		return v
+	}
+	return Undefined
+}
+
+// Set writes a property, consulting the host first.
+func (o *Object) Set(name string, v Value) {
+	if o.Host != nil && o.Host.HostSet(name, v) {
+		return
+	}
+	if o.IsArray {
+		if name == "length" {
+			n := int(v.Number())
+			if n < 0 {
+				n = 0
+			}
+			for len(o.Elems) < n {
+				o.Elems = append(o.Elems, Undefined)
+			}
+			o.Elems = o.Elems[:n]
+			return
+		}
+		if i, err := strconv.Atoi(name); err == nil && i >= 0 {
+			for len(o.Elems) <= i {
+				o.Elems = append(o.Elems, Undefined)
+			}
+			o.Elems[i] = v
+			return
+		}
+	}
+	if o.Props == nil {
+		o.Props = map[string]Value{}
+	}
+	o.Props[name] = v
+}
+
+// Keys returns the object's own property names, sorted, plus array indexes.
+func (o *Object) Keys() []string {
+	var ks []string
+	if o.IsArray {
+		for i := range o.Elems {
+			ks = append(ks, strconv.Itoa(i))
+		}
+	}
+	var props []string
+	for k := range o.Props {
+		props = append(props, k)
+	}
+	sort.Strings(props)
+	return append(ks, props...)
+}
+
+// Function is a callable: either interpreted (Params/Body/Env) or native.
+type Function struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Env    *Env
+	Native func(in *Interp, this Value, args []Value) (Value, error)
+}
+
+// NativeFunc wraps a Go function as a callable value.
+func NativeFunc(name string, fn func(in *Interp, this Value, args []Value) (Value, error)) Value {
+	return ObjVal(&Object{Props: map[string]Value{}, Fn: &Function{Name: name, Native: fn}})
+}
+
+// Env is a lexical scope frame.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a scope nested in parent (which may be nil for globals).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Lookup finds a variable, walking outward.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Undefined, false
+}
+
+// Define creates or overwrites a variable in this scope.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Assign sets an existing variable in the nearest scope defining it; if none
+// does, it defines a global (sloppy-mode JavaScript behaviour).
+func (e *Env) Assign(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+		if s.parent == nil {
+			s.vars[name] = v // implicit global
+			return
+		}
+	}
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		if v.obj != nil && v.obj.Fn != nil {
+			return "function"
+		}
+		return "object"
+	}
+}
+
+// GoString renders a value for diagnostics (console.log formatting).
+func GoString(v Value) string {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindObject:
+		o := v.obj
+		if o.Fn != nil {
+			return v.Text()
+		}
+		if o.IsArray {
+			parts := make([]string, len(o.Elems))
+			for i, e := range o.Elems {
+				parts[i] = GoString(e)
+			}
+			return "[" + strings.Join(parts, ", ") + "]"
+		}
+		var parts []string
+		for _, k := range o.Keys() {
+			parts = append(parts, fmt.Sprintf("%s: %s", k, GoString(o.Props[k])))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return v.Text()
+	}
+}

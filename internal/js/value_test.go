@@ -1,0 +1,206 @@
+package js
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case tests for the value layer: coercions, equality, formatting,
+// and builtin corner cases not covered by the language tests.
+
+func TestNumberFormattingEdges(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "Infinity",
+		math.Inf(-1): "-Infinity",
+		0:            "0",
+		-7:           "-7",
+		0.25:         "0.25",
+		1e21:         "1e+21",
+		123456789012: "123456789012",
+		-0.5:         "-0.5",
+	}
+	for in, want := range cases {
+		if got := Num(in).Text(); got != want {
+			t.Errorf("Num(%v).Text() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLooseEqualsCoercions(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Num(1), Str("1"), true},
+		{Num(0), Str(""), true}, // "" → 0
+		{True, Num(1), true},
+		{False, Num(0), true},
+		{Null, Undefined, true},
+		{Null, Num(0), false},
+		{Undefined, Str("undefined"), false},
+		{Str("a"), Str("a"), true},
+		{Num(math.NaN()), Num(math.NaN()), false},
+	}
+	for _, c := range cases {
+		if got := c.a.LooseEquals(c.b); got != c.want {
+			t.Errorf("%v == %v → %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrictEqualsObjects(t *testing.T) {
+	o := ObjVal(NewObject())
+	if !o.StrictEquals(o) {
+		t.Fatal("object not identical to itself")
+	}
+	if o.StrictEquals(ObjVal(NewObject())) {
+		t.Fatal("distinct objects equal")
+	}
+}
+
+func TestStringNumberCoercionEdges(t *testing.T) {
+	if !math.IsNaN(Str("abc").Number()) {
+		t.Fatal("non-numeric string must be NaN")
+	}
+	if Str("").Number() != 0 || Str("  ").Number() != 0 {
+		t.Fatal("empty/space string must be 0")
+	}
+	if !math.IsNaN(Undefined.Number()) {
+		t.Fatal("undefined must be NaN")
+	}
+	if !math.IsNaN(ObjVal(NewObject()).Number()) {
+		t.Fatal("object must be NaN")
+	}
+}
+
+func TestArrayLengthTruncationAndGrowth(t *testing.T) {
+	in := runSrc(t, `
+		var a = [1, 2, 3, 4];
+		a.length = 2;
+		var afterTrunc = a.join(",");
+		a.length = 4;
+		var third = typeof a[2];
+		a.length = -1; // clamped to zero
+		var empty = a.length;
+	`)
+	if global(t, in, "afterTrunc").Text() != "1,2" {
+		t.Fatal("length truncation failed")
+	}
+	if global(t, in, "third").Text() != "undefined" {
+		t.Fatal("growth must pad with undefined")
+	}
+	if global(t, in, "empty").Number() != 0 {
+		t.Fatal("negative length not clamped")
+	}
+}
+
+func TestArrayMethodEdgeCases(t *testing.T) {
+	in := runSrc(t, `
+		var popEmpty = typeof [].pop();
+		var shiftEmpty = typeof [].shift();
+		var shifted = [7, 8].shift();
+		var negSlice = [1,2,3,4].slice(-2).join(",");
+		var crossSlice = [1,2,3].slice(2, 1).length;
+		var sortDefault = [10, 9, 1].sort().join(","); // lexicographic
+		var idxMissing = [1,2].indexOf(9);
+	`)
+	if global(t, in, "popEmpty").Text() != "undefined" || global(t, in, "shiftEmpty").Text() != "undefined" {
+		t.Fatal("empty pop/shift wrong")
+	}
+	if global(t, in, "shifted").Number() != 7 {
+		t.Fatal("shift wrong")
+	}
+	if global(t, in, "negSlice").Text() != "3,4" {
+		t.Fatal("negative slice wrong")
+	}
+	if global(t, in, "crossSlice").Number() != 0 {
+		t.Fatal("crossed slice must be empty")
+	}
+	if global(t, in, "sortDefault").Text() != "1,10,9" {
+		t.Fatalf("default sort = %q", global(t, in, "sortDefault").Text())
+	}
+	if global(t, in, "idxMissing").Number() != -1 {
+		t.Fatal("indexOf missing wrong")
+	}
+}
+
+func TestStringMethodEdgeCases(t *testing.T) {
+	in := runSrc(t, `
+		var oob = "ab".charAt(5);
+		var code = "ab".charCodeAt(9);
+		var codeNaN = isNaN(code);
+		var swap = "cb".substring(2, 0); // swapped bounds
+		var noSplit = "abc".split().length;
+	`)
+	if global(t, in, "oob").Text() != "" {
+		t.Fatal("charAt OOB must be empty string")
+	}
+	if !global(t, in, "codeNaN").Truthy() {
+		t.Fatal("charCodeAt OOB must be NaN")
+	}
+	if global(t, in, "swap").Text() != "cb" {
+		t.Fatal("substring bound swap wrong")
+	}
+	if global(t, in, "noSplit").Number() != 1 {
+		t.Fatal("split without separator wrong")
+	}
+}
+
+func TestSortComparatorErrorPropagates(t *testing.T) {
+	in := NewInterp()
+	in.InstallStdlib(nil)
+	err := in.RunSource(`[3,1,2].sort(function(a, b) { return missing; });`)
+	if err == nil {
+		t.Fatal("comparator error swallowed")
+	}
+}
+
+func TestEnvImplicitGlobal(t *testing.T) {
+	in := runSrc(t, `
+		function f() { leaked = 42; } // sloppy-mode implicit global
+		f();
+	`)
+	if global(t, in, "leaked").Number() != 42 {
+		t.Fatal("implicit global assignment failed")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindUndefined: "undefined", KindNull: "null", KindBool: "boolean",
+		KindNumber: "number", KindString: "string", KindObject: "object",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if TokEOF.String() != "eof" || TokIdent.String() != "identifier" {
+		t.Error("token kind strings wrong")
+	}
+}
+
+func TestFunctionTextForms(t *testing.T) {
+	if got := evalExpr(t, `"" + function named() {}`).Text(); got != "function named" {
+		t.Fatalf("named fn text = %q", got)
+	}
+	if got := evalExpr(t, `"" + function () {}`).Text(); got != "function anonymous" {
+		t.Fatalf("anon fn text = %q", got)
+	}
+}
+
+func TestToFixedAndNumberMethodFallback(t *testing.T) {
+	if got := evalExpr(t, `(5).toFixed()`).Text(); got != "5" {
+		t.Fatalf("toFixed() = %q", got)
+	}
+	if got := evalExpr(t, `typeof (5).anything`).Text(); got != "undefined" {
+		t.Fatalf("number prop fallback = %q", got)
+	}
+}
+
+func TestArgumentsAndBoolProp(t *testing.T) {
+	// Property access on booleans yields undefined, not an error.
+	if got := evalExpr(t, `typeof true.x`).Text(); got != "undefined" {
+		t.Fatalf("bool prop = %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package qos defines the paper's two QoS abstractions (Sec. 3): QoS type —
+// whether user experience is judged by a single response frame or by every
+// frame of a continuous sequence — and QoS target — the imperceptible (TI)
+// and usable (TU) frame-latency levels. Table 1 of the paper fixes default
+// targets per interaction category; those constants live here.
+package qos
+
+import (
+	"fmt"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Type is the QoS type abstraction.
+type Type int
+
+const (
+	// Single: the QoS experience is determined by the latency of the one
+	// response frame an interaction produces (e.g. tapping a search box,
+	// page loading judged by the first meaningful frame).
+	Single Type = iota
+	// Continuous: the experience is determined by the latency of every
+	// frame in a generated sequence (animations, scrolling).
+	Continuous
+)
+
+func (t Type) String() string {
+	switch t {
+	case Single:
+		return "single"
+	case Continuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Duration classifies single-type interactions by expected response period
+// (paper Sec. 3.3): lightweight interactions feel instant under 100 ms;
+// heavyweight jobs are tolerated up to seconds.
+type Duration int
+
+const (
+	// Short is a lightweight interaction (search box, toggle).
+	Short Duration = iota
+	// Long is a heavyweight job (page load, image filter, compression).
+	Long
+)
+
+func (d Duration) String() string {
+	if d == Long {
+		return "long"
+	}
+	return "short"
+}
+
+// Target is the QoS target abstraction: the imperceptible and usable frame
+// latencies for an event. TI is the level above which extra performance adds
+// no perceptible value; TU is the level below which users deem the
+// application unusable.
+type Target struct {
+	TI sim.Duration
+	TU sim.Duration
+}
+
+func (t Target) String() string { return fmt.Sprintf("(TI=%v, TU=%v)", t.TI, t.TU) }
+
+// Valid reports whether the target is physically meaningful.
+func (t Target) Valid() bool { return t.TI > 0 && t.TU >= t.TI }
+
+// Table 1 default targets.
+var (
+	// ContinuousTarget is (16.6, 33.3) ms — 60 and 30 FPS per frame.
+	ContinuousTarget = Target{TI: 16600 * sim.Microsecond, TU: 33300 * sim.Microsecond}
+	// SingleShortTarget is (100, 300) ms — instant-feel interactions.
+	SingleShortTarget = Target{TI: 100 * sim.Millisecond, TU: 300 * sim.Millisecond}
+	// SingleLongTarget is (1, 10) s — heavyweight jobs users wait on.
+	SingleLongTarget = Target{TI: 1 * sim.Second, TU: 10 * sim.Second}
+)
+
+// DefaultTarget returns the Table 1 default for a type (and, for single,
+// an expected duration class).
+func DefaultTarget(t Type, d Duration) Target {
+	if t == Continuous {
+		return ContinuousTarget
+	}
+	if d == Long {
+		return SingleLongTarget
+	}
+	return SingleShortTarget
+}
+
+// Scenario selects which half of the target the runtime optimizes for,
+// matching the paper's two battery-driven usage scenarios (Sec. 7.1).
+type Scenario int
+
+const (
+	// Imperceptible: battery is abundant; deliver TI.
+	Imperceptible Scenario = iota
+	// Usable: battery is tight; deliver TU.
+	Usable
+)
+
+func (s Scenario) String() string {
+	if s == Usable {
+		return "usable"
+	}
+	return "imperceptible"
+}
+
+// Deadline returns the frame-latency bound the scenario requires.
+func (s Scenario) Deadline(t Target) sim.Duration {
+	if s == Usable {
+		return t.TU
+	}
+	return t.TI
+}
+
+// Annotation is one resolved GreenWeb annotation: when Event fires on the
+// annotated element, frames must meet Target under the active scenario.
+type Annotation struct {
+	Event    string // DOM event name, e.g. "touchstart"
+	Type     Type
+	Duration Duration // meaningful for Single with default targets
+	Target   Target
+	// Explicit records whether the developer overrode the Table 1 defaults
+	// with absolute TI/TU values (third rule form in Table 2).
+	Explicit bool
+}
+
+func (a Annotation) String() string {
+	return fmt.Sprintf("on%s-qos: %s %v", a.Event, a.Type, a.Target)
+}
+
+// Category is a Table 1 row: interactions grouped by QoS type and target.
+type Category struct {
+	Name         string
+	Type         Type
+	Target       Target
+	Interactions string // LTM letters that trigger it
+	Description  string
+}
+
+// Table1 returns the paper's interaction taxonomy.
+func Table1() []Category {
+	return []Category{
+		{
+			Name:         "continuous",
+			Type:         Continuous,
+			Target:       ContinuousTarget,
+			Interactions: "T, M",
+			Description:  "QoS experience is evaluated by continuous frame latencies.",
+		},
+		{
+			Name:         "single-short",
+			Type:         Single,
+			Target:       SingleShortTarget,
+			Interactions: "T",
+			Description:  "QoS experience is evaluated by single frame latency; users expect short response period.",
+		},
+		{
+			Name:         "single-long",
+			Type:         Single,
+			Target:       SingleLongTarget,
+			Interactions: "L, T",
+			Description:  "QoS experience is evaluated by single frame latency; users expect long response period.",
+		},
+	}
+}

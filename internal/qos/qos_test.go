@@ -1,0 +1,103 @@
+package qos
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+func TestTable1Defaults(t *testing.T) {
+	// The paper's Table 1 values, exactly.
+	if ContinuousTarget.TI != 16600*sim.Microsecond || ContinuousTarget.TU != 33300*sim.Microsecond {
+		t.Fatalf("continuous target = %v", ContinuousTarget)
+	}
+	if SingleShortTarget.TI != 100*sim.Millisecond || SingleShortTarget.TU != 300*sim.Millisecond {
+		t.Fatalf("single-short target = %v", SingleShortTarget)
+	}
+	if SingleLongTarget.TI != sim.Second || SingleLongTarget.TU != 10*sim.Second {
+		t.Fatalf("single-long target = %v", SingleLongTarget)
+	}
+}
+
+func TestDefaultTarget(t *testing.T) {
+	if DefaultTarget(Continuous, Short) != ContinuousTarget {
+		t.Fatal("continuous default wrong")
+	}
+	if DefaultTarget(Continuous, Long) != ContinuousTarget {
+		t.Fatal("continuous ignores duration class")
+	}
+	if DefaultTarget(Single, Short) != SingleShortTarget {
+		t.Fatal("single short default wrong")
+	}
+	if DefaultTarget(Single, Long) != SingleLongTarget {
+		t.Fatal("single long default wrong")
+	}
+}
+
+func TestTargetMagnitudesSeparated(t *testing.T) {
+	// The paper argues the categories differ by orders of magnitude
+	// (tens of ms vs hundreds of ms vs seconds).
+	if ContinuousTarget.TI*5 > SingleShortTarget.TI {
+		t.Fatal("continuous and single-short targets too close")
+	}
+	if SingleShortTarget.TI*5 > SingleLongTarget.TI {
+		t.Fatal("single-short and single-long targets too close")
+	}
+}
+
+func TestTargetValid(t *testing.T) {
+	for _, tgt := range []Target{ContinuousTarget, SingleShortTarget, SingleLongTarget} {
+		if !tgt.Valid() {
+			t.Errorf("%v invalid", tgt)
+		}
+	}
+	if (Target{TI: 0, TU: 10}).Valid() {
+		t.Error("zero TI should be invalid")
+	}
+	if (Target{TI: 10, TU: 5}).Valid() {
+		t.Error("TU < TI should be invalid")
+	}
+}
+
+func TestScenarioDeadline(t *testing.T) {
+	tgt := Target{TI: 10, TU: 20}
+	if Imperceptible.Deadline(tgt) != 10 {
+		t.Fatal("imperceptible deadline wrong")
+	}
+	if Usable.Deadline(tgt) != 20 {
+		t.Fatal("usable deadline wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Single.String() != "single" || Continuous.String() != "continuous" {
+		t.Fatal("Type strings wrong")
+	}
+	if Short.String() != "short" || Long.String() != "long" {
+		t.Fatal("Duration strings wrong")
+	}
+	if Imperceptible.String() != "imperceptible" || Usable.String() != "usable" {
+		t.Fatal("Scenario strings wrong")
+	}
+	a := Annotation{Event: "click", Type: Single, Target: SingleShortTarget}
+	if a.String() != "onclick-qos: single (TI=100ms, TU=300ms)" {
+		t.Fatalf("Annotation string = %q", a.String())
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table1 has %d rows", len(rows))
+	}
+	if rows[0].Type != Continuous || rows[1].Type != Single || rows[2].Type != Single {
+		t.Fatal("Table1 types wrong")
+	}
+	if rows[0].Target != ContinuousTarget || rows[1].Target != SingleShortTarget || rows[2].Target != SingleLongTarget {
+		t.Fatal("Table1 targets wrong")
+	}
+	// Loading appears only in the single-long row; moving only in continuous.
+	if rows[2].Interactions != "L, T" || rows[0].Interactions != "T, M" {
+		t.Fatal("Table1 interactions wrong")
+	}
+}

@@ -1,0 +1,192 @@
+package replay
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/governor"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+func TestTapExpansion(t *testing.T) {
+	steps := Tap(100*sim.Millisecond, "btn")
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].Event != "touchstart" || steps[1].Event != "touchend" || steps[2].Event != "click" {
+		t.Fatalf("events = %v", steps)
+	}
+	if steps[0].At != 100*sim.Millisecond || steps[2].At <= steps[1].At {
+		t.Fatalf("timing = %v", steps)
+	}
+	for _, s := range steps {
+		if s.Target != "btn" {
+			t.Fatalf("target = %q", s.Target)
+		}
+	}
+}
+
+func TestMoveExpansion(t *testing.T) {
+	steps := Move(0, "list", 5, 16*sim.Millisecond)
+	if len(steps) != 7 { // touchstart + 5 moves + touchend
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].Event != "touchstart" || steps[6].Event != "touchend" {
+		t.Fatalf("bracketing events wrong: %v", steps)
+	}
+	for i := 1; i <= 5; i++ {
+		if steps[i].Event != "touchmove" || steps[i].Data["deltaY"] == 0 {
+			t.Fatalf("step %d = %+v", i, steps[i])
+		}
+	}
+}
+
+func TestScrollExpansion(t *testing.T) {
+	steps := Scroll(10*sim.Millisecond, "pg", 3, 20*sim.Millisecond)
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for _, s := range steps {
+		if s.Event != "scroll" {
+			t.Fatalf("event = %q", s.Event)
+		}
+	}
+}
+
+func TestTraceAppendOrderEnforced(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	tr.Append(Tap(0, "a")...)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	tr.Append(Step{At: 0, Event: "click", Target: "a"})
+}
+
+func TestTraceDurationAndEvents(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	tr.Append(Tap(0, "a")...)
+	tr.Append(Move(sim.Second, "b", 4, 16*sim.Millisecond)...)
+	if tr.Events() != 9 {
+		t.Fatalf("events = %d", tr.Events())
+	}
+	want := sim.Second + 5*16*sim.Millisecond
+	if tr.Duration() != want {
+		t.Fatalf("duration = %v, want %v", tr.Duration(), want)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "session"}
+	tr.Append(Tap(50*sim.Millisecond, "btn")...)
+	tr.Append(Scroll(sim.Second, "pg", 2, 30*sim.Millisecond)...)
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || back.Events() != tr.Events() || back.Duration() != tr.Duration() {
+		t.Fatalf("round trip changed trace: %+v", back)
+	}
+	if back.Steps[3].Data["deltaY"] != 24 {
+		t.Fatal("data lost in round trip")
+	}
+	if _, err := Unmarshal([]byte("{broken")); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	// Replay a trace into an engine, record it back, and compare.
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := browser.New(s, cpu, nil)
+	e.SetGovernor(governor.NewPerf())
+	if _, err := e.LoadPage(`<body><div id="d">x</div></body>`); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	orig := &Trace{Name: "orig"}
+	orig.Append(Tap(0, "d")...)
+	orig.Append(Move(sim.Second, "d", 3, 20*sim.Millisecond)...)
+	start := s.Now().Add(50 * sim.Millisecond)
+	orig.Replay(e, start)
+	s.Run()
+
+	rec := Record("rec", e)
+	if rec.Events() != orig.Events() {
+		t.Fatalf("recorded %d events, want %d", rec.Events(), orig.Events())
+	}
+	for i, step := range rec.Steps {
+		if step.Event != orig.Steps[i].Event || step.Target != orig.Steps[i].Target {
+			t.Fatalf("step %d = %+v, want %+v", i, step, orig.Steps[i])
+		}
+		if step.At != orig.Steps[i].At {
+			t.Fatalf("step %d offset = %v, want %v", i, step.At, orig.Steps[i].At)
+		}
+	}
+	// The load event is excluded.
+	for _, step := range rec.Steps {
+		if step.Event == "load" {
+			t.Fatal("load recorded")
+		}
+	}
+}
+
+func TestJitterPreservesOrderAndContent(t *testing.T) {
+	orig := &Trace{Name: "t"}
+	orig.Append(Tap(0, "a")...)
+	orig.Append(Move(sim.Second, "b", 10, 16*sim.Millisecond)...)
+	j := orig.Jitter(42, 20*sim.Millisecond)
+	if j.Events() != orig.Events() {
+		t.Fatal("jitter changed event count")
+	}
+	var last sim.Duration = -1
+	moved := false
+	for i, step := range j.Steps {
+		if step.At < last {
+			t.Fatalf("jitter broke ordering at step %d", i)
+		}
+		last = step.At
+		if step.Event != orig.Steps[i].Event || step.Target != orig.Steps[i].Target {
+			t.Fatal("jitter changed step content")
+		}
+		if step.At != orig.Steps[i].At {
+			moved = true
+		}
+		d := step.At - orig.Steps[i].At
+		if d > 20*sim.Millisecond || d < -20*sim.Millisecond {
+			// Clamping to preserve order can push a step later than its
+			// own shift; allow accumulation but it must stay bounded by
+			// the trace's worst case.
+			if d > 200*sim.Millisecond {
+				t.Fatalf("step %d shifted %v", i, d)
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("jitter moved nothing")
+	}
+	// Deterministic in the seed.
+	j2 := orig.Jitter(42, 20*sim.Millisecond)
+	for i := range j.Steps {
+		if j.Steps[i].At != j2.Steps[i].At {
+			t.Fatal("jitter not deterministic")
+		}
+	}
+	j3 := orig.Jitter(43, 20*sim.Millisecond)
+	same := true
+	for i := range j.Steps {
+		if j.Steps[i].At != j3.Steps[i].At {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical jitter")
+	}
+}

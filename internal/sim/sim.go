@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All GreenWeb subsystems — the browser engine, the ACMP hardware model,
+// CPU governors, and interaction replay — share a single virtual clock and
+// event queue owned by a Simulator. Time is measured in integer microseconds
+// so that runs are exactly reproducible across machines.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking), which keeps multi-"thread" pipelines such
+// as the browser's renderer/compositor interaction deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in microseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations, mirroring the time package for readability at call sites.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Forever is a sentinel time later than any schedulable event.
+const Forever Time = math.MaxInt64
+
+// FromStd converts a standard library duration to a simulation duration,
+// truncating to microsecond resolution.
+func FromStd(d time.Duration) Duration { return Duration(d.Microseconds()) }
+
+// Std converts a simulation duration to a standard library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string { return d.Std().String() }
+
+// Add offsets a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub reports the duration elapsed between u and t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports the time as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return (time.Duration(t) * time.Microsecond).String()
+}
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel pending events.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 once popped or cancelled
+	fn     func()
+	name   string
+	cancel bool
+}
+
+// At reports when the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Name reports the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Stats
+	fired uint64
+}
+
+// New returns a simulator with the clock at zero and no pending events.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending reports the number of events waiting to fire (including cancelled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Fired reports how many events have executed since the simulator was
+// created.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a logic error in a discrete-event model.
+func (s *Simulator) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now (%v)", name, t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, name: name}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (s *Simulator) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Immediately schedules fn at the current time, after all events already
+// scheduled for this instant.
+func (s *Simulator) Immediately(name string, fn func()) *Event {
+	return s.At(s.now, name, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the single next event, advancing the clock to its timestamp.
+// It reports whether an event fired (false when the queue is empty).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps at or before deadline, then advances
+// the clock to the deadline if the queue drained early or the next event is
+// later.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor runs the simulation for a further duration d of virtual time.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// NextEventAt reports the timestamp of the next non-cancelled pending event,
+// or Forever when the queue is empty.
+func (s *Simulator) NextEventAt() Time {
+	e := s.peek()
+	if e == nil {
+		return Forever
+	}
+	return e.at
+}
+
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+// Package webapi wires the JavaScript interpreter to the DOM and to browser
+// services: document access, element wrappers with style proxies, event
+// listener registration, requestAnimationFrame, timers, and a synthetic
+// compute kernel for modelling heavyweight callbacks.
+//
+// The binding layer is what lets application scripts behave like real Web
+// code — registering rAF callbacks (the paper's Fig. 5 pattern), flipping
+// style properties to trigger CSS transitions (Fig. 4), and performing
+// program-dependent amounts of work that the browser's cost model meters.
+package webapi
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wattwiseweb/greenweb/internal/css"
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Services is what the browser provides to scripts. The browser package
+// implements it; AUTOGREEN wraps it to observe rAF and animation use.
+type Services interface {
+	// Now reports current virtual time (performance.now, in ms).
+	Now() sim.Time
+	// RequestAnimationFrame schedules cb to run before the next frame
+	// paints, returning a request id.
+	RequestAnimationFrame(cb js.Value) int
+	// SetTimeout schedules cb after delay.
+	SetTimeout(cb js.Value, delay sim.Duration) int
+	// ConsoleLog delivers console output.
+	ConsoleLog(msg string)
+}
+
+// WorkOpsPerUnit is how many interpreter operations one work(1) unit
+// charges. Synthetic kernels use work(n) to model computation (image
+// filtering, compression) whose cost would otherwise require megabytes of
+// script.
+const WorkOpsPerUnit = 1000
+
+// Bindings owns the interpreter↔DOM glue for one page.
+type Bindings struct {
+	In  *js.Interp
+	Doc *dom.Document
+	Svc Services
+
+	elems map[*dom.Node]js.Value
+}
+
+// Install creates bindings and defines the globals scripts expect:
+// document, window, performance, requestAnimationFrame, setTimeout,
+// console (via the interpreter stdlib), and work().
+func Install(in *js.Interp, doc *dom.Document, svc Services) *Bindings {
+	b := &Bindings{In: in, Doc: doc, Svc: svc, elems: make(map[*dom.Node]js.Value)}
+	in.InstallStdlib(svc.ConsoleLog)
+
+	docObj := js.NewHost(&documentHost{b})
+	in.Globals.Define("document", js.ObjVal(docObj))
+
+	raf := js.NativeFunc("requestAnimationFrame", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		if len(args) == 0 {
+			return js.Undefined, fmt.Errorf("requestAnimationFrame: missing callback")
+		}
+		id := svc.RequestAnimationFrame(args[0])
+		return js.Num(float64(id)), nil
+	})
+	in.Globals.Define("requestAnimationFrame", raf)
+
+	setTimeout := js.NativeFunc("setTimeout", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		if len(args) == 0 {
+			return js.Undefined, fmt.Errorf("setTimeout: missing callback")
+		}
+		var delay sim.Duration
+		if len(args) > 1 {
+			delay = sim.Duration(args[1].Number() * float64(sim.Millisecond))
+		}
+		id := svc.SetTimeout(args[0], delay)
+		return js.Num(float64(id)), nil
+	})
+	in.Globals.Define("setTimeout", setTimeout)
+
+	perf := js.NewObject()
+	perf.Set("now", js.NativeFunc("now", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		return js.Num(float64(svc.Now()) / float64(sim.Millisecond)), nil
+	}))
+	in.Globals.Define("performance", js.ObjVal(perf))
+
+	winObj := js.NewObject()
+	winObj.Set("requestAnimationFrame", raf)
+	winObj.Set("setTimeout", setTimeout)
+	winObj.Set("performance", js.ObjVal(perf))
+	winObj.Set("document", js.ObjVal(docObj))
+	in.Globals.Define("window", js.ObjVal(winObj))
+
+	// work(n): synthetic compute kernel charging n×WorkOpsPerUnit ops.
+	in.Globals.Define("work", js.NativeFunc("work", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		units := 1.0
+		if len(args) > 0 {
+			units = args[0].Number()
+		}
+		if units < 0 {
+			units = 0
+		}
+		in.ChargeOps(int64(units * WorkOpsPerUnit))
+		return js.Undefined, nil
+	}))
+	return b
+}
+
+// ElemValue returns the (cached) script wrapper for a DOM node, preserving
+// object identity across lookups as engines do.
+func (b *Bindings) ElemValue(n *dom.Node) js.Value {
+	if n == nil {
+		return js.Null
+	}
+	if v, ok := b.elems[n]; ok {
+		return v
+	}
+	v := js.ObjVal(js.NewHost(&elementHost{b: b, n: n}))
+	b.elems[n] = v
+	return v
+}
+
+// NodeOf extracts the DOM node backing a script value, or nil.
+func (b *Bindings) NodeOf(v js.Value) *dom.Node {
+	o := v.Object()
+	if o == nil || o.Host == nil {
+		return nil
+	}
+	if eh, ok := o.Host.(*elementHost); ok {
+		return eh.n
+	}
+	return nil
+}
+
+// WrapEvent builds the script-visible event object for a DOM event.
+func (b *Bindings) WrapEvent(e *dom.Event) js.Value {
+	o := js.NewObject()
+	o.Set("type", js.Str(e.Name))
+	o.Set("target", b.ElemValue(e.Target))
+	o.Set("currentTarget", b.ElemValue(e.CurrentTarget))
+	for k, v := range e.Data {
+		o.Set(k, js.Num(v))
+	}
+	o.Set("preventDefault", js.NativeFunc("preventDefault", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		e.PreventDefault()
+		return js.Undefined, nil
+	}))
+	o.Set("stopPropagation", js.NativeFunc("stopPropagation", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+		e.StopPropagation()
+		return js.Undefined, nil
+	}))
+	return js.ObjVal(o)
+}
+
+// Handler adapts a script function into a DOM event handler. Script errors
+// surface through onError (which may be nil to ignore, as browsers log and
+// continue).
+func (b *Bindings) Handler(fn js.Value, onError func(error)) dom.Handler {
+	return func(e *dom.Event) {
+		_, err := b.In.CallFunction(fn, b.ElemValue(e.CurrentTarget), []js.Value{b.WrapEvent(e)})
+		if err != nil && onError != nil {
+			onError(err)
+		}
+	}
+}
+
+// ---- document host ----
+
+type documentHost struct{ b *Bindings }
+
+func (d *documentHost) HostGet(name string) (js.Value, bool) {
+	b := d.b
+	switch name {
+	case "getElementById":
+		return js.NativeFunc("getElementById", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.Null, nil
+			}
+			return b.ElemValue(b.Doc.GetElementByID(args[0].Text())), nil
+		}), true
+	case "getElementsByTagName":
+		return js.NativeFunc("getElementsByTagName", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.ObjVal(js.NewArray()), nil
+			}
+			arr := js.NewArray()
+			for _, n := range b.Doc.GetElementsByTag(args[0].Text()) {
+				arr.Elems = append(arr.Elems, b.ElemValue(n))
+			}
+			return js.ObjVal(arr), nil
+		}), true
+	case "getElementsByClassName":
+		return js.NativeFunc("getElementsByClassName", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.ObjVal(js.NewArray()), nil
+			}
+			arr := js.NewArray()
+			for _, n := range b.Doc.GetElementsByClass(args[0].Text()) {
+				arr.Elems = append(arr.Elems, b.ElemValue(n))
+			}
+			return js.ObjVal(arr), nil
+		}), true
+	case "querySelector":
+		return js.NativeFunc("querySelector", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.Null, nil
+			}
+			n, err := css.Query(b.Doc, args[0].Text())
+			if err != nil {
+				return js.Null, fmt.Errorf("querySelector: %w", err)
+			}
+			in.ChargeOps(int64(b.Doc.CountNodes()) / 2)
+			return b.ElemValue(n), nil
+		}), true
+	case "querySelectorAll":
+		return js.NativeFunc("querySelectorAll", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			arr := js.NewArray()
+			if len(args) == 0 {
+				return js.ObjVal(arr), nil
+			}
+			ns, err := css.QueryAll(b.Doc, args[0].Text())
+			if err != nil {
+				return js.Null, fmt.Errorf("querySelectorAll: %w", err)
+			}
+			for _, n := range ns {
+				arr.Elems = append(arr.Elems, b.ElemValue(n))
+			}
+			in.ChargeOps(int64(b.Doc.CountNodes()) / 2)
+			return js.ObjVal(arr), nil
+		}), true
+	case "createElement":
+		return js.NativeFunc("createElement", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			tag := "div"
+			if len(args) > 0 {
+				tag = args[0].Text()
+			}
+			return b.ElemValue(b.Doc.NewElement(tag)), nil
+		}), true
+	case "createTextNode":
+		return js.NativeFunc("createTextNode", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			text := ""
+			if len(args) > 0 {
+				text = args[0].Text()
+			}
+			return b.ElemValue(b.Doc.NewText(text)), nil
+		}), true
+	case "body":
+		if els := b.Doc.GetElementsByTag("body"); len(els) > 0 {
+			return b.ElemValue(els[0]), true
+		}
+		return js.Null, true
+	case "documentElement":
+		if els := b.Doc.GetElementsByTag("html"); len(els) > 0 {
+			return b.ElemValue(els[0]), true
+		}
+		return js.Null, true
+	}
+	return js.Undefined, false
+}
+
+func (d *documentHost) HostSet(string, js.Value) bool { return false }
+
+// ---- element host ----
+
+type elementHost struct {
+	b     *Bindings
+	n     *dom.Node
+	style js.Value // lazily created style proxy
+}
+
+func (h *elementHost) HostGet(name string) (js.Value, bool) {
+	b, n := h.b, h.n
+	switch name {
+	case "id":
+		return js.Str(n.ID()), true
+	case "tagName":
+		return js.Str(strings.ToUpper(n.Tag)), true
+	case "className":
+		v, _ := n.Attr("class")
+		return js.Str(v), true
+	case "textContent":
+		return js.Str(n.TextContent()), true
+	case "parentNode":
+		return b.ElemValue(n.Parent), true
+	case "children":
+		arr := js.NewArray()
+		for _, c := range n.Children {
+			if c.Type == dom.ElementNode {
+				arr.Elems = append(arr.Elems, b.ElemValue(c))
+			}
+		}
+		return js.ObjVal(arr), true
+	case "style":
+		if h.style.IsUndefined() || h.style.Object() == nil {
+			h.style = js.ObjVal(js.NewHost(&styleHost{n: n}))
+		}
+		return h.style, true
+	case "addEventListener":
+		return js.NativeFunc("addEventListener", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) < 2 {
+				return js.Undefined, fmt.Errorf("addEventListener: need event and handler")
+			}
+			n.AddEventListener(args[0].Text(), b.Handler(args[1], nil))
+			return js.Undefined, nil
+		}), true
+	case "setAttribute":
+		return js.NativeFunc("setAttribute", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) < 2 {
+				return js.Undefined, nil
+			}
+			n.SetAttr(args[0].Text(), args[1].Text())
+			return js.Undefined, nil
+		}), true
+	case "getAttribute":
+		return js.NativeFunc("getAttribute", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.Null, nil
+			}
+			if v, ok := n.Attr(args[0].Text()); ok {
+				return js.Str(v), nil
+			}
+			return js.Null, nil
+		}), true
+	case "appendChild":
+		return js.NativeFunc("appendChild", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.Undefined, nil
+			}
+			child := b.NodeOf(args[0])
+			if child == nil {
+				return js.Undefined, fmt.Errorf("appendChild: not a node")
+			}
+			n.AppendChild(child)
+			return args[0], nil
+		}), true
+	case "removeChild":
+		return js.NativeFunc("removeChild", func(in *js.Interp, this js.Value, args []js.Value) (js.Value, error) {
+			if len(args) == 0 {
+				return js.Undefined, nil
+			}
+			child := b.NodeOf(args[0])
+			if child == nil {
+				return js.Undefined, fmt.Errorf("removeChild: not a node")
+			}
+			n.RemoveChild(child)
+			return args[0], nil
+		}), true
+	}
+	return js.Undefined, false
+}
+
+func (h *elementHost) HostSet(name string, v js.Value) bool {
+	n := h.n
+	switch name {
+	case "textContent":
+		for len(n.Children) > 0 {
+			n.RemoveChild(n.Children[0])
+		}
+		if doc := n.Document(); doc != nil {
+			n.AppendChild(doc.NewText(v.Text()))
+		}
+		return true
+	case "className":
+		n.SetAttr("class", v.Text())
+		return true
+	case "id":
+		n.SetAttr("id", v.Text())
+		return true
+	}
+	return false
+}
+
+// ---- style proxy ----
+
+type styleHost struct{ n *dom.Node }
+
+func (s *styleHost) HostGet(name string) (js.Value, bool) {
+	return js.Str(s.n.Style(camelToKebab(name))), true
+}
+
+func (s *styleHost) HostSet(name string, v js.Value) bool {
+	s.n.SetStyle(camelToKebab(name), v.Text())
+	return true
+}
+
+// camelToKebab maps script style names to CSS properties
+// (backgroundColor → background-color).
+func camelToKebab(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			b.WriteByte('-')
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

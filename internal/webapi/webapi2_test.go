@@ -1,0 +1,152 @@
+package webapi
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/js"
+)
+
+// Additional binding-surface tests: node creation/removal, traversal,
+// error paths.
+
+func TestCreateTextNodeAndRemoveChild(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="box"><p id="p1">x</p></div></body>`)
+	run(t, b, `
+		var box = document.getElementById("box");
+		var txt = document.createTextNode("hello");
+		box.appendChild(txt);
+		var before = box.children.length; // element children only
+		box.removeChild(document.getElementById("p1"));
+		var after = box.children.length;
+		var content = box.textContent;
+	`)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if g("before").Number() != 1 || g("after").Number() != 0 {
+		t.Fatalf("children counts: before=%v after=%v", g("before"), g("after"))
+	}
+	if g("content").Text() != "hello" {
+		t.Fatalf("textContent = %q", g("content").Text())
+	}
+	if doc.GetElementByID("p1") != nil {
+		t.Fatal("removed child still indexed")
+	}
+}
+
+func TestParentNodeAndDocumentElement(t *testing.T) {
+	b, _, _ := setup(t, `<html><body><div id="x"></div></body></html>`)
+	run(t, b, `
+		var p = document.getElementById("x").parentNode.tagName;
+		var de = document.documentElement.tagName;
+	`)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if g("p").Text() != "BODY" || g("de").Text() != "HTML" {
+		t.Fatalf("p=%v de=%v", g("p"), g("de"))
+	}
+}
+
+func TestTextContentAssignmentReplacesChildren(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"><p>a</p><p>b</p></div></body>`)
+	run(t, b, `document.getElementById("x").textContent = "replaced";`)
+	x := doc.GetElementByID("x")
+	if len(x.Children) != 1 || x.TextContent() != "replaced" {
+		t.Fatalf("children=%d text=%q", len(x.Children), x.TextContent())
+	}
+}
+
+func TestIDAssignmentUpdatesIndex(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="old"></div></body>`)
+	run(t, b, `document.getElementById("old").id = "new";`)
+	if doc.GetElementByID("old") != nil || doc.GetElementByID("new") == nil {
+		t.Fatal("id index not maintained through script assignment")
+	}
+}
+
+func TestAppendChildErrors(t *testing.T) {
+	b, _, _ := setup(t, `<body><div id="x"></div></body>`)
+	err := b.In.RunSource(`document.getElementById("x").appendChild(42);`)
+	if err == nil {
+		t.Fatal("appendChild(non-node) must error")
+	}
+	err = b.In.RunSource(`document.getElementById("x").removeChild({});`)
+	if err == nil {
+		t.Fatal("removeChild(non-node) must error")
+	}
+}
+
+func TestAddEventListenerArityError(t *testing.T) {
+	b, _, _ := setup(t, `<body><div id="x"></div></body>`)
+	if err := b.In.RunSource(`document.getElementById("x").addEventListener("click");`); err == nil {
+		t.Fatal("addEventListener with one arg must error")
+	}
+	if err := b.In.RunSource(`requestAnimationFrame();`); err == nil {
+		t.Fatal("rAF without callback must error")
+	}
+	if err := b.In.RunSource(`setTimeout();`); err == nil {
+		t.Fatal("setTimeout without callback must error")
+	}
+}
+
+func TestGetterFallbacksOnEmptyArgs(t *testing.T) {
+	b, _, _ := setup(t, `<body></body>`)
+	run(t, b, `
+		var a = document.getElementById();
+		var bb = document.getElementsByTagName().length;
+		var c = document.getElementsByClassName().length;
+		var d = document.createElement().tagName;
+	`)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if !g("a").IsNullish() || g("bb").Number() != 0 || g("c").Number() != 0 {
+		t.Fatal("empty-arg document methods wrong")
+	}
+	if g("d").Text() != "DIV" {
+		t.Fatalf("createElement default = %v", g("d"))
+	}
+}
+
+func TestStyleReadOfUnsetProperty(t *testing.T) {
+	b, _, _ := setup(t, `<body><div id="x"></div></body>`)
+	run(t, b, `var w = document.getElementById("x").style.width;`)
+	v, _ := b.In.Globals.Lookup("w")
+	if v.Text() != "" {
+		t.Fatalf("unset style = %q", v.Text())
+	}
+}
+
+func TestWorkNegativeClamped(t *testing.T) {
+	b, _, _ := setup(t, `<body></body>`)
+	b.In.ResetOps()
+	run(t, b, `work(-5); work();`)
+	// work(-5) charges nothing; bare work() charges one unit.
+	if ops := b.In.Ops(); ops < WorkOpsPerUnit || ops > WorkOpsPerUnit+200 {
+		t.Fatalf("ops = %d", ops)
+	}
+}
+
+func TestQuerySelector(t *testing.T) {
+	b, _, _ := setup(t, `<body>
+		<div class="card" data-kind="hero"><span>a</span></div>
+		<div class="card">b</div>
+	</body>`)
+	run(t, b, `
+		var hero = document.querySelector("div[data-kind=hero]");
+		var heroKind = hero.getAttribute("data-kind");
+		var all = document.querySelectorAll(".card").length;
+		var nested = document.querySelector(".card > span").tagName;
+		var missing = document.querySelector("#nope");
+		var none = document.querySelector();
+	`)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if g("heroKind").Text() != "hero" || g("all").Number() != 2 {
+		t.Fatalf("querySelector basics wrong: %v %v", g("heroKind"), g("all"))
+	}
+	if g("nested").Text() != "SPAN" {
+		t.Fatalf("child combinator query = %v", g("nested"))
+	}
+	if !g("missing").IsNullish() || !g("none").IsNullish() {
+		t.Fatal("missing selectors should be null")
+	}
+	// Malformed selectors surface as script errors.
+	if err := b.In.RunSource(`document.querySelector("::");`); err == nil {
+		t.Fatal("bad selector accepted")
+	}
+}

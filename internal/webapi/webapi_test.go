@@ -1,0 +1,304 @@
+package webapi
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/html"
+	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// fakeServices records the browser-service calls scripts make.
+type fakeServices struct {
+	now      sim.Time
+	rafs     []js.Value
+	timeouts []struct {
+		cb    js.Value
+		delay sim.Duration
+	}
+	logs []string
+}
+
+func (f *fakeServices) Now() sim.Time { return f.now }
+func (f *fakeServices) RequestAnimationFrame(cb js.Value) int {
+	f.rafs = append(f.rafs, cb)
+	return len(f.rafs)
+}
+func (f *fakeServices) SetTimeout(cb js.Value, d sim.Duration) int {
+	f.timeouts = append(f.timeouts, struct {
+		cb    js.Value
+		delay sim.Duration
+	}{cb, d})
+	return len(f.timeouts)
+}
+func (f *fakeServices) ConsoleLog(msg string) { f.logs = append(f.logs, msg) }
+
+func setup(t *testing.T, src string) (*Bindings, *fakeServices, *dom.Document) {
+	t.Helper()
+	doc := html.Parse(src)
+	in := js.NewInterp()
+	svc := &fakeServices{now: sim.Time(1500 * sim.Millisecond)}
+	b := Install(in, doc, svc)
+	return b, svc, doc
+}
+
+func run(t *testing.T, b *Bindings, src string) {
+	t.Helper()
+	if err := b.In.RunSource(src); err != nil {
+		t.Fatalf("script: %v", err)
+	}
+}
+
+func TestGetElementByIdAndProperties(t *testing.T) {
+	b, _, _ := setup(t, `<body><div id="box" class="a b">hello</div></body>`)
+	run(t, b, `
+		var el = document.getElementById("box");
+		var id = el.id;
+		var tag = el.tagName;
+		var cls = el.className;
+		var text = el.textContent;
+		var missing = document.getElementById("nope");
+	`)
+	g := func(name string) js.Value {
+		v, _ := b.In.Globals.Lookup(name)
+		return v
+	}
+	if g("id").Text() != "box" || g("tag").Text() != "DIV" || g("cls").Text() != "a b" {
+		t.Fatalf("element properties wrong: %v %v %v", g("id"), g("tag"), g("cls"))
+	}
+	if g("text").Text() != "hello" {
+		t.Fatalf("textContent = %q", g("text").Text())
+	}
+	if !g("missing").IsNullish() {
+		t.Fatal("missing element should be null")
+	}
+}
+
+func TestElementIdentityCached(t *testing.T) {
+	b, _, _ := setup(t, `<body><div id="x"></div></body>`)
+	run(t, b, `var same = document.getElementById("x") === document.getElementById("x");`)
+	v, _ := b.In.Globals.Lookup("same")
+	if !v.Truthy() {
+		t.Fatal("element wrappers must preserve identity")
+	}
+}
+
+func TestStyleProxySetsInlineStyle(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"></div></body>`)
+	run(t, b, `
+		var el = document.getElementById("x");
+		el.style.width = "500px";
+		el.style.backgroundColor = "red";
+		var w = el.style.width;
+	`)
+	n := doc.GetElementByID("x")
+	if n.Style("width") != "500px" {
+		t.Fatalf("width = %q", n.Style("width"))
+	}
+	if n.Style("background-color") != "red" {
+		t.Fatal("camelCase not converted to kebab-case")
+	}
+	v, _ := b.In.Globals.Lookup("w")
+	if v.Text() != "500px" {
+		t.Fatalf("style read-back = %q", v.Text())
+	}
+}
+
+func TestStyleMutationNotifiesObservers(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"></div></body>`)
+	muts := 0
+	doc.OnMutation(func(*dom.Node) { muts++ })
+	run(t, b, `document.getElementById("x").style.width = "10px";`)
+	if muts != 1 {
+		t.Fatalf("mutations = %d, want 1", muts)
+	}
+}
+
+func TestAddEventListenerAndDispatch(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="btn"></div></body>`)
+	run(t, b, `
+		var fired = 0;
+		var evType = "";
+		var targetId = "";
+		document.getElementById("btn").addEventListener("click", function(e) {
+			fired++;
+			evType = e.type;
+			targetId = e.target.id;
+		});
+	`)
+	n := doc.GetElementByID("btn")
+	dom.Dispatch(n, "click", nil)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if g("fired").Number() != 1 || g("evType").Text() != "click" || g("targetId").Text() != "btn" {
+		t.Fatalf("handler state: fired=%v type=%v target=%v", g("fired"), g("evType"), g("targetId"))
+	}
+}
+
+func TestEventDataAndPreventDefault(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="s"></div></body>`)
+	run(t, b, `
+		var delta = 0;
+		document.getElementById("s").addEventListener("scroll", function(e) {
+			delta = e.deltaY;
+			e.preventDefault();
+			e.stopPropagation();
+		});
+	`)
+	n := doc.GetElementByID("s")
+	dom.Dispatch(n, "scroll", map[string]float64{"deltaY": 120})
+	v, _ := b.In.Globals.Lookup("delta")
+	if v.Number() != 120 {
+		t.Fatalf("delta = %v", v)
+	}
+}
+
+func TestRequestAnimationFrameRouted(t *testing.T) {
+	b, svc, _ := setup(t, `<body></body>`)
+	run(t, b, `
+		var id = requestAnimationFrame(function(ts) {});
+		var id2 = window.requestAnimationFrame(function(ts) {});
+	`)
+	if len(svc.rafs) != 2 {
+		t.Fatalf("rafs = %d", len(svc.rafs))
+	}
+	v, _ := b.In.Globals.Lookup("id")
+	if v.Number() != 1 {
+		t.Fatalf("raf id = %v", v)
+	}
+}
+
+func TestSetTimeoutRouted(t *testing.T) {
+	b, svc, _ := setup(t, `<body></body>`)
+	run(t, b, `setTimeout(function() {}, 250);`)
+	if len(svc.timeouts) != 1 || svc.timeouts[0].delay != 250*sim.Millisecond {
+		t.Fatalf("timeouts = %+v", svc.timeouts)
+	}
+}
+
+func TestPerformanceNow(t *testing.T) {
+	b, _, _ := setup(t, `<body></body>`)
+	run(t, b, `var t = performance.now();`)
+	v, _ := b.In.Globals.Lookup("t")
+	if v.Number() != 1500 {
+		t.Fatalf("performance.now = %v, want 1500 ms", v)
+	}
+}
+
+func TestConsoleRouted(t *testing.T) {
+	b, svc, _ := setup(t, `<body></body>`)
+	run(t, b, `console.log("hello", 1);`)
+	if len(svc.logs) != 1 || svc.logs[0] != "hello 1" {
+		t.Fatalf("logs = %v", svc.logs)
+	}
+}
+
+func TestWorkChargesOps(t *testing.T) {
+	b, _, _ := setup(t, `<body></body>`)
+	b.In.ResetOps()
+	run(t, b, `work(50);`)
+	ops := b.In.Ops()
+	if ops < 50*WorkOpsPerUnit {
+		t.Fatalf("ops = %d, want >= %d", ops, 50*WorkOpsPerUnit)
+	}
+}
+
+func TestDOMManipulationFromScript(t *testing.T) {
+	b, _, doc := setup(t, `<body><ul id="list"></ul></body>`)
+	run(t, b, `
+		var list = document.getElementById("list");
+		for (var i = 0; i < 3; i++) {
+			var li = document.createElement("li");
+			li.textContent = "item " + i;
+			list.appendChild(li);
+		}
+		var count = list.children.length;
+	`)
+	v, _ := b.In.Globals.Lookup("count")
+	if v.Number() != 3 {
+		t.Fatalf("children = %v", v)
+	}
+	if len(doc.GetElementsByTag("li")) != 3 {
+		t.Fatal("DOM not updated")
+	}
+	if doc.GetElementsByTag("li")[1].TextContent() != "item 1" {
+		t.Fatal("textContent not set")
+	}
+}
+
+func TestSetAttributeAndClassName(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"></div></body>`)
+	run(t, b, `
+		var el = document.getElementById("x");
+		el.setAttribute("data-k", "v");
+		el.className = "active";
+		var attr = el.getAttribute("data-k");
+		var missing = el.getAttribute("nope");
+	`)
+	n := doc.GetElementByID("x")
+	if v, _ := n.Attr("data-k"); v != "v" {
+		t.Fatal("setAttribute failed")
+	}
+	if !n.HasClass("active") {
+		t.Fatal("className set failed")
+	}
+	v, _ := b.In.Globals.Lookup("missing")
+	if !v.IsNullish() {
+		t.Fatal("missing attribute should be null")
+	}
+}
+
+func TestGetElementsByTagAndClassFromScript(t *testing.T) {
+	b, _, _ := setup(t, `<body><p class="t">a</p><p class="t">b</p><p>c</p></body>`)
+	run(t, b, `
+		var byTag = document.getElementsByTagName("p").length;
+		var byClass = document.getElementsByClassName("t").length;
+		var body = document.body.tagName;
+	`)
+	g := func(name string) js.Value { v, _ := b.In.Globals.Lookup(name); return v }
+	if g("byTag").Number() != 3 || g("byClass").Number() != 2 {
+		t.Fatalf("byTag=%v byClass=%v", g("byTag"), g("byClass"))
+	}
+	if g("body").Text() != "BODY" {
+		t.Fatalf("body = %v", g("body"))
+	}
+}
+
+func TestHandlerErrorsSurfaced(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"></div></body>`)
+	var got error
+	fn, _ := b.In.Globals.Lookup("undefinedFunction")
+	_ = fn
+	run(t, b, `var bad = function() { return missingVariable; };`)
+	badFn, _ := b.In.Globals.Lookup("bad")
+	n := doc.GetElementByID("x")
+	n.AddEventListener("click", b.Handler(badFn, func(err error) { got = err }))
+	dom.Dispatch(n, "click", nil)
+	if got == nil {
+		t.Fatal("handler error not surfaced")
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	b, _, doc := setup(t, `<body><div id="x"></div></body>`)
+	n := doc.GetElementByID("x")
+	if b.NodeOf(b.ElemValue(n)) != n {
+		t.Fatal("NodeOf round trip failed")
+	}
+	if b.NodeOf(js.Num(3)) != nil || b.NodeOf(js.ObjVal(js.NewObject())) != nil {
+		t.Fatal("NodeOf false positive")
+	}
+}
+
+func TestCamelToKebab(t *testing.T) {
+	cases := map[string]string{
+		"width":           "width",
+		"backgroundColor": "background-color",
+		"borderTopWidth":  "border-top-width",
+	}
+	for in, want := range cases {
+		if got := camelToKebab(in); got != want {
+			t.Errorf("camelToKebab(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
