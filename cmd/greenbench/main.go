@@ -2,22 +2,31 @@
 // evaluation section against the simulated substrate and prints a plain-
 // text report (the data recorded in EXPERIMENTS.md).
 //
+// The experiment cells run through the internal/fleet worker pool — one
+// isolated simulated device per job, fanned across the CPUs — and merge
+// deterministically, so the report bytes match the sequential path at any
+// worker count.
+//
 // Usage:
 //
-//	greenbench [-o report.txt]
+//	greenbench [-o report.txt] [-workers N] [-seq]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 )
 
 func main() {
 	out := flag.String("o", "", "write the report to a file instead of stdout")
+	workers := flag.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "bypass the fleet and compute every cell sequentially")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -30,7 +39,14 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := harness.RenderAll(w, harness.NewSuite()); err != nil {
+
+	suite := harness.NewSuite()
+	if !*seq {
+		pool := fleet.New(fleet.Options{Workers: *workers})
+		defer pool.Close()
+		suite.SetPrefetcher(fleet.NewSuiteRunner(context.Background(), pool))
+	}
+	if err := harness.RenderAll(w, suite); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,62 @@
+// Command greensrv serves the experiment fleet over HTTP: clients enqueue
+// app × governor sweeps as jobs, poll their status, and stream results as
+// NDJSON while workers — one isolated simulated device each — chew through
+// the queue in parallel.
+//
+// Usage:
+//
+//	greensrv [-addr :8080] [-workers N] [-queue DEPTH] [-job-timeout 2m]
+//
+// API:
+//
+//	POST /v1/sweeps              {"apps":[...],"kinds":[...],"phase":"full"}
+//	GET  /v1/sweeps/{id}         status snapshot
+//	GET  /v1/sweeps/{id}/results NDJSON rows in submission order
+//	GET  /healthz                liveness
+//	GET  /metrics                fleet counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job execution cap (0 = none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pool := fleet.New(fleet.Options{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout})
+	manager := fleet.NewManager(ctx, pool)
+	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(manager)}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers\n", *addr, pool.Workers())
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "greensrv: shutdown:", err)
+		}
+		pool.Close()
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "greensrv:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,358 @@
+// Package fleet is the concurrent experiment scheduler: it fans experiment
+// jobs — one per app × governor × trace cell of the paper's evaluation —
+// out across a pool of workers, each running an isolated simulated device
+// (fresh sim/CPU/engine/governor per job, no shared mutable state).
+//
+// The scheduler provides the guarantees a sweep needs to be both fast and
+// trustworthy:
+//
+//   - a bounded job queue (Submit blocks when full; TrySubmit rejects);
+//   - per-job timeout and cancellation via context.Context, checked at
+//     simulation-chunk granularity inside the harness;
+//   - panic recovery, converting a crashed cell into a failed-job Result
+//     instead of killing the sweep;
+//   - a deterministic merge: RunSweep returns results in submission order
+//     regardless of completion order, and every cell executes with
+//     harness.ExecuteCell semantics on a private device, so aggregated
+//     output is byte-identical to the sequential harness path.
+//
+// On top of the pool, Manager tracks named sweeps for the cmd/greensrv job
+// server (sharded registry, per-job completion signals for NDJSON result
+// streaming), and SuiteRunner plugs the pool into harness.Suite so the
+// figure/table generators prefetch their working set concurrently.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/metrics"
+)
+
+// Phase selects which interaction trace a job replays.
+type Phase string
+
+// The two measurement phases of the paper's protocol.
+const (
+	Micro Phase = "micro" // single-primitive microbenchmark, repeated runs
+	Full  Phase = "full"  // Table 3 full-interaction trace, one cold run
+)
+
+// Job is one experiment cell: an application under a governor, replaying
+// one of its traces. Jobs are plain values — the worker materializes the
+// simulated device fresh per job.
+type Job struct {
+	App     string       `json:"app"`
+	Kind    harness.Kind `json:"kind"`
+	Phase   Phase        `json:"phase"`
+	Repeats int          `json:"repeats,omitempty"` // 0 → phase default (micro: harness.MicroRepeats, full: 1)
+}
+
+func (j Job) String() string { return fmt.Sprintf("%s/%s/%s", j.App, j.Kind, j.Phase) }
+
+// Validate resolves the job against the application catalog and governor
+// list without running it, so external input (the job server) fails fast
+// with a useful error instead of a failed job.
+func (j Job) Validate() error {
+	if _, ok := apps.ByName(j.App); !ok {
+		return fmt.Errorf("fleet: unknown app %q", j.App)
+	}
+	if _, err := harness.ParseKind(string(j.Kind)); err != nil {
+		return err
+	}
+	switch j.Phase {
+	case Micro, Full:
+	default:
+		return fmt.Errorf("fleet: unknown phase %q", j.Phase)
+	}
+	if j.Repeats < 0 {
+		return fmt.Errorf("fleet: negative repeats %d", j.Repeats)
+	}
+	return nil
+}
+
+// execute runs the cell on a fresh simulated device. Default repeats follow
+// the suite's protocol exactly (see harness.ExecuteCell), so a fleet result
+// is interchangeable with a sequentially computed one.
+func (j Job) execute(ctx context.Context) (*harness.Run, error) {
+	app, ok := apps.ByName(j.App)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown app %q", j.App)
+	}
+	trace, repeats := app.Micro, harness.MicroRepeats
+	if j.Phase == Full {
+		trace, repeats = app.Full, 1
+	}
+	if j.Repeats > 0 {
+		repeats = j.Repeats
+	}
+	return harness.ExecuteRepeatedContext(ctx, app, j.Kind, trace, repeats)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states, in order.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Result is one finished job.
+type Result struct {
+	Job    Job
+	Run    *harness.Run // nil when Err != nil
+	Err    error
+	Worker int // index of the worker that ran the job (-1 if never scheduled)
+	// Latency is the wall-clock execution time, excluding queueing.
+	Latency time.Duration
+}
+
+// State reports the terminal state the result represents.
+func (r Result) State() State {
+	if r.Err != nil {
+		return StateFailed
+	}
+	return StateDone
+}
+
+// Sentinel errors for submission.
+var (
+	ErrQueueFull = errors.New("fleet: job queue full")
+	ErrClosed    = errors.New("fleet: pool closed")
+)
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the number of concurrent simulated devices; 0 → GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the job queue; 0 → 4×Workers. Submit blocks while
+	// the queue is full; TrySubmit rejects with ErrQueueFull instead.
+	QueueDepth int
+	// JobTimeout caps one job's execution; 0 disables. An expired cell
+	// becomes a failed result (context.DeadlineExceeded), not a dead worker.
+	JobTimeout time.Duration
+	// Execute overrides the cell executor; tests use it to inject slow,
+	// panicking, or instant jobs. nil → the real harness execution.
+	Execute func(ctx context.Context, j Job) (*harness.Run, error)
+}
+
+type task struct {
+	job     Job
+	ctx     context.Context
+	started func()       // optional: job left the queue
+	deliver func(Result) // called exactly once, from the worker goroutine
+}
+
+// Pool is the worker-pool scheduler. Create with New, stop with Close.
+type Pool struct {
+	opts  Options
+	queue chan task
+	wg    sync.WaitGroup
+	start time.Time
+
+	mu     sync.RWMutex
+	closed bool
+
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	busy    atomic.Int64 // accumulated busy nanoseconds across workers
+	hist    *metrics.Histogram
+}
+
+// New builds the pool and starts its workers.
+func New(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.Workers
+	}
+	if opts.Execute == nil {
+		opts.Execute = func(ctx context.Context, j Job) (*harness.Run, error) { return j.execute(ctx) }
+	}
+	p := &Pool{
+		opts:  opts,
+		queue: make(chan task, opts.QueueDepth),
+		start: time.Now(),
+		hist:  metrics.NewLatencyHistogram(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Close stops intake, drains queued jobs, and waits for the workers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Submit enqueues the job, blocking while the queue is full. It returns
+// ctx's error if cancelled while waiting, or ErrClosed after Close.
+// deliver is called exactly once, from a worker goroutine, when the job
+// finishes — including failure and cancellation.
+func (p *Pool) Submit(ctx context.Context, job Job, deliver func(Result)) error {
+	return p.submit(task{job: job, ctx: ctx, deliver: deliver}, true)
+}
+
+// TrySubmit is Submit without blocking: a full queue rejects the job with
+// ErrQueueFull and deliver is never called.
+func (p *Pool) TrySubmit(ctx context.Context, job Job, deliver func(Result)) error {
+	return p.submit(task{job: job, ctx: ctx, deliver: deliver}, false)
+}
+
+func (p *Pool) submit(t task, wait bool) error {
+	if t.ctx == nil {
+		t.ctx = context.Background()
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.queued.Add(1)
+	if wait {
+		select {
+		case p.queue <- t:
+			return nil
+		case <-t.ctx.Done():
+			p.queued.Add(-1)
+			return t.ctx.Err()
+		}
+	}
+	select {
+	case p.queue <- t:
+		return nil
+	default:
+		p.queued.Add(-1)
+		return ErrQueueFull
+	}
+}
+
+func (p *Pool) worker(idx int) {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.queued.Add(-1)
+		p.running.Add(1)
+		if t.started != nil {
+			t.started()
+		}
+		start := time.Now()
+		res := p.runOne(t.ctx, idx, t.job)
+		res.Latency = time.Since(start)
+		p.busy.Add(int64(res.Latency))
+		p.hist.Observe(res.Latency.Seconds())
+		p.running.Add(-1)
+		if res.Err != nil {
+			p.failed.Add(1)
+		} else {
+			p.done.Add(1)
+		}
+		if t.deliver != nil {
+			t.deliver(res)
+		}
+	}
+}
+
+// runOne executes one job with panic recovery and the per-job timeout; a
+// crashed or expired cell becomes a failed result instead of killing the
+// sweep or the worker.
+func (p *Pool) runOne(ctx context.Context, worker int, job Job) (res Result) {
+	res = Result{Job: job, Worker: worker}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Run = nil
+			res.Err = fmt.Errorf("fleet: %s panicked: %v", job, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if p.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.opts.JobTimeout)
+		defer cancel()
+	}
+	res.Run, res.Err = p.opts.Execute(ctx, job)
+	return res
+}
+
+// RunSweep fans the jobs out and blocks until every one has a result. The
+// returned slice is the deterministic merge: results[i] corresponds to
+// jobs[i] regardless of completion order. Cancellation mid-sweep converts
+// the not-yet-finished cells into failed results carrying ctx's error; the
+// slice is always fully populated.
+func (p *Pool) RunSweep(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i, job := range jobs {
+		i, job := i, job
+		err := p.Submit(ctx, job, func(r Result) {
+			results[i] = r
+			wg.Done()
+		})
+		if err != nil {
+			results[i] = Result{Job: job, Worker: -1, Err: err}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// Stats is a snapshot of the fleet counters, served by /metrics.
+type Stats struct {
+	Workers     int                       `json:"workers"`
+	Queued      int64                     `json:"queued"`
+	Running     int64                     `json:"running"`
+	Done        int64                     `json:"done"`
+	Failed      int64                     `json:"failed"`
+	Utilization float64                   `json:"utilization"` // busy worker-time / available worker-time since start
+	Latency     metrics.HistogramSnapshot `json:"latency"`     // wall-clock job latency, seconds
+}
+
+// Stats snapshots the counters.
+func (p *Pool) Stats() Stats {
+	elapsed := time.Since(p.start)
+	util := 0.0
+	if elapsed > 0 {
+		util = float64(p.busy.Load()) / (float64(elapsed) * float64(p.opts.Workers))
+	}
+	queued := p.queued.Load()
+	if queued < 0 { // transient submit/drain race on the gauge
+		queued = 0
+	}
+	return Stats{
+		Workers:     p.opts.Workers,
+		Queued:      queued,
+		Running:     p.running.Load(),
+		Done:        p.done.Load(),
+		Failed:      p.failed.Load(),
+		Utilization: util,
+		Latency:     p.hist.Snapshot(),
+	}
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/harness"
+)
+
+// SweepRequest is the POST /v1/sweeps body. Empty fields take defaults:
+// every Table 3 application, the paper's two baselines plus both GreenWeb
+// scenarios, and the full-interaction phase.
+type SweepRequest struct {
+	Apps    []string `json:"apps,omitempty"`
+	Kinds   []string `json:"kinds,omitempty"`
+	Phase   string   `json:"phase,omitempty"`
+	Repeats int      `json:"repeats,omitempty"`
+}
+
+// DefaultKinds is the sweep the evaluation section revolves around.
+var DefaultKinds = []harness.Kind{harness.Perf, harness.Interactive, harness.GreenWebI, harness.GreenWebU}
+
+// Jobs expands the request into the job grid (apps × kinds).
+func (r SweepRequest) Jobs() ([]Job, error) {
+	names := r.Apps
+	if len(names) == 0 {
+		names = apps.Names()
+	}
+	kinds := DefaultKinds
+	if len(r.Kinds) > 0 {
+		kinds = make([]harness.Kind, 0, len(r.Kinds))
+		for _, k := range r.Kinds {
+			kind, err := harness.ParseKind(k)
+			if err != nil {
+				return nil, err
+			}
+			kinds = append(kinds, kind)
+		}
+	}
+	phase := Full
+	if r.Phase != "" {
+		phase = Phase(r.Phase)
+	}
+	var jobs []Job
+	for _, name := range names {
+		for _, kind := range kinds {
+			j := Job{App: name, Kind: kind, Phase: phase, Repeats: r.Repeats}
+			if err := j.Validate(); err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// ResultRow is the NDJSON wire form of one finished job, streamed by
+// GET /v1/sweeps/{id}/results in submission order.
+type ResultRow struct {
+	Index        int          `json:"index"`
+	App          string       `json:"app"`
+	Kind         harness.Kind `json:"kind"`
+	Phase        Phase        `json:"phase"`
+	State        State        `json:"state"`
+	LatencyMS    float64      `json:"latency_ms"`
+	EnergyJ      float64      `json:"energy_j,omitempty"`
+	Frames       int          `json:"frames,omitempty"`
+	ViolationI   float64      `json:"violation_i,omitempty"`
+	ViolationU   float64      `json:"violation_u,omitempty"`
+	LoadMS       float64      `json:"load_latency_ms,omitempty"`
+	FreqSwitches int          `json:"freq_switches,omitempty"`
+	Migrations   int          `json:"migrations,omitempty"`
+	Error        string       `json:"error,omitempty"`
+}
+
+func rowOf(index int, r Result) ResultRow {
+	row := ResultRow{
+		Index:     index,
+		App:       r.Job.App,
+		Kind:      r.Job.Kind,
+		Phase:     r.Job.Phase,
+		State:     r.State(),
+		LatencyMS: float64(r.Latency) / float64(time.Millisecond),
+	}
+	if r.Err != nil {
+		row.Error = r.Err.Error()
+		return row
+	}
+	run := r.Run
+	row.EnergyJ = float64(run.Energy)
+	row.Frames = run.Frames
+	row.ViolationI = run.ViolationI
+	row.ViolationU = run.ViolationU
+	row.LoadMS = run.LoadLatency.Milliseconds()
+	row.FreqSwitches = run.Switches.FreqSwitches
+	row.Migrations = run.Switches.Migrations
+	return row
+}
+
+// NewServer builds the greensrv HTTP API over a manager:
+//
+//	POST /v1/sweeps              enqueue a sweep (202 + id)
+//	GET  /v1/sweeps/{id}         status snapshot
+//	GET  /v1/sweeps/{id}/results NDJSON rows, streamed as jobs finish
+//	GET  /healthz                liveness
+//	GET  /metrics                fleet counters (JSON)
+//
+// Method mismatches answer 405 (ServeMux method patterns); unknown sweep
+// IDs answer 404.
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		sweeps := m.Sweeps()
+		finished := 0
+		for _, s := range sweeps {
+			select {
+			case <-s.Done():
+				finished++
+			default:
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"fleet":           m.Pool().Stats(),
+			"sweeps_total":    len(sweeps),
+			"sweeps_finished": finished,
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		jobs, err := req.Jobs()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := m.Enqueue(jobs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":          s.ID,
+			"jobs":        s.Len(),
+			"status_url":  fmt.Sprintf("/v1/sweeps/%s", s.ID),
+			"results_url": fmt.Sprintf("/v1/sweeps/%s/results", s.ID),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(SweepID(r.PathValue("id")))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(SweepID(r.PathValue("id")))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		// Submission order: row i is not emitted before rows 0..i-1, so
+		// the stream is the sweep's deterministic merge.
+		for i := 0; i < s.Len(); i++ {
+			res, err := s.Result(r.Context(), i)
+			if err != nil {
+				return // client went away
+			}
+			if err := enc.Encode(rowOf(i, res)); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/harness"
+)
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	pool := New(opts)
+	m := NewManager(context.Background(), pool)
+	srv := httptest.NewServer(NewServer(m))
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+	return srv, m
+}
+
+func postSweep(t *testing.T, srv *httptest.Server, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d, want 202", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerSweepLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 2})
+
+	ack := postSweep(t, srv, `{"apps":["Todo","Google"],"kinds":["Perf"],"phase":"full"}`)
+	id, _ := ack["id"].(string)
+	if id == "" || ack["jobs"].(float64) != 2 {
+		t.Fatalf("ack = %v", ack)
+	}
+
+	// Poll status until finished.
+	deadline := time.After(30 * time.Second)
+	var status SweepStatus
+	for !status.Finished {
+		select {
+		case <-deadline:
+			t.Fatalf("sweep never finished: %+v", status)
+		case <-time.After(5 * time.Millisecond):
+		}
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET status = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if status.Done != 2 || status.Failed != 0 || status.Total != 2 {
+		t.Fatalf("status = %+v", status)
+	}
+	for i, j := range status.Jobs {
+		if j.Index != i || j.State != StateDone || j.LatencyMS <= 0 {
+			t.Fatalf("job %d = %+v", i, j)
+		}
+	}
+
+	// Results stream: NDJSON rows in submission order with measurements.
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results Content-Type = %q", ct)
+	}
+	var rows []ResultRow
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row ResultRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	wantApps := []string{"Todo", "Google"}
+	for i, row := range rows {
+		if row.Index != i || row.App != wantApps[i] || row.State != StateDone {
+			t.Fatalf("row %d = %+v", i, row)
+		}
+		if row.EnergyJ <= 0 || row.Frames <= 0 {
+			t.Fatalf("row %d carries no measurements: %+v", i, row)
+		}
+	}
+}
+
+// The results endpoint streams: rows for finished jobs arrive while later
+// jobs are still running.
+func TestServerResultsStreamBeforeCompletion(t *testing.T) {
+	release := make(chan struct{})
+	gate := make(chan Job, 16)
+	exec := func(ctx context.Context, j Job) (*harness.Run, error) {
+		gate <- j
+		if j.App == "Google" { // second job blocks until released
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &harness.Run{Frames: 1}, nil
+	}
+	srv, _ := newTestServer(t, Options{Workers: 1, Execute: exec})
+
+	ack := postSweep(t, srv, `{"apps":["Todo","Google"],"kinds":["Perf"]}`)
+	id := ack["id"].(string)
+
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	// First row must arrive while Google still blocks the single worker.
+	line := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			line <- sc.Text()
+		}
+	}()
+	select {
+	case l := <-line:
+		var row ResultRow
+		if err := json.Unmarshal([]byte(l), &row); err != nil {
+			t.Fatal(err)
+		}
+		if row.App != "Todo" || row.Index != 0 {
+			t.Fatalf("first streamed row = %+v", row)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first row did not stream before sweep completion")
+	}
+	close(release)
+	if !sc.Scan() {
+		t.Fatal("second row missing")
+	}
+}
+
+func TestServerValidationErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	cases := []string{
+		`{bad json`,
+		`{"apps":["NoSuchApp"]}`,
+		`{"kinds":["Warp9"]}`,
+		`{"phase":"half"}`,
+		`{"repeats":-3}`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerNotFoundAndMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+
+	for _, path := range []string{"/v1/sweeps/s-999999", "/v1/sweeps/s-999999/results"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/sweeps") // only POST is registered
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweeps = %d, want 405", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/healthz", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /healthz = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /no/such/route = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerHealthAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 3})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+
+	// Run a tiny sweep so the counters are non-trivial.
+	ack := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf"],"phase":"micro"}`)
+	m2, _ := http.Get(srv.URL + "/v1/sweeps/" + ack["id"].(string))
+	m2.Body.Close()
+
+	deadline := time.After(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Fleet       Stats `json:"fleet"`
+			SweepsTotal int   `json:"sweeps_total"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if body.Fleet.Workers != 3 || body.SweepsTotal != 1 {
+			t.Fatalf("metrics = %+v", body)
+		}
+		if body.Fleet.Done == 1 {
+			if body.Fleet.Latency.Count != 1 {
+				t.Fatalf("latency histogram = %+v", body.Fleet.Latency)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job never finished: %+v", body)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestServerDefaultsSweepTheWholeGrid(t *testing.T) {
+	// An empty body sweeps all 12 apps under the 4 default kinds.
+	req := SweepRequest{}
+	jobs, err := req.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12*len(DefaultKinds) {
+		t.Fatalf("default grid = %d jobs, want %d", len(jobs), 12*len(DefaultKinds))
+	}
+	for _, j := range jobs {
+		if j.Phase != Full {
+			t.Fatalf("default phase = %q", j.Phase)
+		}
+		if j.Kind == harness.Ondemand {
+			t.Fatal("Ondemand is not a default sweep kind")
+		}
+	}
+}

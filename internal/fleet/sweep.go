@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/harness"
+)
+
+// SweepID identifies an enqueued sweep.
+type SweepID string
+
+// Sweep tracks one enqueued batch of jobs: per-job states, results indexed
+// by submission position (the deterministic merge the server streams), and
+// completion signals for status polling and NDJSON streaming.
+type Sweep struct {
+	ID      SweepID
+	Created time.Time
+
+	mu      sync.Mutex
+	jobs    []Job
+	results []Result
+	state   []State
+	rowDone []chan struct{} // closed as each job reaches a terminal state
+	pending int
+	allDone chan struct{}
+	cancel  context.CancelFunc
+}
+
+// Len reports the job count.
+func (s *Sweep) Len() int { return len(s.jobs) }
+
+// Done is closed once every job has a terminal state.
+func (s *Sweep) Done() <-chan struct{} { return s.allDone }
+
+// Cancel aborts the sweep's outstanding jobs; finished results keep their
+// values and the rest fail with context.Canceled.
+func (s *Sweep) Cancel() { s.cancel() }
+
+// Result blocks until job i finishes (or ctx is done) and returns its
+// result.
+func (s *Sweep) Result(ctx context.Context, i int) (Result, error) {
+	if i < 0 || i >= len(s.jobs) {
+		return Result{}, fmt.Errorf("fleet: job index %d out of range", i)
+	}
+	select {
+	case <-s.rowDone[i]:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results[i], nil
+}
+
+func (s *Sweep) finish(i int, r Result) {
+	s.mu.Lock()
+	s.results[i] = r
+	s.state[i] = r.State()
+	s.pending--
+	last := s.pending == 0
+	s.mu.Unlock()
+	close(s.rowDone[i])
+	if last {
+		close(s.allDone)
+	}
+}
+
+// JobStatus is one job's row in a sweep status report.
+type JobStatus struct {
+	Index     int          `json:"index"`
+	App       string       `json:"app"`
+	Kind      harness.Kind `json:"kind"`
+	Phase     Phase        `json:"phase"`
+	State     State        `json:"state"`
+	LatencyMS float64      `json:"latency_ms,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} body.
+type SweepStatus struct {
+	ID       SweepID     `json:"id"`
+	Created  time.Time   `json:"created"`
+	Total    int         `json:"total"`
+	Queued   int         `json:"queued"`
+	Running  int         `json:"running"`
+	Done     int         `json:"done"`
+	Failed   int         `json:"failed"`
+	Finished bool        `json:"finished"`
+	Jobs     []JobStatus `json:"jobs"`
+}
+
+// Status snapshots the sweep.
+func (s *Sweep) Status() SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SweepStatus{ID: s.ID, Created: s.Created, Total: len(s.jobs), Finished: s.pending == 0}
+	for i, j := range s.jobs {
+		js := JobStatus{Index: i, App: j.App, Kind: j.Kind, Phase: j.Phase, State: s.state[i]}
+		switch s.state[i] {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+			js.LatencyMS = float64(s.results[i].Latency) / float64(time.Millisecond)
+		case StateFailed:
+			st.Failed++
+			js.LatencyMS = float64(s.results[i].Latency) / float64(time.Millisecond)
+			js.Error = s.results[i].Err.Error()
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}
+
+// registryShards spreads sweep lookups across independently locked maps so
+// a busy server's status polls don't serialize on one mutex.
+const registryShards = 16
+
+type registryShard struct {
+	mu     sync.RWMutex
+	sweeps map[SweepID]*Sweep
+}
+
+// Manager owns the pool-facing sweep lifecycle for the job server: it
+// assigns IDs, submits jobs asynchronously (absorbing queue backpressure
+// off the HTTP handler), and resolves IDs through a sharded registry.
+type Manager struct {
+	ctx    context.Context // parents every sweep; server lifetime
+	pool   *Pool
+	seq    atomic.Uint64
+	shards [registryShards]registryShard
+}
+
+// NewManager builds a manager over the pool; ctx bounds the lifetime of
+// every sweep it enqueues (pass the server's base context).
+func NewManager(ctx context.Context, pool *Pool) *Manager {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &Manager{ctx: ctx, pool: pool}
+	for i := range m.shards {
+		m.shards[i].sweeps = make(map[SweepID]*Sweep)
+	}
+	return m
+}
+
+// Pool exposes the underlying pool (for /metrics).
+func (m *Manager) Pool() *Pool { return m.pool }
+
+func (m *Manager) shardFor(id SweepID) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%registryShards]
+}
+
+// Get resolves a sweep ID.
+func (m *Manager) Get(id SweepID) (*Sweep, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.sweeps[id]
+	return s, ok
+}
+
+// Enqueue validates the jobs, registers a sweep, and starts feeding the
+// pool in the background. It returns as soon as the sweep is registered;
+// queue backpressure is absorbed by the feeding goroutine, not the caller.
+func (m *Manager) Enqueue(jobs []Job) (*Sweep, error) {
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	s := &Sweep{
+		ID:      SweepID(fmt.Sprintf("s-%06d", m.seq.Add(1))),
+		Created: time.Now(),
+		jobs:    append([]Job(nil), jobs...),
+		results: make([]Result, len(jobs)),
+		state:   make([]State, len(jobs)),
+		rowDone: make([]chan struct{}, len(jobs)),
+		pending: len(jobs),
+		allDone: make(chan struct{}),
+		cancel:  cancel,
+	}
+	for i := range s.state {
+		s.state[i] = StateQueued
+		s.rowDone[i] = make(chan struct{})
+	}
+	if len(jobs) == 0 {
+		close(s.allDone)
+	}
+	sh := m.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.sweeps[s.ID] = s
+	sh.mu.Unlock()
+
+	go func() {
+		for i, job := range s.jobs {
+			i := i
+			err := m.pool.submit(task{
+				job: job,
+				ctx: ctx,
+				started: func() {
+					s.mu.Lock()
+					if s.state[i] == StateQueued {
+						s.state[i] = StateRunning
+					}
+					s.mu.Unlock()
+				},
+				deliver: func(r Result) { s.finish(i, r) },
+			}, true)
+			if err != nil {
+				s.finish(i, Result{Job: job, Worker: -1, Err: err})
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Sweeps lists all registered sweeps (newest last by ID order not
+// guaranteed; callers sort as needed).
+func (m *Manager) Sweeps() []*Sweep {
+	var out []*Sweep
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sweeps {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wattwiseweb/greenweb/internal/acmp"
@@ -61,7 +62,9 @@ func ExecuteWithBackground(app *apps.App, kind Kind, load BackgroundLoad) (*Run,
 	stopBg := startBackground(s, cpu, load)
 
 	run := &Run{App: app, Kind: kind}
-	settle(s, e, 60*sim.Second)
+	if err := settle(context.Background(), s, e, 60*sim.Second); err != nil {
+		return nil, err
+	}
 	e0 := cpu.Energy()
 	f0 := len(e.Results())
 	t0 := s.Now().Add(100 * sim.Millisecond)
@@ -108,6 +111,8 @@ func ExperimentVariation(appName string, kind Kind, runs int, jitter sim.Duratio
 		return nil, 0, fmt.Errorf("harness: unknown app %q", appName)
 	}
 	for i := 0; i < runs; i++ {
+		// The repetition index seeds the jitter; Jitter mixes in the
+		// trace's intrinsic seed, so each app gets its own noise stream.
 		trace := app.Full.Jitter(int64(i)+1, jitter)
 		run, err := Execute(app, kind, trace)
 		if err != nil {
@@ -137,6 +142,15 @@ func ExperimentVariation(appName string, kind Kind, runs int, jitter sim.Duratio
 // CPU: the foreground's QoS must hold (ample cores; only the shared DVFS
 // domain couples them), with the background's energy added on top.
 func (s *Suite) ExperimentBackground(appNames ...string) ([]BackgroundRow, error) {
+	var cells []Cell
+	for _, name := range appNames {
+		if app, ok := apps.ByName(name); ok {
+			cells = append(cells, Cell{App: app, Kind: GreenWebI, Full: true})
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	var rows []BackgroundRow
 	for _, name := range appNames {
 		app, ok := apps.ByName(name)

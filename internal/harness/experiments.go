@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/wattwiseweb/greenweb/internal/acmp"
@@ -95,7 +96,9 @@ func annotationCoverage(a *apps.App) (float64, error) {
 	if _, err := e.LoadPage(a.HTML()); err != nil {
 		return 0, err
 	}
-	settle(s, e, 60*sim.Second)
+	if err := settle(context.Background(), s, e, 60*sim.Second); err != nil {
+		return 0, err
+	}
 	if a.Full.Events() == 0 {
 		return 1, nil
 	}
@@ -128,6 +131,9 @@ type Fig9Row struct {
 // Fig9 runs the microbenchmarks for Perf, GreenWeb-I and GreenWeb-U and
 // reports Fig. 9a (energy) and Fig. 9b (violations) per application.
 func (s *Suite) Fig9() ([]Fig9Row, error) {
+	if err := s.prefetch(cellsFor(false, Perf, GreenWebI, GreenWebU)); err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
 	for _, a := range apps.All() {
 		perf, err := s.Micro(a, Perf)
@@ -186,6 +192,9 @@ type Fig10Row struct {
 // Fig10 runs the full interactions under Perf, Interactive, GreenWeb-I and
 // GreenWeb-U and reports Fig. 10a/b/c per application.
 func (s *Suite) Fig10() ([]Fig10Row, error) {
+	if err := s.prefetch(cellsFor(true, Perf, Interactive, GreenWebI, GreenWebU)); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, a := range apps.All() {
 		perf, err := s.Full(a, Perf)
@@ -248,6 +257,9 @@ type Fig11Row struct {
 // interaction for one GreenWeb scenario (Fig. 11a: GreenWeb-I, Fig. 11b:
 // GreenWeb-U).
 func (s *Suite) Fig11(kind Kind) ([]Fig11Row, error) {
+	if err := s.prefetch(cellsFor(true, kind)); err != nil {
+		return nil, err
+	}
 	var rows []Fig11Row
 	for _, a := range apps.All() {
 		run, err := s.Full(a, kind)
@@ -275,6 +287,9 @@ type Fig12Row struct {
 
 // Fig12 reports switching rates for GreenWeb-I and GreenWeb-U.
 func (s *Suite) Fig12() ([]Fig12Row, error) {
+	if err := s.prefetch(cellsFor(true, GreenWebI, GreenWebU)); err != nil {
+		return nil, err
+	}
 	var rows []Fig12Row
 	for _, a := range apps.All() {
 		gwI, err := s.Full(a, GreenWebI)
@@ -307,6 +322,9 @@ type AblationRow struct {
 // usable-mode runtime restricted to one cluster (the paper's "runtime
 // leveraging only a single big (or little) core capable of DVFS").
 func (s *Suite) AblationSingleCluster() ([]AblationRow, error) {
+	if err := s.prefetch(cellsFor(true, Perf, GreenWebU, GreenWebUBigOnly, GreenWebULittleOnly, GreenWebILittleOnly)); err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, a := range apps.All() {
 		perf, err := s.Full(a, Perf)
@@ -362,17 +380,20 @@ type PredictorRow struct {
 // variant). The trained variant should shed the profiling-run violations
 // and some switching.
 func (s *Suite) AblationPredictor() ([]PredictorRow, error) {
+	if err := s.prefetch(cellsFor(true, Perf)); err != nil {
+		return nil, err
+	}
 	var rows []PredictorRow
 	for _, a := range apps.All() {
 		perf, err := s.Full(a, Perf)
 		if err != nil {
 			return nil, err
 		}
-		cold, trainedModels, err := executeSeeded(a, GreenWebI, a.Full, nil)
+		cold, trainedModels, err := executeSeeded(context.Background(), a, GreenWebI, a.Full, nil)
 		if err != nil {
 			return nil, err
 		}
-		trained, _, err := executeSeeded(a, GreenWebI, a.Full, trainedModels)
+		trained, _, err := executeSeeded(context.Background(), a, GreenWebI, a.Full, trainedModels)
 		if err != nil {
 			return nil, err
 		}
@@ -405,6 +426,9 @@ type EBSRow struct {
 // ComparisonEBS runs the full interactions under EBS and reports them
 // against GreenWeb-I.
 func (s *Suite) ComparisonEBS() ([]EBSRow, error) {
+	if err := s.prefetch(cellsFor(true, Perf, EBSKind, GreenWebI)); err != nil {
+		return nil, err
+	}
 	var rows []EBSRow
 	for _, a := range apps.All() {
 		perf, err := s.Full(a, Perf)
@@ -449,6 +473,9 @@ type AutoGreenRow struct {
 // ComparisonAutoGreen annotates each application's unannotated source with
 // AUTOGREEN and measures it against the manual annotations.
 func (s *Suite) ComparisonAutoGreen() ([]AutoGreenRow, error) {
+	if err := s.prefetch(cellsFor(true, Perf, GreenWebI)); err != nil {
+		return nil, err
+	}
 	var rows []AutoGreenRow
 	for _, a := range apps.All() {
 		perf, err := s.Full(a, Perf)
@@ -463,7 +490,7 @@ func (s *Suite) ComparisonAutoGreen() ([]AutoGreenRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		auto, _, err := executeHTML(a, annotated, GreenWebI, a.Full, nil)
+		auto, _, err := executeHTML(context.Background(), a, annotated, GreenWebI, a.Full, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -7,8 +7,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/wattwiseweb/greenweb/internal/acmp"
 	"github.com/wattwiseweb/greenweb/internal/apps"
@@ -41,6 +43,28 @@ const (
 	// with in Sec. 9 (related work).
 	EBSKind Kind = "EBS"
 )
+
+// Kinds returns every governor kind Execute accepts, in evaluation order.
+func Kinds() []Kind {
+	return []Kind{
+		Perf, Interactive, Ondemand, Powersave,
+		GreenWebI, GreenWebU,
+		GreenWebUBigOnly, GreenWebULittleOnly, GreenWebILittleOnly,
+		EBSKind,
+	}
+}
+
+// ParseKind resolves a kind name case-insensitively, so callers accepting
+// external input (the job server, CLI flags) can validate before Execute —
+// which panics on unknown kinds — ever runs.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(name, string(k)) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("harness: unknown governor kind %q", name)
+}
 
 // newGovernor builds a fresh governor instance.
 func newGovernor(kind Kind) browser.Governor {
@@ -103,17 +127,38 @@ type Run struct {
 	FrameResults []browser.FrameResult
 }
 
-// settle advances the simulation until the engine is quiescent or cap
-// elapses (governor timers may keep the event queue non-empty forever, so
-// quiescence is polled, not inferred from queue drain).
-func settle(s *sim.Simulator, e *browser.Engine, cap sim.Duration) {
+// settle advances the simulation until the engine is quiescent, cap elapses,
+// or ctx is cancelled (governor timers may keep the event queue non-empty
+// forever, so quiescence is polled, not inferred from queue drain).
+func settle(ctx context.Context, s *sim.Simulator, e *browser.Engine, cap sim.Duration) error {
 	deadline := s.Now().Add(cap)
 	for s.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s.RunUntil(s.Now().Add(20 * sim.Millisecond))
 		if e.Quiescent() && !e.CPU().Busy() {
-			return
+			return nil
 		}
 	}
+	return ctx.Err()
+}
+
+// runUntil advances the simulation to deadline in small chunks, checking ctx
+// between chunks so a fleet worker can abandon a runaway cell mid-replay.
+func runUntil(ctx context.Context, s *sim.Simulator, deadline sim.Time) error {
+	const chunk = 100 * sim.Millisecond
+	for s.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := s.Now().Add(chunk)
+		if next > deadline {
+			next = deadline
+		}
+		s.RunUntil(next)
+	}
+	return ctx.Err()
 }
 
 // subtractResidency computes the per-config residency accrued between two
@@ -132,7 +177,15 @@ func subtractResidency(after, before map[acmp.Config]sim.Duration) map[acmp.Conf
 // it. A nil or empty trace measures the loading phase itself (the loading
 // microbenchmark).
 func Execute(app *apps.App, kind Kind, trace *replay.Trace) (*Run, error) {
-	run, _, err := executeSeeded(app, kind, trace, nil)
+	return ExecuteContext(context.Background(), app, kind, trace)
+}
+
+// ExecuteContext is Execute with cancellation: the simulation is abandoned
+// at the next scheduling chunk once ctx is done, and the ctx error is
+// returned wrapped (errors.Is-able against context.Canceled /
+// DeadlineExceeded). Fleet workers use this for per-job timeouts.
+func ExecuteContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace) (*Run, error) {
+	run, _, err := executeSeeded(ctx, app, kind, trace, nil)
 	return run, err
 }
 
@@ -143,13 +196,19 @@ func Execute(app *apps.App, kind Kind, trace *replay.Trace) (*Run, error) {
 // violations are averaged across repetitions, so the profiling runs'
 // violations (the paper's MSN/LZMA-JS/BBC story) remain visible.
 func ExecuteRepeated(app *apps.App, kind Kind, trace *replay.Trace, n int) (*Run, error) {
+	return ExecuteRepeatedContext(context.Background(), app, kind, trace, n)
+}
+
+// ExecuteRepeatedContext is ExecuteRepeated with cancellation (see
+// ExecuteContext).
+func ExecuteRepeatedContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, n int) (*Run, error) {
 	if n < 1 {
 		n = 1
 	}
 	var runs []*Run
 	var models map[string]*core.Model
 	for i := 0; i < n; i++ {
-		run, trained, err := executeSeeded(app, kind, trace, models)
+		run, trained, err := executeSeeded(ctx, app, kind, trace, models)
 		if err != nil {
 			return nil, err
 		}
@@ -171,13 +230,13 @@ func ExecuteRepeated(app *apps.App, kind Kind, trace *replay.Trace, n int) (*Run
 	return med, nil
 }
 
-func executeSeeded(app *apps.App, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
-	return executeHTML(app, app.HTML(), kind, trace, seed)
+func executeSeeded(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
+	return executeHTML(ctx, app, app.HTML(), kind, trace, seed)
 }
 
 // executeHTML runs an explicit page source (e.g. an AUTOGREEN-annotated
 // variant of an application) through the same measurement pipeline.
-func executeHTML(app *apps.App, html string, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
+func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
 	s := sim.New()
 	cpu := acmp.NewCPU(s, acmp.DefaultPower())
 	e := browser.New(s, cpu, nil)
@@ -199,7 +258,9 @@ func executeHTML(app *apps.App, html string, kind Kind, trace *replay.Trace, see
 	run := &Run{App: app, Kind: kind}
 
 	// Phase 1: load.
-	settle(s, e, 60*sim.Second)
+	if err := settle(ctx, s, e, 60*sim.Second); err != nil {
+		return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
+	}
 	if frames := e.Results(); len(frames) > 0 && len(frames[0].Inputs) > 0 {
 		run.LoadLatency = frames[0].Inputs[0].Latency
 	}
@@ -214,8 +275,12 @@ func executeHTML(app *apps.App, html string, kind Kind, trace *replay.Trace, see
 	// Phase 2: interaction.
 	if !loadOnly {
 		trace.Replay(e, t0)
-		s.RunUntil(t0.Add(trace.Duration()))
-		settle(s, e, 60*sim.Second)
+		if err := runUntil(ctx, s, t0.Add(trace.Duration())); err != nil {
+			return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
+		}
+		if err := settle(ctx, s, e, 60*sim.Second); err != nil {
+			return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
+		}
 	}
 
 	if st, ok := gov.(interface{ Stop() }); ok {
@@ -271,11 +336,88 @@ func violationsOf(c *metrics.Collector, start sim.Time) []float64 {
 type Suite struct {
 	micro map[string]*Run
 	full  map[string]*Run
+	pre   Prefetcher
 }
 
 // NewSuite returns an empty result cache.
 func NewSuite() *Suite {
 	return &Suite{micro: make(map[string]*Run), full: make(map[string]*Run)}
+}
+
+// Cell names one memoizable suite execution: an application under a
+// governor, either the full interaction or the repeated microbenchmark.
+type Cell struct {
+	App  *apps.App
+	Kind Kind
+	Full bool
+}
+
+// ExecuteCell runs the cell exactly as the suite's lazy path would: full
+// cells are single cold runs; micro cells follow the paper's repeated-
+// measurement protocol. Fleet workers call this, so a prefetched run is
+// bit-identical to the one a sequential Suite would have computed.
+func ExecuteCell(ctx context.Context, c Cell) (*Run, error) {
+	if c.Full {
+		return ExecuteContext(ctx, c.App, c.Kind, c.App.Full)
+	}
+	return ExecuteRepeatedContext(ctx, c.App, c.Kind, c.App.Micro, MicroRepeats)
+}
+
+// Prefetcher bulk-computes cells (typically concurrently, via the fleet)
+// before the suite's generators read them sequentially. Implementations
+// must compute each cell with ExecuteCell semantics.
+type Prefetcher interface {
+	Prefetch(cells []Cell) (map[Cell]*Run, error)
+}
+
+// SetPrefetcher installs a bulk executor. Generators then fan their cell
+// working set out through it and read the memoized results in deterministic
+// sequential order; without one, cells compute lazily as before.
+func (s *Suite) SetPrefetcher(p Prefetcher) { s.pre = p }
+
+// prefetch computes the cells missing from the caches through the installed
+// prefetcher. A no-op without one.
+func (s *Suite) prefetch(cells []Cell) error {
+	if s.pre == nil {
+		return nil
+	}
+	var missing []Cell
+	for _, c := range cells {
+		cache := s.micro
+		if c.Full {
+			cache = s.full
+		}
+		if _, ok := cache[s.key(c.App, c.Kind)]; !ok {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	got, err := s.pre.Prefetch(missing)
+	if err != nil {
+		return err
+	}
+	for c, r := range got {
+		if c.Full {
+			s.full[s.key(c.App, c.Kind)] = r
+		} else {
+			s.micro[s.key(c.App, c.Kind)] = r
+		}
+	}
+	return nil
+}
+
+// cellsFor builds the cross product all the generators iterate: every
+// Table 3 application under each of the given kinds.
+func cellsFor(full bool, kinds ...Kind) []Cell {
+	var out []Cell
+	for _, a := range apps.All() {
+		for _, k := range kinds {
+			out = append(out, Cell{App: a, Kind: k, Full: full})
+		}
+	}
+	return out
 }
 
 func (s *Suite) key(app *apps.App, kind Kind) string { return app.Name + "|" + string(kind) }
@@ -290,7 +432,7 @@ func (s *Suite) Micro(app *apps.App, kind Kind) (*Run, error) {
 	if r, ok := s.micro[k]; ok {
 		return r, nil
 	}
-	r, err := ExecuteRepeated(app, kind, app.Micro, MicroRepeats)
+	r, err := ExecuteCell(context.Background(), Cell{App: app, Kind: kind})
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +446,7 @@ func (s *Suite) Full(app *apps.App, kind Kind) (*Run, error) {
 	if r, ok := s.full[k]; ok {
 		return r, nil
 	}
-	r, err := Execute(app, kind, app.Full)
+	r, err := ExecuteCell(context.Background(), Cell{App: app, Kind: kind, Full: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestRandomInputStorm(t *testing.T) {
 		if _, err := e.LoadPage(app.HTML()); err != nil {
 			t.Fatal(err)
 		}
-		settle(s, e, 60*sim.Second)
+		settle(context.Background(), s, e, 60*sim.Second)
 
 		// Collect plausible and implausible targets.
 		var ids []string
@@ -56,7 +57,7 @@ func TestRandomInputStorm(t *testing.T) {
 			e.Inject(at, ev, target, data)
 		}
 		s.RunUntil(at.Add(2 * sim.Second))
-		settle(s, e, 30*sim.Second)
+		settle(context.Background(), s, e, 30*sim.Second)
 		if st, ok := gov.(interface{ Stop() }); ok {
 			st.Stop()
 		}

@@ -10,8 +10,11 @@
 package replay
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
@@ -91,12 +94,33 @@ func Record(name string, e *browser.Engine) *Trace {
 	return t
 }
 
+// Seed derives the trace's intrinsic seed from its name and step timeline
+// (FNV-1a). Two workers that synthesize the same trace — same name, same
+// steps — derive the same seed on any machine, so seeded derivations
+// (Jitter) agree across a fleet without coordination.
+func (t *Trace) Seed() int64 {
+	h := fnv.New64a()
+	io.WriteString(h, t.Name)
+	var buf [8]byte
+	for _, s := range t.Steps {
+		binary.LittleEndian.PutUint64(buf[:], uint64(s.At))
+		h.Write(buf[:])
+		io.WriteString(h, s.Event)
+		io.WriteString(h, s.Target)
+	}
+	return int64(h.Sum64())
+}
+
 // Jitter returns a copy of the trace with every step's offset perturbed by
-// up to ±maxShift, deterministically from seed, preserving step order.
-// The paper reports ~5% run-to-run variation on hardware; jittered replays
-// reintroduce that source of noise into the otherwise exact simulation.
+// up to ±maxShift, deterministically, preserving step order. The stream is
+// seeded by seed XOR the trace's intrinsic Seed, so distinct traces
+// jittered with the same caller seed (e.g. repetition index) do not share a
+// perturbation pattern, and the same (trace, seed) pair agrees on every
+// fleet worker. The paper reports ~5% run-to-run variation on hardware;
+// jittered replays reintroduce that source of noise into the otherwise
+// exact simulation.
 func (t *Trace) Jitter(seed int64, maxShift sim.Duration) *Trace {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed ^ t.Seed()))
 	out := &Trace{Name: t.Name + "-jitter"}
 	var last sim.Duration
 	for _, s := range t.Steps {

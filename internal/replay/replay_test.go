@@ -190,3 +190,45 @@ func TestJitterPreservesOrderAndContent(t *testing.T) {
 		t.Fatal("different seeds gave identical jitter")
 	}
 }
+
+func TestTraceSeedDeterministicAndDistinct(t *testing.T) {
+	mk := func(name string) *Trace {
+		tr := &Trace{Name: name}
+		tr.Append(Tap(0, "a")...)
+		tr.Append(Move(sim.Second, "b", 5, 16*sim.Millisecond)...)
+		return tr
+	}
+	// Two independently synthesized copies of the same trace agree — the
+	// fleet-worker determinism guarantee.
+	if mk("t").Seed() != mk("t").Seed() {
+		t.Fatal("identical traces derived different seeds")
+	}
+	if mk("t").Seed() == mk("u").Seed() {
+		t.Fatal("differently named traces share a seed")
+	}
+	// Same step content, different timeline → different seed.
+	a, b := mk("t"), mk("t")
+	b.Steps[0].At += sim.Millisecond
+	if a.Seed() == b.Seed() {
+		t.Fatal("shifted timeline shares a seed")
+	}
+}
+
+func TestJitterMixesTraceSeed(t *testing.T) {
+	a := &Trace{Name: "a"}
+	a.Append(Tap(0, "x")...)
+	a.Append(Move(sim.Second, "x", 20, 16*sim.Millisecond)...)
+	b := &Trace{Name: "b"}
+	b.Append(Tap(0, "x")...)
+	b.Append(Move(sim.Second, "x", 20, 16*sim.Millisecond)...)
+	ja, jb := a.Jitter(1, 20*sim.Millisecond), b.Jitter(1, 20*sim.Millisecond)
+	same := true
+	for i := range ja.Steps {
+		if ja.Steps[i].At != jb.Steps[i].At {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct traces share a perturbation pattern under the same caller seed")
+	}
+}
