@@ -7,9 +7,16 @@
 // deterministically, so the report bytes match the sequential path at any
 // worker count.
 //
+// With -trace, greenbench instead runs a single (app, governor) cell and
+// writes its per-frame/per-event energy-attribution timeline as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto:
+//
+//	greenbench -trace out.json [-trace-app Name] [-trace-kind GreenWeb-U]
+//
 // Usage:
 //
 //	greenbench [-o report.txt] [-workers N] [-seq]
+//	greenbench -trace out.json [-trace-app NAME] [-trace-kind KIND]
 package main
 
 import (
@@ -19,15 +26,28 @@ import (
 	"io"
 	"os"
 
+	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
 )
 
 func main() {
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	workers := flag.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "bypass the fleet and compute every cell sequentially")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON for one run and exit (skips the report)")
+	traceApp := flag.String("trace-app", "", "application for -trace (default: first catalog app)")
+	traceKind := flag.String("trace-kind", string(harness.GreenWebU), "governor kind for -trace")
 	flag.Parse()
+
+	if *trace != "" {
+		if err := writeTrace(*trace, *traceApp, *traceKind); err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -50,4 +70,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace runs one full-interaction cell and exports its attribution
+// timeline as Chrome trace-event JSON.
+func writeTrace(path, appName, kindName string) error {
+	if appName == "" {
+		appName = apps.Names()[0]
+	}
+	app, ok := apps.ByName(appName)
+	if !ok {
+		return fmt.Errorf("unknown app %q (have %v)", appName, apps.Names())
+	}
+	kind, err := harness.ParseKind(kindName)
+	if err != nil {
+		return err
+	}
+	run, err := harness.Execute(app, kind, app.Full)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	proc := ledger.Process{
+		PID:   1,
+		Name:  fmt.Sprintf("%s/%s", app.Name, kind),
+		Spans: run.Spans,
+		Marks: run.ConfigMarks,
+	}
+	if err := ledger.WriteTrace(f, proc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "greenbench: wrote %d spans (%.3f J frames, %.3f J idle) to %s\n",
+		len(run.Spans), float64(run.FrameEnergy), float64(run.IdleEnergy), path)
+	return nil
 }

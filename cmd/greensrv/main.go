@@ -12,6 +12,8 @@
 //	POST /v1/sweeps              {"apps":[...],"kinds":[...],"phase":"full"}
 //	GET  /v1/sweeps/{id}         status snapshot
 //	GET  /v1/sweeps/{id}/results NDJSON rows in submission order
+//	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON (per-frame/per-event
+//	                             energy spans, one trace process per job)
 //	GET  /healthz                liveness
 //	GET  /metrics                fleet counters
 package main

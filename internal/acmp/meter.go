@@ -15,6 +15,8 @@ type Meter struct {
 
 	total     Joules
 	byCluster [2]Joules
+
+	onTransition []func(from, to sim.Time, rail Cluster, e Joules)
 }
 
 func newMeter(s *sim.Simulator, pm *PowerModel) *Meter {
@@ -32,12 +34,30 @@ func (m *Meter) set(p Watts, rail Cluster) {
 func (m *Meter) integrate() {
 	now := m.sim.Now()
 	if now > m.last {
+		from := m.last
 		e := Joules(float64(m.power) * now.Sub(m.last).Seconds())
 		m.total += e
 		m.byCluster[m.rail] += e
 		m.last = now
+		for _, fn := range m.onTransition {
+			fn(from, now, m.rail, e)
+		}
 	}
 }
+
+// OnTransition registers an observer of integration intervals: each call
+// reports one piecewise-constant interval [from, to) on the given rail and
+// the energy it contributed to the integral. The energy ledger subscribes
+// here to attribute every joule the meter counts.
+func (m *Meter) OnTransition(fn func(from, to sim.Time, rail Cluster, e Joules)) {
+	m.onTransition = append(m.onTransition, fn)
+}
+
+// Sync forces integration up to the current instant, flushing the pending
+// interval through OnTransition observers. Attribution boundaries (span
+// open/close) call this so the interval on each side of the boundary is
+// charged to the right span.
+func (m *Meter) Sync() { m.integrate() }
 
 // Power reports the instantaneous power level.
 func (m *Meter) Power() Watts { return m.power }
@@ -65,6 +85,8 @@ type DAQ struct {
 	samples int
 	energy  Joules
 	stopped bool
+	last    sim.Time   // time the last completed sampling period ended
+	ev      *sim.Event // pending sample, so Stop can cancel it
 }
 
 // NewDAQ attaches a sampler to a power source at the given sampling period
@@ -73,24 +95,41 @@ func NewDAQ(s *sim.Simulator, period sim.Duration, src func() Watts) *DAQ {
 	if period <= 0 {
 		panic("acmp: DAQ period must be positive")
 	}
-	d := &DAQ{sim: s, src: src, period: period}
+	d := &DAQ{sim: s, src: src, period: period, last: s.Now()}
 	d.schedule()
 	return d
 }
 
 func (d *DAQ) schedule() {
-	d.sim.After(d.period, "daq:sample", func() {
+	d.ev = d.sim.After(d.period, "daq:sample", func() {
 		if d.stopped {
 			return
 		}
 		d.samples++
 		d.energy += Joules(float64(d.src()) * d.period.Seconds())
+		d.last = d.sim.Now()
 		d.schedule()
 	})
 }
 
-// Stop ends sampling.
-func (d *DAQ) Stop() { d.stopped = true }
+// Stop ends sampling: the pending sample event is cancelled (so it does not
+// linger in the simulator queue) and the final partial sampling period is
+// flushed into the estimate, which would otherwise undercount by up to one
+// period. Stopping twice is a no-op.
+func (d *DAQ) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	if d.ev != nil {
+		d.ev.Cancel()
+		d.ev = nil
+	}
+	if now := d.sim.Now(); now > d.last {
+		d.energy += Joules(float64(d.src()) * now.Sub(d.last).Seconds())
+		d.last = now
+	}
+}
 
 // Samples reports how many samples were taken.
 func (d *DAQ) Samples() int { return d.samples }

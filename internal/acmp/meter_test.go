@@ -1,0 +1,140 @@
+package acmp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// TestDAQStopCancelsPendingSample pins the DAQ.Stop fix: stopping must
+// cancel the pending daq:sample event (not leave it dangling in the
+// simulator queue) and flush the final partial sampling period into the
+// estimate.
+func TestDAQStopCancelsPendingSample(t *testing.T) {
+	s := sim.New()
+	d := NewDAQ(s, sim.Millisecond, func() Watts { return 1 })
+
+	s.RunUntil(sim.Time(2500 * sim.Microsecond))
+	if d.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", d.Samples())
+	}
+	d.Stop()
+
+	// The pending sample must be gone: with nothing else scheduled, the
+	// queue must report no next event.
+	if at := s.NextEventAt(); at != sim.Forever {
+		t.Errorf("dangling daq event at %v after Stop", at)
+	}
+
+	// 2 full periods + a 0.5 ms partial at 1 W = 2.5 mJ.
+	want := Joules(0.0025)
+	if diff := math.Abs(float64(d.Energy() - want)); diff > 1e-12 {
+		t.Errorf("energy = %v J, want %v J (partial period not flushed?)", d.Energy(), want)
+	}
+}
+
+// TestDAQStopIdempotent pins that a second Stop neither double-flushes the
+// partial period nor panics.
+func TestDAQStopIdempotent(t *testing.T) {
+	s := sim.New()
+	d := NewDAQ(s, sim.Millisecond, func() Watts { return 2 })
+	s.RunUntil(sim.Time(1500 * sim.Microsecond))
+	d.Stop()
+	first := d.Energy()
+	d.Stop()
+	if d.Energy() != first {
+		t.Fatalf("second Stop changed energy: %v -> %v", first, d.Energy())
+	}
+}
+
+// driveMigrations runs a deterministic workload with cluster migrations and
+// mid-run frequency switches on a fresh simulated CPU, stopping the clock at
+// a fixed horizon. It returns the CPU so callers can inspect the meter.
+func driveMigrations(s *sim.Simulator) *CPU {
+	cpu := NewCPU(s, nil)
+	th := cpu.NewThread("worker")
+
+	submit := func(cycles int64) {
+		th.Submit(Work{CyclesBig: cycles, CyclesLittle: int64(float64(cycles) * 1.8)}, nil)
+	}
+	submit(2_000_000)
+	s.After(5*sim.Millisecond, "to-big", func() {
+		cpu.SetConfig(Config{Big, BigMaxMHz})
+		submit(10_000_000)
+	})
+	s.After(12*sim.Millisecond, "freq-down", func() {
+		cpu.SetConfig(Config{Big, BigMinMHz})
+	})
+	s.After(20*sim.Millisecond, "to-little", func() {
+		cpu.SetConfig(Config{Little, LittleMaxMHz})
+		submit(1_000_000)
+	})
+	s.After(30*sim.Millisecond, "back-to-big", func() {
+		cpu.SetConfig(Config{Big, 1200})
+	})
+	s.RunUntil(sim.Time(40 * sim.Millisecond))
+	return cpu
+}
+
+// TestMeterCrossRailConservation checks that the per-cluster split accounts
+// for every joule across a schedule with cluster migrations: little + big
+// must equal the total integral exactly (to float rounding).
+func TestMeterCrossRailConservation(t *testing.T) {
+	s := sim.New()
+	cpu := driveMigrations(s)
+
+	if cpu.Stats().Migrations < 3 {
+		t.Fatalf("workload produced %d migrations, want >= 3", cpu.Stats().Migrations)
+	}
+	total := cpu.Energy()
+	little, big := cpu.Meter().EnergyByCluster()
+	if little <= 0 || big <= 0 {
+		t.Fatalf("expected energy on both rails, got little=%v big=%v", little, big)
+	}
+	if diff := math.Abs(float64(little + big - total)); diff > 1e-12 {
+		t.Errorf("little(%v) + big(%v) != total(%v), |Δ| = %g", little, big, total, diff)
+	}
+}
+
+// TestDAQConvergesToMeter checks that the sampled estimate approaches the
+// exact piecewise-constant integral as the sampling period shrinks (the
+// paper's 1 kS/s DAQ vs. the sense-resistor ground truth).
+func TestDAQConvergesToMeter(t *testing.T) {
+	errAt := func(period sim.Duration) (absErr, exact float64) {
+		s := sim.New()
+		cpu := NewCPU(s, nil)
+		d := NewDAQ(s, period, func() Watts { return cpu.Power() })
+		th := cpu.NewThread("worker")
+		th.Submit(Work{CyclesBig: 2_000_000, CyclesLittle: 3_600_000}, nil)
+		s.After(5*sim.Millisecond, "to-big", func() {
+			cpu.SetConfig(Config{Big, BigMaxMHz})
+			th.Submit(Work{CyclesBig: 10_000_000, CyclesLittle: 18_000_000}, nil)
+		})
+		s.After(20*sim.Millisecond, "to-little", func() {
+			cpu.SetConfig(Config{Little, LittleMaxMHz})
+		})
+		s.RunUntil(sim.Time(40 * sim.Millisecond))
+		d.Stop()
+		return math.Abs(float64(d.Energy() - cpu.Energy())), float64(cpu.Energy())
+	}
+
+	periods := []sim.Duration{5 * sim.Millisecond, 500 * sim.Microsecond, 50 * sim.Microsecond}
+	var errs []float64
+	var exact float64
+	for _, p := range periods {
+		e, ex := errAt(p)
+		errs = append(errs, e)
+		exact = ex
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1] {
+			t.Errorf("error grew as period shrank: err(%v)=%g > err(%v)=%g",
+				periods[i], errs[i], periods[i-1], errs[i-1])
+		}
+	}
+	// At 50 µs the estimate must be within 1% of the exact integral.
+	if errs[len(errs)-1] > 0.01*exact {
+		t.Errorf("err at 50µs = %g J, want < 1%% of %g J", errs[len(errs)-1], exact)
+	}
+}

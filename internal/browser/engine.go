@@ -9,6 +9,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/dom"
 	"github.com/wattwiseweb/greenweb/internal/html"
 	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/sim"
 	"github.com/wattwiseweb/greenweb/internal/webapi"
 )
@@ -102,6 +103,10 @@ type Engine struct {
 	loadUID      UID
 
 	onFrame []func(*FrameResult)
+
+	// led, when set, receives a span per frame production and per input's
+	// event closure for energy attribution (nil disables tracking).
+	led *ledger.Ledger
 }
 
 // New creates an engine on the simulator and CPU. A nil cost model uses
@@ -162,6 +167,15 @@ func (e *Engine) ScriptErrors() []error { return e.scriptErrs }
 
 // OnFrame registers an observer called after every completed frame.
 func (e *Engine) OnFrame(fn func(*FrameResult)) { e.onFrame = append(e.onFrame, fn) }
+
+// SetLedger installs an energy-attribution ledger: the engine opens a span
+// per frame production and per input→completion event closure. Install
+// before LoadPage so the load event is attributed too.
+func (e *Engine) SetLedger(l *ledger.Ledger) { e.led = l }
+
+// Ledger returns the installed energy ledger (nil when attribution is off).
+// Governors use this to annotate the spans of frames they schedule.
+func (e *Engine) Ledger() *ledger.Ledger { return e.led }
 
 // Quiescent reports whether the engine has no work in flight: no queued or
 // running main-thread tasks, no frame in production, no pending animation
@@ -396,6 +410,9 @@ func (e *Engine) newInput(event, target string) UID {
 	e.inputs[uid] = InputRecord{UID: uid, Event: event, Target: target, Start: e.simu.Now()}
 	e.refs[uid] = 0
 	e.ref(uid, +1) // in-flight input processing
+	if e.led != nil {
+		e.led.BeginEvent(uint64(uid), event+" "+target)
+	}
 	return uid
 }
 
@@ -560,6 +577,13 @@ func (e *Engine) checkComplete() {
 	for _, uid := range ready {
 		e.done[uid] = true
 		e.gov.OnEventComplete(uid)
+		// Close the event's energy span after the governor reacts, so its
+		// completion-time annotations land on the span; any configuration
+		// change the governor makes here is zero-width in virtual time and
+		// charges no energy to the closing span.
+		if e.led != nil {
+			e.led.EndEvent(uint64(uid))
+		}
 	}
 }
 
@@ -614,6 +638,12 @@ func (e *Engine) beginFrame() {
 	}
 
 	e.producing = true
+	// Open the frame's energy span at production start: the animation
+	// callbacks below are frame work, and `producing` guarantees a single
+	// open frame span at a time.
+	if e.led != nil {
+		e.led.BeginFrame()
+	}
 	prov := NewProvenance()
 
 	// Phase 1: animation callbacks as one main-thread task.
@@ -658,6 +688,9 @@ func (e *Engine) beginFrame() {
 func (e *Engine) produceFrame(begin sim.Time, _ Provenance) {
 	if !e.dirty {
 		// Animations ran but nothing changed visually: no frame needed.
+		if e.led != nil {
+			e.led.EndFrame(0, e.cpu.Config())
+		}
 		e.producing = false
 		e.checkComplete()
 		if e.needsFrameWork() {
@@ -748,6 +781,12 @@ func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, d
 	e.gov.OnFrameEnd(&fr)
 	for _, fn := range e.onFrame {
 		fn(&fr)
+	}
+	// Close the frame's energy span after OnFrameEnd so the governor's
+	// feedback annotations land on it; its rescheduling here is zero-width
+	// in virtual time and charges nothing to the closing span.
+	if e.led != nil {
+		e.led.EndFrame(seq, cfg)
 	}
 	e.checkComplete()
 	if e.needsFrameWork() {

@@ -300,8 +300,34 @@ func (r *Runtime) driving(prov browser.Provenance) *Model {
 // OnFrameStart implements browser.Governor: re-assert the scheduling
 // decision for this frame (the runtime operates per frame, Sec. 6.1).
 func (r *Runtime) OnFrameStart(seq int, prov browser.Provenance) {
-	if r.driving(prov) != nil {
+	m := r.driving(prov)
+	if m != nil {
 		r.reschedule()
+	}
+	r.annotateFrameStart(m)
+}
+
+// annotateFrameStart records the scheduling decision on the frame's energy
+// span: which class drives the frame, its deadline, and whether the chosen
+// configuration is a profiling point or a model prediction.
+func (r *Runtime) annotateFrameStart(m *Model) {
+	led := r.e.Ledger()
+	if led == nil {
+		return
+	}
+	led.AnnotateFrame("governor", r.Name())
+	if m == nil {
+		led.AnnotateFrame("decision", "unannotated")
+		return
+	}
+	led.AnnotateFrame("class", m.Key)
+	led.AnnotateFrame("deadline", r.deadline(m.Ann).String())
+	cfg := r.cpu.Config()
+	if _, profiling := m.ProfilingConfig(); profiling {
+		led.AnnotateFrame("decision", "profile@"+cfg.String())
+	} else {
+		led.AnnotateFrame("decision", "predict@"+cfg.String())
+		led.AnnotateFrame("predicted", m.Predict(cfg).String())
 	}
 }
 
@@ -348,9 +374,11 @@ func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
 		m.RecordProfile(measured, fr.Config)
 		r.tracef("profile %s: %v at %v", m.Key, measured, fr.Config)
 		r.stats.ProfilingFrames++
-		if measured > r.deadline(m.Ann) {
+		violated := measured > r.deadline(m.Ann)
+		if violated {
 			r.stats.Violations++
 		}
+		r.annotateFeedback(measured, violated, false, "profiled")
 		// Move to the next profiling point (or first prediction) for any
 		// follow-on frames of the same event.
 		r.reschedule()
@@ -367,7 +395,27 @@ func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
 		m.Reset()
 		r.stats.Reprofiles++
 	}
+	r.annotateFeedback(measured, violated, reprofile, "predicted")
 	r.reschedule()
+}
+
+// annotateFeedback records the measured-latency feedback outcome on the
+// frame's energy span (the frame is still open: the engine closes it after
+// OnFrameEnd returns).
+func (r *Runtime) annotateFeedback(measured sim.Duration, violated, reprofile bool, mode string) {
+	led := r.e.Ledger()
+	if led == nil {
+		return
+	}
+	led.AnnotateFrame("measured", measured.String())
+	outcome := mode + ":ok"
+	if violated {
+		outcome = mode + ":violated"
+	}
+	if reprofile {
+		outcome += ",reprofile"
+	}
+	led.AnnotateFrame("outcome", outcome)
 }
 
 // measuredLatency extracts the latency the annotation's QoS type is judged

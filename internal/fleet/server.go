@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
 )
 
 // SweepRequest is the POST /v1/sweeps body. Empty fields take defaults:
@@ -23,8 +25,23 @@ type SweepRequest struct {
 // DefaultKinds is the sweep the evaluation section revolves around.
 var DefaultKinds = []harness.Kind{harness.Perf, harness.Interactive, harness.GreenWebI, harness.GreenWebU}
 
-// Jobs expands the request into the job grid (apps × kinds).
+// Jobs expands the request into the job grid (apps × kinds). Request-level
+// fields are validated before grid expansion, so a bad phase or repeat count
+// fails once with a request-shaped error instead of per generated job.
 func (r SweepRequest) Jobs() ([]Job, error) {
+	if r.Repeats < 0 {
+		return nil, fmt.Errorf("fleet: negative repeats %d", r.Repeats)
+	}
+	phase := Full
+	if r.Phase != "" {
+		// Case-insensitive, matching harness.ParseKind for governor kinds.
+		phase = Phase(strings.ToLower(r.Phase))
+		switch phase {
+		case Micro, Full:
+		default:
+			return nil, fmt.Errorf("fleet: unknown phase %q (want %q or %q)", r.Phase, Micro, Full)
+		}
+	}
 	names := r.Apps
 	if len(names) == 0 {
 		names = apps.Names()
@@ -39,10 +56,6 @@ func (r SweepRequest) Jobs() ([]Job, error) {
 			}
 			kinds = append(kinds, kind)
 		}
-	}
-	phase := Full
-	if r.Phase != "" {
-		phase = Phase(r.Phase)
 	}
 	var jobs []Job
 	for _, name := range names {
@@ -73,7 +86,13 @@ type ResultRow struct {
 	LoadMS       float64      `json:"load_latency_ms,omitempty"`
 	FreqSwitches int          `json:"freq_switches,omitempty"`
 	Migrations   int          `json:"migrations,omitempty"`
-	Error        string       `json:"error,omitempty"`
+	// Ledger attribution columns (whole run including load): frame + idle
+	// partition the meter integral; event sums the input→completion
+	// overlays.
+	FrameEnergyJ float64 `json:"frame_energy_j,omitempty"`
+	IdleEnergyJ  float64 `json:"idle_energy_j,omitempty"`
+	EventEnergyJ float64 `json:"event_energy_j,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 func rowOf(index int, r Result) ResultRow {
@@ -97,6 +116,9 @@ func rowOf(index int, r Result) ResultRow {
 	row.LoadMS = run.LoadLatency.Milliseconds()
 	row.FreqSwitches = run.Switches.FreqSwitches
 	row.Migrations = run.Switches.Migrations
+	row.FrameEnergyJ = float64(run.FrameEnergy)
+	row.IdleEnergyJ = float64(run.IdleEnergy)
+	row.EventEnergyJ = float64(run.EventEnergy)
 	return row
 }
 
@@ -105,6 +127,7 @@ func rowOf(index int, r Result) ResultRow {
 //	POST /v1/sweeps              enqueue a sweep (202 + id)
 //	GET  /v1/sweeps/{id}         status snapshot
 //	GET  /v1/sweeps/{id}/results NDJSON rows, streamed as jobs finish
+//	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON of the whole sweep
 //	GET  /healthz                liveness
 //	GET  /metrics                fleet counters (JSON)
 //
@@ -192,6 +215,35 @@ func NewServer(m *Manager) http.Handler {
 				flusher.Flush()
 			}
 		}
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(SweepID(r.PathValue("id")))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		// One trace process per job (pid = index+1), waiting for each result
+		// in submission order — the trace covers the finished sweep.
+		var procs []ledger.Process
+		for i := 0; i < s.Len(); i++ {
+			res, err := s.Result(r.Context(), i)
+			if err != nil {
+				return // client went away
+			}
+			if res.Err != nil || res.Run == nil {
+				continue
+			}
+			procs = append(procs, ledger.Process{
+				PID:   i + 1,
+				Name:  fmt.Sprintf("%s/%s/%s", res.Job.App, res.Job.Kind, res.Job.Phase),
+				Spans: res.Run.Spans,
+				Marks: res.Run.ConfigMarks,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		ledger.WriteTrace(w, procs...)
 	})
 
 	return mux

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/wattwiseweb/greenweb/internal/acmp"
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
 )
 
 func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
@@ -180,10 +182,105 @@ func TestServerValidationErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
 		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("POST %s: Content-Type = %q, want application/json", body, ct)
+		}
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+			t.Errorf("POST %s: body is not a JSON error object: %v", body, err)
+		} else if errBody.Error == "" {
+			t.Errorf("POST %s: error body has no message", body)
+		}
+		resp.Body.Close()
+	}
+}
+
+// Unknown phases and negative repeat counts must be rejected before the
+// job grid is expanded — not silently swept with defaults.
+func TestSweepRequestRejectsBadPhaseAndRepeats(t *testing.T) {
+	if _, err := (&SweepRequest{Phase: "bogus"}).Jobs(); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	if _, err := (&SweepRequest{Repeats: -1}).Jobs(); err == nil {
+		t.Error("negative repeats accepted")
+	}
+	jobs, err := (&SweepRequest{Apps: []string{"Todo"}, Kinds: []string{"Perf"}, Phase: "MICRO"}).Jobs()
+	if err != nil {
+		t.Fatalf("case-insensitive phase rejected: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].Phase != Micro {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+// TestServerTraceEndpoint checks GET /v1/sweeps/{id}/trace: it waits for
+// the sweep, merges each job's spans into one Chrome trace (one process
+// per job), and skips failed jobs rather than erroring.
+func TestServerTraceEndpoint(t *testing.T) {
+	exec := func(ctx context.Context, j Job) (*harness.Run, error) {
+		if j.App == "Google" {
+			return nil, context.Canceled // a failed job must be skipped, not fatal
+		}
+		return &harness.Run{
+			Frames: 1,
+			Spans: []ledger.Span{
+				{ID: 1, Kind: ledger.KindIdle, Name: "idle/other", Start: 0, End: 1000, Energy: 0.001},
+				{ID: 2, Kind: ledger.KindFrame, Name: "frame 1", Seq: 1, Start: 1000, End: 2000, Energy: 0.002},
+			},
+			ConfigMarks: []ledger.ConfigMark{{At: 1000, From: acmp.LowestConfig(), To: acmp.PeakConfig()}},
+		}, nil
+	}
+	srv, _ := newTestServer(t, Options{Workers: 2, Execute: exec})
+
+	ack := postSweep(t, srv, `{"apps":["Todo","Google"],"kinds":["Perf"]}`)
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + ack["id"].(string) + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var complete int
+	pids := make(map[int]bool)
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+			pids[ev.PID] = true
+		}
+	}
+	if complete != 2 { // only Todo's two spans; Google failed
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if len(pids) != 1 || !pids[1] {
+		t.Errorf("trace pids = %v, want just pid 1 (Todo)", pids)
+	}
+
+	// Unknown sweep → 404 with a JSON error body.
+	resp404, err := http.Get(srv.URL + "/v1/sweeps/s-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown trace = %d, want 404", resp404.StatusCode)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/browser"
 	"github.com/wattwiseweb/greenweb/internal/core"
 	"github.com/wattwiseweb/greenweb/internal/governor"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/metrics"
 	"github.com/wattwiseweb/greenweb/internal/qos"
 	"github.com/wattwiseweb/greenweb/internal/replay"
@@ -125,6 +126,19 @@ type Run struct {
 	// FrameResults is the full frame timeline (including the load frame),
 	// for timeline export and detailed inspection.
 	FrameResults []browser.FrameResult
+
+	// Energy attribution from the per-frame/per-event ledger, over the whole
+	// run including load. FrameEnergy + IdleEnergy equals TotalEnergy within
+	// ledger.ConservationTolerance — the harness verifies this after every
+	// run. EventEnergy sums the input→completion overlays, which may
+	// double-count overlapping events.
+	FrameEnergy acmp.Joules
+	IdleEnergy  acmp.Joules
+	EventEnergy acmp.Joules
+	// Spans is the full attribution timeline, for trace export.
+	Spans []ledger.Span
+	// ConfigMarks is the configuration-change history, for trace export.
+	ConfigMarks []ledger.ConfigMark
 }
 
 // settle advances the simulation until the engine is quiescent, cap elapses,
@@ -240,6 +254,8 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	s := sim.New()
 	cpu := acmp.NewCPU(s, acmp.DefaultPower())
 	e := browser.New(s, cpu, nil)
+	led := ledger.New(cpu)
+	e.SetLedger(led)
 	gov := newGovernor(kind)
 	var rt *core.Runtime
 	if r, ok := gov.(*core.Runtime); ok {
@@ -309,6 +325,16 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	}
 	run.TotalEnergy = cpu.Energy()
 	run.FrameResults = e.Results()
+	// Close out the attribution ledger and enforce conservation: every joule
+	// the meter integrated must appear in exactly one frame/idle span, so an
+	// attribution bug fails the run instead of silently skewing the numbers.
+	led.Finish()
+	if err := led.Check(); err != nil {
+		return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
+	}
+	run.FrameEnergy, run.IdleEnergy, run.EventEnergy = led.Summary()
+	run.Spans = led.Spans()
+	run.ConfigMarks = led.Marks()
 	if errs := e.ScriptErrors(); len(errs) > 0 {
 		return nil, nil, fmt.Errorf("harness: %s/%s: script errors: %v", app.Name, kind, errs[0])
 	}

@@ -1,0 +1,159 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Process groups one run's spans for trace export. Multi-run traces (a whole
+// sweep) export each run as its own trace process.
+type Process struct {
+	PID   int
+	Name  string
+	Spans []Span
+	Marks []ConfigMark
+}
+
+// traceEvent is one entry of the Chrome trace_event format (the JSON Array
+// variant wrapped in a JSON Object container), loadable in chrome://tracing
+// and Perfetto. Timestamps and durations are microseconds — sim's native
+// unit, so values pass through unchanged.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object container format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Thread ids within one trace process: frame/idle slices share the
+// partition lane; overlapping event spans spread across lanes starting at
+// eventTIDBase.
+const (
+	frameTID     = 1
+	eventTIDBase = 2
+)
+
+// WriteTrace serializes the processes as Chrome trace-event JSON.
+func WriteTrace(w io.Writer, procs ...Process) error {
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, p := range procs {
+		tf.TraceEvents = append(tf.TraceEvents, processEvents(p)...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}
+
+func processEvents(p Process) []traceEvent {
+	evs := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: p.PID, TID: 0, Args: map[string]any{"name": p.Name}},
+		{Name: "thread_name", Ph: "M", PID: p.PID, TID: frameTID, Args: map[string]any{"name": "frames"}},
+	}
+
+	// Greedy lane assignment keeps overlapping event spans on distinct
+	// threads: complete events on one Chrome-trace thread must nest, and
+	// input closures (touchstart/touchend/click bursts) routinely overlap
+	// without nesting.
+	events := make([]Span, 0)
+	for _, sp := range p.Spans {
+		if sp.Kind == KindEvent {
+			events = append(events, sp)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].ID < events[j].ID
+	})
+	laneEnd := []sim.Time{}
+	lanes := make(map[int]int, len(events)) // span ID → lane
+	for _, sp := range events {
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= sp.Start {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = sp.End
+		lanes[sp.ID] = lane
+	}
+	for i := range laneEnd {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", PID: p.PID, TID: eventTIDBase + i,
+			Args: map[string]any{"name": fmt.Sprintf("events-%d", i)},
+		})
+	}
+
+	for _, sp := range p.Spans {
+		tid := frameTID
+		if sp.Kind == KindEvent {
+			tid = eventTIDBase + lanes[sp.ID]
+		}
+		evs = append(evs, traceEvent{
+			Name: sp.Name,
+			Cat:  string(sp.Kind),
+			Ph:   "X",
+			TS:   int64(sp.Start),
+			Dur:  int64(sp.Duration()),
+			PID:  p.PID,
+			TID:  tid,
+			Args: spanArgs(sp),
+		})
+	}
+
+	// Configuration changes as a counter track (MHz over time) plus instant
+	// markers carrying the from→to transition.
+	for _, mk := range p.Marks {
+		evs = append(evs, traceEvent{
+			Name: "cpu MHz", Ph: "C", TS: int64(mk.At), PID: p.PID,
+			Args: map[string]any{"MHz": mk.To.MHz},
+		}, traceEvent{
+			Name: fmt.Sprintf("%v → %v", mk.From, mk.To),
+			Cat:  "config", Ph: "i", TS: int64(mk.At), PID: p.PID, TID: frameTID,
+			Args: map[string]any{"s": "p"},
+		})
+	}
+	return evs
+}
+
+func spanArgs(sp Span) map[string]any {
+	args := map[string]any{
+		"energy_j": float64(sp.Energy),
+		"little_j": float64(sp.Little),
+		"big_j":    float64(sp.Big),
+		"busy_us":  int64(sp.Busy),
+	}
+	if sp.Config != "" {
+		args["config"] = sp.Config
+	}
+	if sp.Seq > 0 {
+		args["frame_seq"] = sp.Seq
+	}
+	if sp.UID != 0 {
+		args["input_uid"] = sp.UID
+	}
+	for k, v := range sp.Attrs {
+		args[k] = v
+	}
+	return args
+}
