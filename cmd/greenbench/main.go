@@ -13,20 +13,31 @@
 //
 //	greenbench -trace out.json [-trace-app Name] [-trace-kind GreenWeb-U]
 //
+// With -faults, greenbench runs a deterministic fault sweep instead of the
+// report: every catalog app under Perf, GreenWeb-I, and GreenWeb-U with the
+// given fault spec active, streamed as one NDJSON row per cell (fault
+// counters, retry provenance, quarantine state). The spec is "default", an
+// inline JSON object, or @file; a fixed -fault-seed makes the output
+// byte-reproducible. -trace honors -faults too, tracing one faulted run.
+//
 // Usage:
 //
 //	greenbench [-o report.txt] [-workers N] [-seq]
+//	greenbench -faults default|JSON|@file [-fault-seed S] [-o rows.ndjson]
 //	greenbench -trace out.json [-trace-app NAME] [-trace-kind KIND]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
@@ -39,10 +50,18 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON for one run and exit (skips the report)")
 	traceApp := flag.String("trace-app", "", "application for -trace (default: first catalog app)")
 	traceKind := flag.String("trace-kind", string(harness.GreenWebU), "governor kind for -trace")
+	faultsArg := flag.String("faults", "", `fault spec: "default", inline JSON, or @file (runs the fault sweep instead of the report)`)
+	faultSeed := flag.Int64("fault-seed", 0, "override the fault spec's seed (0 = keep the spec's own)")
 	flag.Parse()
 
+	spec, err := parseFaultSpec(*faultsArg, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greenbench:", err)
+		os.Exit(1)
+	}
+
 	if *trace != "" {
-		if err := writeTrace(*trace, *traceApp, *traceKind); err != nil {
+		if err := writeTrace(*trace, *traceApp, *traceKind, spec); err != nil {
 			fmt.Fprintln(os.Stderr, "greenbench:", err)
 			os.Exit(1)
 		}
@@ -60,6 +79,14 @@ func main() {
 		w = f
 	}
 
+	if spec != nil {
+		if err := faultSweep(w, spec, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	suite := harness.NewSuite()
 	if !*seq {
 		pool := fleet.New(fleet.Options{Workers: *workers})
@@ -72,9 +99,59 @@ func main() {
 	}
 }
 
-// writeTrace runs one full-interaction cell and exports its attribution
-// timeline as Chrome trace-event JSON.
-func writeTrace(path, appName, kindName string) error {
+// parseFaultSpec resolves the -faults argument: "" (no faults), "default"
+// (the stock spec), an inline JSON object, or @file. A non-zero seed
+// overrides the spec's own.
+func parseFaultSpec(arg string, seed int64) (*faults.Spec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var spec *faults.Spec
+	switch {
+	case arg == "default":
+		spec = faults.Default(seed)
+	case strings.HasPrefix(arg, "@"):
+		data, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, fmt.Errorf("-faults: %w", err)
+		}
+		spec = new(faults.Spec)
+		if err := json.Unmarshal(data, spec); err != nil {
+			return nil, fmt.Errorf("-faults %s: %w", arg, err)
+		}
+	default:
+		spec = new(faults.Spec)
+		if err := json.Unmarshal([]byte(arg), spec); err != nil {
+			return nil, fmt.Errorf("-faults: %w (want \"default\", JSON, or @file)", err)
+		}
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// faultSweep fans every catalog app × headline governor across the fleet
+// with the fault spec active and streams the deterministic NDJSON merge.
+func faultSweep(w io.Writer, spec *faults.Spec, workers int) error {
+	kinds := []harness.Kind{harness.Perf, harness.GreenWebI, harness.GreenWebU}
+	var jobs []fleet.Job
+	for _, name := range apps.Names() {
+		for _, k := range kinds {
+			jobs = append(jobs, fleet.Job{App: name, Kind: k, Phase: fleet.Full, Faults: spec})
+		}
+	}
+	pool := fleet.New(fleet.Options{Workers: workers, MaxAttempts: 3})
+	defer pool.Close()
+	return fleet.WriteResults(w, pool.RunSweep(context.Background(), jobs), true)
+}
+
+// writeTrace runs one full-interaction cell (optionally faulted) and exports
+// its attribution timeline as Chrome trace-event JSON.
+func writeTrace(path, appName, kindName string, spec *faults.Spec) error {
 	if appName == "" {
 		appName = apps.Names()[0]
 	}
@@ -86,7 +163,7 @@ func writeTrace(path, appName, kindName string) error {
 	if err != nil {
 		return err
 	}
-	run, err := harness.Execute(app, kind, app.Full)
+	run, err := harness.ExecuteFaulted(app, kind, app.Full, spec)
 	if err != nil {
 		return err
 	}

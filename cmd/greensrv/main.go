@@ -6,6 +6,7 @@
 // Usage:
 //
 //	greensrv [-addr :8080] [-workers N] [-queue DEPTH] [-job-timeout 2m]
+//	         [-max-attempts N] [-retry-base 50ms] [-retry-max 2s] [-retry-seed S]
 //
 // API:
 //
@@ -35,13 +36,21 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
-	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job execution cap (0 = none)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt execution cap (0 = none)")
+	maxAttempts := flag.Int("max-attempts", 3, "executions per failing job before quarantine (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	pool := fleet.New(fleet.Options{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout})
+	pool := fleet.New(fleet.Options{
+		Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout,
+		MaxAttempts: *maxAttempts, RetryBaseDelay: *retryBase,
+		RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
+	})
 	manager := fleet.NewManager(ctx, pool)
 	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(manager)}
 

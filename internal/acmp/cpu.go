@@ -24,6 +24,22 @@ type SwitchStats struct {
 // Total reports all configuration switching events.
 func (s SwitchStats) Total() int { return s.FreqSwitches + s.Migrations }
 
+// DVFSFaults injects transition failures into SetConfig: a request may be
+// denied outright (the old configuration stays live) or delayed by a
+// transition latency. Implementations must be deterministic functions of
+// virtual time (internal/faults provides a seed-driven one).
+type DVFSFaults interface {
+	Transition(now sim.Time) (deny bool, delay sim.Duration)
+}
+
+// FaultStats counts fault-model outcomes observed by the CPU. All zero when
+// no fault injection is attached.
+type FaultStats struct {
+	Denied  int `json:"denied,omitempty"`  // SetConfig requests denied outright
+	Delayed int `json:"delayed,omitempty"` // transitions that landed after an injected latency
+	Trips   int `json:"trips,omitempty"`   // thermal-governor trips
+}
+
 // CPU simulates the ACMP processor: an exclusive active cluster running at a
 // settable frequency, executing the work submitted to its threads, with a
 // power meter on the CPU rails. All timing flows through the shared
@@ -57,6 +73,14 @@ type CPU struct {
 	unionBusy      sim.Duration
 
 	onConfigChange []func(old, new Config)
+
+	// Fault-injection state (all inert until SetDVFSFaults/EnableThermal).
+	thermal       *Thermal
+	dvfs          DVFSFaults
+	lastRequested Config     // most recent SetConfig argument, pre-clamp
+	granted       Config     // configuration the last request resolved to
+	pendingEv     *sim.Event // in-flight delayed transition
+	faultStats    FaultStats
 }
 
 // NewCPU returns an ACMP processor attached to the simulator, initially at
@@ -73,6 +97,8 @@ func NewCPU(s *sim.Simulator, pm *PowerModel) *CPU {
 	}
 	c.clusterMHz[Little] = LittleMinMHz
 	c.clusterMHz[Big] = BigMinMHz
+	c.lastRequested = c.cfg
+	c.granted = c.cfg
 	c.meter = newMeter(s, pm)
 	c.residencyAt = s.Now()
 	c.refreshPower()
@@ -97,18 +123,119 @@ func (c *CPU) OnConfigChange(fn func(old, new Config)) {
 	c.onConfigChange = append(c.onConfigChange, fn)
 }
 
-// SetConfig switches the processor to a new execution configuration,
-// applying the frequency-switch and migration stalls to all in-flight work
-// and re-timing it for the new operating point. Setting the current
-// configuration is a no-op.
+// SetDVFSFaults attaches a transition fault injector consulted on every
+// effective configuration request. Pass nil to detach.
+func (c *CPU) SetDVFSFaults(f DVFSFaults) { c.dvfs = f }
+
+// EnableThermal attaches the thermal governor with the given parameters and
+// returns it. It panics on invalid parameters (validate external input with
+// ThermalParams.Validate first), like SetConfig does on invalid configs.
+func (c *CPU) EnableThermal(p ThermalParams) *Thermal {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	t := &Thermal{cpu: c, p: p, tempC: p.AmbientC, at: c.sim.Now()}
+	c.thermal = t
+	t.replan()
+	return t
+}
+
+// Thermal returns the attached thermal governor, or nil.
+func (c *CPU) Thermal() *Thermal { return c.thermal }
+
+// FaultStats reports the fault-model outcomes observed so far.
+func (c *CPU) FaultStats() FaultStats {
+	fs := c.faultStats
+	if c.thermal != nil {
+		fs.Trips = c.thermal.trips
+	}
+	return fs
+}
+
+// Ceiling reports the highest configuration currently legal: the overall
+// peak, or the thermal cap while the thermal governor is tripped.
+func (c *CPU) Ceiling() Config {
+	if c.thermal != nil && c.thermal.tripped {
+		return Config{Big, c.thermal.p.CapMHz}
+	}
+	return PeakConfig()
+}
+
+// ClampToCeiling lowers a configuration to the current legal ceiling; legal
+// configurations pass through unchanged.
+func (c *CPU) ClampToCeiling(cfg Config) Config {
+	if ceil := c.Ceiling(); cfg.Index() > ceil.Index() {
+		return ceil
+	}
+	return cfg
+}
+
+// Granted reports the configuration the most recent SetConfig request
+// resolved to: the request itself when honored, the ceiling-clamped value
+// under a thermal cap, or the old configuration when an injected DVFS fault
+// denied the transition. Governors compare this against what they asked for
+// to detect degradation.
+func (c *CPU) Granted() Config { return c.granted }
+
+// SetConfig requests a switch to a new execution configuration, applying
+// the frequency-switch and migration stalls to all in-flight work and
+// re-timing it for the new operating point. Setting the current
+// configuration is a no-op. The request is subject to the thermal ceiling
+// and any injected DVFS faults; Granted reports what actually took effect.
 func (c *CPU) SetConfig(cfg Config) {
 	if !cfg.Valid() {
 		panic(fmt.Sprintf("acmp: SetConfig(%v): invalid", cfg))
 	}
-	if cfg == c.cfg {
-		return
+	c.lastRequested = cfg
+	c.granted = c.requestConfig(cfg)
+}
+
+// requestConfig runs the fault path of a configuration request: ceiling
+// clamp, then denial or delay from the injector, then the actual switch. It
+// returns the configuration the request resolved to.
+func (c *CPU) requestConfig(cfg Config) Config {
+	cfg = c.ClampToCeiling(cfg)
+	if c.pendingEv != nil {
+		// A delayed transition is in flight; the newest request supersedes it.
+		c.pendingEv.Cancel()
+		c.pendingEv = nil
 	}
+	if cfg == c.cfg {
+		return cfg
+	}
+	if c.dvfs != nil {
+		deny, delay := c.dvfs.Transition(c.sim.Now())
+		if deny {
+			c.faultStats.Denied++
+			return c.cfg
+		}
+		if delay > 0 {
+			c.faultStats.Delayed++
+			target := cfg
+			c.pendingEv = c.sim.After(delay, "acmp:dvfs-delayed", func() {
+				c.pendingEv = nil
+				t := c.ClampToCeiling(target)
+				if t != c.cfg {
+					c.applyConfig(t)
+				}
+				c.granted = t
+			})
+			return cfg
+		}
+	}
+	c.applyConfig(cfg)
+	return cfg
+}
+
+// applyConfig performs the switch itself. cfg must differ from the current
+// configuration and already be within the legal ceiling.
+func (c *CPU) applyConfig(cfg Config) {
 	old := c.cfg
+	if c.thermal != nil {
+		// Integrate the die temperature under the outgoing configuration
+		// before the rate changes.
+		c.thermal.advance()
+	}
 
 	var penalty sim.Duration
 	if cfg.Cluster != old.Cluster {
@@ -141,6 +268,9 @@ func (c *CPU) SetConfig(cfg Config) {
 	}
 
 	c.refreshPower()
+	if c.thermal != nil {
+		c.thermal.replan()
+	}
 	for _, fn := range c.onConfigChange {
 		fn(old, cfg)
 	}

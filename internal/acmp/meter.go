@@ -83,10 +83,15 @@ type DAQ struct {
 	src     func() Watts
 	period  sim.Duration
 	samples int
+	dropped int
 	energy  Joules
 	stopped bool
 	last    sim.Time   // time the last completed sampling period ended
 	ev      *sim.Event // pending sample, so Stop can cancel it
+
+	// drop, when set, is consulted per sample instant; a true return loses
+	// that sampling period from the estimate (modelling DAQ dropout).
+	drop func(now sim.Time) bool
 }
 
 // NewDAQ attaches a sampler to a power source at the given sampling period
@@ -100,9 +105,24 @@ func NewDAQ(s *sim.Simulator, period sim.Duration, src func() Watts) *DAQ {
 	return d
 }
 
+// SetDropout attaches a sample-dropout predicate: each sampling instant the
+// predicate returns true for is lost, undercounting the estimate by that
+// period (the exact meter is unaffected). Must be deterministic in virtual
+// time for reproducible runs; internal/faults provides a seed-driven one.
+// Pass nil to detach.
+func (d *DAQ) SetDropout(f func(now sim.Time) bool) { d.drop = f }
+
 func (d *DAQ) schedule() {
 	d.ev = d.sim.After(d.period, "daq:sample", func() {
 		if d.stopped {
+			return
+		}
+		if d.drop != nil && d.drop(d.sim.Now()) {
+			// The sample never arrived: its period's energy is lost, not
+			// deferred (Stop must not re-count it as a partial period).
+			d.dropped++
+			d.last = d.sim.Now()
+			d.schedule()
 			return
 		}
 		d.samples++
@@ -133,6 +153,9 @@ func (d *DAQ) Stop() {
 
 // Samples reports how many samples were taken.
 func (d *DAQ) Samples() int { return d.samples }
+
+// Dropped reports how many samples were lost to injected dropout.
+func (d *DAQ) Dropped() int { return d.dropped }
 
 // Energy reports the sampled energy estimate.
 func (d *DAQ) Energy() Joules { return d.energy }

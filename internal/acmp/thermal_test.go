@@ -1,0 +1,224 @@
+package acmp
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// fixedFaults is a scripted DVFSFaults implementation for tests.
+type fixedFaults struct {
+	denies int // deny the first N transitions
+	delay  sim.Duration
+	calls  int
+}
+
+func (f *fixedFaults) Transition(sim.Time) (bool, sim.Duration) {
+	f.calls++
+	if f.calls <= f.denies {
+		return true, 0
+	}
+	return false, f.delay
+}
+
+func TestThermalTripCapsAndRestores(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	p := DefaultThermalParams()
+	th := cpu.EnableThermal(p)
+
+	cpu.SetConfig(PeakConfig())
+	if got := cpu.Granted(); got != PeakConfig() {
+		t.Fatalf("granted %v before any heating, want %v", got, PeakConfig())
+	}
+
+	// Heating 30→70 °C at 40 °C/s: the trip lands at t=1 s.
+	s.RunUntil(sim.Time(999 * sim.Millisecond))
+	if th.Tripped() {
+		t.Fatalf("tripped early at %v (temp %.1f)", s.Now(), th.Temp())
+	}
+	s.RunUntil(sim.Time(1100 * sim.Millisecond))
+	if !th.Tripped() {
+		t.Fatalf("not tripped at %v (temp %.1f)", s.Now(), th.Temp())
+	}
+	if got, want := cpu.Config(), (Config{Big, p.CapMHz}); got != want {
+		t.Fatalf("config %v under trip, want forced cap %v", got, want)
+	}
+	if got, want := cpu.Ceiling(), (Config{Big, p.CapMHz}); got != want {
+		t.Fatalf("ceiling %v under trip, want %v", got, want)
+	}
+	if th.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", th.Trips())
+	}
+
+	// Requests above the ceiling are clamped, not honored.
+	cpu.SetConfig(PeakConfig())
+	if got, want := cpu.Granted(), (Config{Big, p.CapMHz}); got != want {
+		t.Fatalf("granted %v while tripped, want clamp to %v", got, want)
+	}
+
+	// Cooling 70→55 °C at 10 °C/s: clear lands 1.5 s after the trip, and the
+	// last requested configuration (the peak) is restored.
+	s.RunUntil(sim.Time(2700 * sim.Millisecond))
+	if th.Tripped() {
+		t.Fatalf("still tripped at %v (temp %.1f)", s.Now(), th.Temp())
+	}
+	if got := cpu.Config(); got != PeakConfig() {
+		t.Fatalf("config %v after clear, want restored %v", got, PeakConfig())
+	}
+	if cpu.Ceiling() != PeakConfig() {
+		t.Fatalf("ceiling %v after clear, want peak", cpu.Ceiling())
+	}
+}
+
+func TestThermalOscillatesDeterministically(t *testing.T) {
+	run := func() (trips int, temp float64) {
+		s := sim.New()
+		cpu := NewCPU(s, nil)
+		th := cpu.EnableThermal(DefaultThermalParams())
+		cpu.SetConfig(PeakConfig())
+		s.RunUntil(sim.Time(10 * sim.Second))
+		return th.Trips(), th.Temp()
+	}
+	t1, temp1 := run()
+	t2, temp2 := run()
+	if t1 != t2 || temp1 != temp2 {
+		t.Fatalf("thermal history diverged: %d trips/%.3f °C vs %d trips/%.3f °C", t1, temp1, t2, temp2)
+	}
+	// First trip after 1 s (30→70 °C at 40 °C/s); every later cycle is
+	// 1.5 s of cooling (70→55) plus 0.375 s of reheating (55→70), so trips
+	// land at 1.0, 2.875, 4.75, 6.625, and 8.5 s.
+	if t1 != 5 {
+		t.Fatalf("trips = %d over 10 s of pinned peak, want 5", t1)
+	}
+}
+
+func TestThermalLittleClusterNeverTrips(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	th := cpu.EnableThermal(DefaultThermalParams())
+	cpu.SetConfig(MaxConfig(Little))
+	s.RunUntil(sim.Time(30 * sim.Second))
+	if th.Tripped() || th.Trips() != 0 {
+		t.Fatalf("little cluster tripped (%d trips, %.1f °C)", th.Trips(), th.Temp())
+	}
+	if got := th.Temp(); got != DefaultThermalParams().AmbientC {
+		t.Fatalf("temp %.1f at sustained little residency, want ambient", got)
+	}
+}
+
+func TestThermalParamsValidate(t *testing.T) {
+	bad := []ThermalParams{
+		{AmbientC: 70, TripC: 70, ClearC: 55, HeatCPerSec: 1, CoolCPerSec: 1, HeatAboveMHz: 1400, CapMHz: 1100},
+		{AmbientC: 30, TripC: 70, ClearC: 55, HeatCPerSec: 0, CoolCPerSec: 1, HeatAboveMHz: 1400, CapMHz: 1100},
+		{AmbientC: 30, TripC: 70, ClearC: 55, HeatCPerSec: 1, CoolCPerSec: 1, HeatAboveMHz: 1400, CapMHz: 1150},
+		{AmbientC: 30, TripC: 70, ClearC: 55, HeatCPerSec: 1, CoolCPerSec: 1, HeatAboveMHz: 1400, CapMHz: 1800},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := DefaultThermalParams().Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}
+
+func TestDVFSDenyKeepsOldConfig(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	cpu.SetDVFSFaults(&fixedFaults{denies: 1})
+
+	old := cpu.Config()
+	cpu.SetConfig(PeakConfig())
+	if got := cpu.Config(); got != old {
+		t.Fatalf("config %v after denied transition, want %v", got, old)
+	}
+	if got := cpu.Granted(); got != old {
+		t.Fatalf("granted %v after denial, want old config %v", got, old)
+	}
+	if fs := cpu.FaultStats(); fs.Denied != 1 {
+		t.Fatalf("denied = %d, want 1", fs.Denied)
+	}
+
+	// The next request goes through.
+	cpu.SetConfig(PeakConfig())
+	if got := cpu.Config(); got != PeakConfig() {
+		t.Fatalf("config %v after retry, want peak", got)
+	}
+}
+
+func TestDVFSDelayLandsLate(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	cpu.SetDVFSFaults(&fixedFaults{delay: 500 * sim.Microsecond})
+
+	old := cpu.Config()
+	cpu.SetConfig(PeakConfig())
+	if got := cpu.Config(); got != old {
+		t.Fatalf("config switched instantly (%v) despite injected delay", got)
+	}
+	if got := cpu.Granted(); got != PeakConfig() {
+		t.Fatalf("granted %v for a delayed transition, want eventual target %v", got, PeakConfig())
+	}
+	s.RunUntil(sim.Time(1 * sim.Millisecond))
+	if got := cpu.Config(); got != PeakConfig() {
+		t.Fatalf("config %v after delay elapsed, want peak", got)
+	}
+	if fs := cpu.FaultStats(); fs.Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", fs.Delayed)
+	}
+}
+
+func TestDVFSDelaySupersededByNewerRequest(t *testing.T) {
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	f := &fixedFaults{delay: 1 * sim.Millisecond}
+	cpu.SetDVFSFaults(f)
+
+	cpu.SetConfig(PeakConfig())
+	f.delay = 0 // the second request switches instantly
+	cpu.SetConfig(MaxConfig(Little))
+	if got := cpu.Config(); got != MaxConfig(Little) {
+		t.Fatalf("config %v, want the newer request to win", got)
+	}
+	s.RunUntil(sim.Time(5 * sim.Millisecond))
+	if got := cpu.Config(); got != MaxConfig(Little) {
+		t.Fatalf("config %v after stale delayed transition window, want %v (stale switch must not land)",
+			got, MaxConfig(Little))
+	}
+}
+
+func TestDAQDropoutUndercountsDeterministically(t *testing.T) {
+	run := func() (samples, dropped int, energy Joules) {
+		s := sim.New()
+		cpu := NewCPU(s, nil)
+		daq := NewDAQ(s, sim.Millisecond, cpu.Power)
+		// Drop every fourth sample, purely from virtual time.
+		daq.SetDropout(func(now sim.Time) bool { return (now/sim.Time(sim.Millisecond))%4 == 0 })
+		s.RunUntil(sim.Time(1 * sim.Second))
+		daq.Stop()
+		return daq.Samples(), daq.Dropped(), daq.Energy()
+	}
+	s1, d1, e1 := run()
+	s2, d2, e2 := run()
+	if s1 != s2 || d1 != d2 || e1 != e2 {
+		t.Fatalf("dropout runs diverged: %d/%d/%.9f vs %d/%d/%.9f", s1, d1, float64(e1), s2, d2, float64(e2))
+	}
+	if d1 == 0 {
+		t.Fatal("no samples dropped")
+	}
+	if s1+d1 != 1000 {
+		t.Fatalf("samples %d + dropped %d != 1000 scheduled", s1, d1)
+	}
+
+	// Dropout loses energy relative to the lossless sampler.
+	s := sim.New()
+	cpu := NewCPU(s, nil)
+	daq := NewDAQ(s, sim.Millisecond, cpu.Power)
+	s.RunUntil(sim.Time(1 * sim.Second))
+	daq.Stop()
+	if e1 >= daq.Energy() {
+		t.Fatalf("dropout estimate %.9f J not below lossless %.9f J", float64(e1), float64(daq.Energy()))
+	}
+}

@@ -208,10 +208,23 @@ func (m *Model) PredictEnergy(cfg acmp.Config, pm *acmp.PowerModel, horizon sim.
 // peak configuration is returned. Feedback bias shifts the result up the
 // performance order.
 func (m *Model) Select(deadline sim.Duration, pm *acmp.PowerModel, safety float64) acmp.Config {
+	return m.SelectWithin(deadline, pm, safety, acmp.PeakConfig())
+}
+
+// SelectWithin is Select restricted to configurations at or below ceiling —
+// the legal operating range while the thermal governor caps the frequency.
+// When no legal configuration meets the deadline, the ceiling itself (the
+// best QoS available under the cap) is returned, and the feedback bias
+// never steps past it.
+func (m *Model) SelectWithin(deadline sim.Duration, pm *acmp.PowerModel, safety float64, ceiling acmp.Config) acmp.Config {
 	bound := sim.Duration(float64(deadline) * safety)
-	best := acmp.PeakConfig()
+	ceilIdx := ceiling.Index()
+	best := ceiling
 	bestE := acmp.Joules(-1)
 	for _, cfg := range acmp.Configs() {
+		if cfg.Index() > ceilIdx {
+			break
+		}
 		if m.Predict(cfg) > bound {
 			continue
 		}
@@ -221,9 +234,11 @@ func (m *Model) Select(deadline sim.Duration, pm *acmp.PowerModel, safety float6
 		}
 	}
 	for i := 0; i < m.bias; i++ {
-		if up, ok := best.StepUp(); ok {
-			best = up
+		up, ok := best.StepUp()
+		if !ok || up.Index() > ceilIdx {
+			break
 		}
+		best = up
 	}
 	return best
 }

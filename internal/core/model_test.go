@@ -215,3 +215,45 @@ func TestDegenerateProfilesClamp(t *testing.T) {
 		}
 	}
 }
+
+func TestSelectWithinRespectsCeiling(t *testing.T) {
+	pm := acmp.DefaultPower()
+	ceiling := acmp.Config{Cluster: acmp.Big, MHz: 1100}
+
+	// Infeasible-under-cap workload: the unconstrained sweep would return
+	// the peak, the capped sweep must settle for the ceiling itself.
+	heavy := identifiedModel(t, 0.020, 100e6)
+	if cfg := heavy.SelectWithin(16600*sim.Microsecond, pm, 0.9, ceiling); cfg != ceiling {
+		t.Fatalf("infeasible capped config = %v, want ceiling %v", cfg, ceiling)
+	}
+
+	// Light workload: the cap changes nothing.
+	light := identifiedModel(t, 0, 1e6)
+	if cfg := light.SelectWithin(100*sim.Millisecond, pm, 0.9, ceiling); cfg != acmp.LowestConfig() {
+		t.Fatalf("light capped config = %v, want lowest", cfg)
+	}
+
+	// No selection ever lands above the ceiling, for any ceiling.
+	for _, ceil := range acmp.Configs() {
+		cfg := heavy.SelectWithin(16600*sim.Microsecond, pm, 0.9, ceil)
+		if cfg.Index() > ceil.Index() {
+			t.Fatalf("SelectWithin(%v) returned %v above the ceiling", ceil, cfg)
+		}
+	}
+}
+
+func TestSelectWithinBiasStopsAtCeiling(t *testing.T) {
+	pm := acmp.DefaultPower()
+	ceiling := acmp.Config{Cluster: acmp.Big, MHz: 1100}
+	m := identifiedModel(t, 0, 1e6)
+	// Pile up violations so the bias wants to push far up the order.
+	for i := 0; i < 20; i++ {
+		m.Feedback(200*sim.Millisecond, 100*sim.Millisecond, acmp.LowestConfig(), 1000)
+	}
+	if cfg := m.Select(100*sim.Millisecond, pm, 0.9); cfg != acmp.PeakConfig() {
+		t.Fatalf("unconstrained biased config = %v, want peak", cfg)
+	}
+	if cfg := m.SelectWithin(100*sim.Millisecond, pm, 0.9, ceiling); cfg != ceiling {
+		t.Fatalf("capped biased config = %v, want bias to stop at ceiling %v", cfg, ceiling)
+	}
+}

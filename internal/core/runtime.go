@@ -39,6 +39,12 @@ type Options struct {
 	// unannotated activity arriving much later runs at the low-power
 	// default rather than the parked big floor.
 	DeepIdleAfter sim.Duration
+	// DegradeAfter is the consecutive-violation count at which a class
+	// stops trusting its model and falls back to the best configuration
+	// the hardware currently allows (Perf-within-cap) — the last rung of
+	// the degradation ladder under thermal throttling or DVFS faults. The
+	// class recovers (and reprofiles) after the same count of clean frames.
+	DegradeAfter int
 	// Trace, when non-nil, receives a line per scheduling decision.
 	Trace func(string)
 }
@@ -52,6 +58,7 @@ func DefaultOptions(s qos.Scenario) Options {
 		IdleConfig:      acmp.LowestConfig(),
 		IdleGrace:       120 * sim.Millisecond,
 		DeepIdleAfter:   800 * sim.Millisecond,
+		DegradeAfter:    4,
 	}
 }
 
@@ -64,6 +71,14 @@ type Stats struct {
 	Violations        int
 	Reprofiles        int
 	UAISuppressed     int
+
+	// Fault-adversity counters (all zero on an unfaulted device).
+	// CapClamps counts sweep results lowered to the thermal ceiling;
+	// Degradations counts classes falling back to Perf-within-cap;
+	// Recoveries counts degraded classes returning to model control.
+	CapClamps    int
+	Degradations int
+	Recoveries   int
 }
 
 // Runtime is the GreenWeb runtime: a browser.Governor that consumes the
@@ -81,6 +96,19 @@ type Runtime struct {
 
 	idleTimer *sim.Event
 
+	// Degradation-ladder state, per class: consecutive violated frames,
+	// consecutive clean frames while degraded, and the degraded flag
+	// itself (class pinned to Perf-within-cap).
+	violStreak  map[string]int
+	cleanStreak map[string]int
+	degraded    map[string]bool
+	// capDiverge counts consecutive predicted frames whose measured latency
+	// drifted far from the model while a thermal cap was active: under a
+	// cap the executed configuration may differ from the one the model was
+	// trained against (delayed or denied transitions), so sustained drift
+	// triggers reprofiling even when no deadline is missed.
+	capDiverge map[string]int
+
 	stats Stats
 }
 
@@ -95,10 +123,17 @@ func New(opts Options) *Runtime {
 	if !opts.IdleConfig.Valid() {
 		opts.IdleConfig = acmp.LowestConfig()
 	}
+	if opts.DegradeAfter <= 0 {
+		opts.DegradeAfter = 4
+	}
 	return &Runtime{
-		opts:   opts,
-		models: make(map[string]*Model),
-		active: make(map[browser.UID]string),
+		opts:        opts,
+		models:      make(map[string]*Model),
+		active:      make(map[browser.UID]string),
+		violStreak:  make(map[string]int),
+		cleanStreak: make(map[string]int),
+		degraded:    make(map[string]bool),
+		capDiverge:  make(map[string]int),
 	}
 }
 
@@ -179,12 +214,28 @@ func (r *Runtime) OnInput(in browser.InputRecord, target *dom.Node) {
 
 // desired returns the configuration a model currently wants: its next
 // profiling point while identifying, the energy-minimal feasible
-// configuration once ready.
+// configuration once ready — always within the hardware's currently legal
+// ceiling, and pinned at that ceiling (Perf-within-cap) while the class is
+// degraded.
 func (r *Runtime) desired(m *Model) acmp.Config {
-	if cfg, profiling := m.ProfilingConfig(); profiling {
-		return cfg
+	ceiling := r.cpu.Ceiling()
+	if r.degraded[m.Key] {
+		return ceiling
 	}
-	return m.Select(r.deadline(m.Ann), r.pm, r.opts.Safety)
+	if cfg, profiling := m.ProfilingConfig(); profiling {
+		return r.capTo(cfg, ceiling)
+	}
+	return m.SelectWithin(r.deadline(m.Ann), r.pm, r.opts.Safety, ceiling)
+}
+
+// capTo re-clamps a configuration to the legal ceiling, counting the clamp
+// so reports can show how often the thermal cap bent the schedule.
+func (r *Runtime) capTo(cfg, ceiling acmp.Config) acmp.Config {
+	if cfg.Index() > ceiling.Index() {
+		r.stats.CapClamps++
+		return ceiling
+	}
+	return cfg
 }
 
 // reschedule sets the CPU to satisfy every in-flight annotated event: the
@@ -250,7 +301,13 @@ func (r *Runtime) reschedule() {
 		best = r.opts.IdleConfig
 	}
 	r.tracef("reschedule: %v (%d active)", best, len(r.active))
-	r.cpu.SetConfig(r.clamp(best))
+	want := r.clamp(best)
+	r.cpu.SetConfig(want)
+	if g := r.cpu.Granted(); g != want {
+		// An injected DVFS fault denied the transition; the feedback loop
+		// will observe the stale configuration on the next frame.
+		r.tracef("granted %v for requested %v", g, want)
+	}
 }
 
 func (r *Runtime) tracef(format string, args ...any) {
@@ -316,6 +373,9 @@ func (r *Runtime) annotateFrameStart(m *Model) {
 		return
 	}
 	led.AnnotateFrame("governor", r.Name())
+	if ceil := r.cpu.Ceiling(); ceil != acmp.PeakConfig() {
+		led.AnnotateFrame("thermal_cap", ceil.String())
+	}
 	if m == nil {
 		led.AnnotateFrame("decision", "unannotated")
 		return
@@ -323,7 +383,9 @@ func (r *Runtime) annotateFrameStart(m *Model) {
 	led.AnnotateFrame("class", m.Key)
 	led.AnnotateFrame("deadline", r.deadline(m.Ann).String())
 	cfg := r.cpu.Config()
-	if _, profiling := m.ProfilingConfig(); profiling {
+	if r.degraded[m.Key] {
+		led.AnnotateFrame("decision", "degraded@"+cfg.String())
+	} else if _, profiling := m.ProfilingConfig(); profiling {
 		led.AnnotateFrame("decision", "profile@"+cfg.String())
 	} else {
 		led.AnnotateFrame("decision", "predict@"+cfg.String())
@@ -370,6 +432,18 @@ func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
 			return
 		}
 	}
+	if r.degraded[m.Key] {
+		// Perf-within-cap fallback: the model is out of the loop; only the
+		// outcome streak matters (enough clean frames recover the class).
+		violated := measured > r.deadline(m.Ann)
+		if violated {
+			r.stats.Violations++
+		}
+		r.noteOutcome(m, violated)
+		r.annotateFeedback(measured, violated, false, "degraded")
+		r.reschedule()
+		return
+	}
 	if !m.Ready() {
 		m.RecordProfile(measured, fr.Config)
 		r.tracef("profile %s: %v at %v", m.Key, measured, fr.Config)
@@ -391,12 +465,97 @@ func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
 	if violated {
 		r.stats.Violations++
 	}
+	if !reprofile && r.divergedUnderCap(m, measured, fr.Config) {
+		reprofile = true
+	}
 	if reprofile {
 		m.Reset()
 		r.stats.Reprofiles++
+		r.capDiverge[m.Key] = 0
 	}
+	r.noteOutcome(m, violated)
 	r.annotateFeedback(measured, violated, reprofile, "predicted")
 	r.reschedule()
+}
+
+// divergedUnderCap reports whether a thermal cap is active and the measured
+// latency has drifted beyond half the model's prediction at the executed
+// configuration for more than MispredictLimit consecutive frames. Feedback's
+// own misprediction counter only reacts to deadline misses and gross
+// over-prediction; under a cap, delayed and denied DVFS transitions make
+// frames run partly at a configuration the model never chose, producing
+// drift that misses neither trigger yet still means the fit is stale.
+func (r *Runtime) divergedUnderCap(m *Model, measured sim.Duration, executed acmp.Config) bool {
+	if r.cpu.Ceiling() == acmp.PeakConfig() {
+		r.capDiverge[m.Key] = 0
+		return false
+	}
+	pred := m.Predict(executed)
+	if pred <= 0 {
+		return false
+	}
+	diff := measured - pred
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) <= 0.5*float64(pred) {
+		r.capDiverge[m.Key] = 0
+		return false
+	}
+	r.capDiverge[m.Key]++
+	if r.capDiverge[m.Key] <= r.opts.MispredictLimit {
+		return false
+	}
+	r.tracef("reprofile %s: measured %v vs predicted %v diverged under cap %v",
+		m.Key, measured, pred, r.cpu.Ceiling())
+	return true
+}
+
+// noteOutcome advances the degradation ladder for a class: DegradeAfter
+// consecutive violated frames pin it to Perf-within-cap; DegradeAfter
+// consecutive clean frames while degraded hand control back to the model
+// (with a fresh profile — the regime that broke the old fit has passed).
+// Both transitions are annotated onto the still-open frame span.
+func (r *Runtime) noteOutcome(m *Model, violated bool) {
+	key := m.Key
+	if violated {
+		r.cleanStreak[key] = 0
+		// Degradation is the response to a capped machine: while the full
+		// configuration space is available, violations are the model's to fix
+		// (profiling, reprofiling), not grounds for abandoning it. A class
+		// already degraded keeps counting so a cleared cap can still recover.
+		if !r.degraded[key] && r.cpu.Ceiling() == acmp.PeakConfig() {
+			r.violStreak[key] = 0
+			return
+		}
+		r.violStreak[key]++
+		if !r.degraded[key] && r.violStreak[key] >= r.opts.DegradeAfter {
+			r.degraded[key] = true
+			r.violStreak[key] = 0
+			r.stats.Degradations++
+			r.tracef("degrade %s: %d consecutive violations, pinning Perf-within-cap", key, r.opts.DegradeAfter)
+			if led := r.e.Ledger(); led != nil {
+				led.AnnotateFrame("degrade", fmt.Sprintf("%d consecutive violations", r.opts.DegradeAfter))
+			}
+		}
+		return
+	}
+	r.violStreak[key] = 0
+	if !r.degraded[key] {
+		return
+	}
+	r.cleanStreak[key]++
+	if r.cleanStreak[key] >= r.opts.DegradeAfter {
+		r.degraded[key] = false
+		r.cleanStreak[key] = 0
+		r.stats.Recoveries++
+		r.stats.Reprofiles++
+		m.Reset()
+		r.tracef("recover %s: %d clean frames, back to model control via reprofiling", key, r.opts.DegradeAfter)
+		if led := r.e.Ledger(); led != nil {
+			led.AnnotateFrame("recover", fmt.Sprintf("%d clean frames, reprofiling", r.opts.DegradeAfter))
+		}
+	}
 }
 
 // annotateFeedback records the measured-latency feedback outcome on the

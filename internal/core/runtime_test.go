@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/wattwiseweb/greenweb/internal/acmp"
@@ -297,5 +298,178 @@ func TestDefaultOptionsSane(t *testing.T) {
 	r := New(Options{})
 	if !r.Options().IdleConfig.Valid() || r.Options().Safety <= 0 {
 		t.Fatalf("repaired options = %+v", r.Options())
+	}
+}
+
+// aggressiveThermal trips almost instantly on big-cluster residency above
+// 1400 MHz and cools so slowly the cap effectively persists for a whole run.
+func aggressiveThermal() acmp.ThermalParams {
+	return acmp.ThermalParams{
+		AmbientC: 30, TripC: 30.5, ClearC: 30.2,
+		HeatCPerSec: 500, CoolCPerSec: 0.01,
+		HeatAboveMHz: 1400, CapMHz: 1100,
+	}
+}
+
+// attachedRuntime builds a runtime wired to an engine (no page) so the
+// ladder and divergence helpers can be unit-tested directly.
+func attachedRuntime(opts Options) (*Runtime, *sim.Simulator) {
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	e := browser.New(s, cpu, nil)
+	r := New(opts)
+	e.SetGovernor(r)
+	return r, s
+}
+
+func TestDegradationLadderDegradesAndRecovers(t *testing.T) {
+	r, s := attachedRuntime(DefaultOptions(qos.Imperceptible))
+	m := identifiedModel(t, 0.002, 8e6)
+	r.models[m.Key] = m
+	k := r.opts.DegradeAfter
+
+	// Without an active thermal cap, violations never degrade: the full
+	// configuration space is available, so they are the model's to fix.
+	for i := 0; i < 3*k; i++ {
+		r.noteOutcome(m, true)
+	}
+	if r.degraded[m.Key] {
+		t.Fatal("degraded without an active thermal cap")
+	}
+
+	// Trip the thermal governor; the ladder arms.
+	r.cpu.EnableThermal(aggressiveThermal())
+	r.cpu.SetConfig(acmp.PeakConfig())
+	s.RunUntil(sim.Time(100 * sim.Millisecond))
+	if r.cpu.Ceiling() == acmp.PeakConfig() {
+		t.Fatal("thermal cap did not engage")
+	}
+
+	// One violation short of the threshold: still under model control.
+	for i := 0; i < k-1; i++ {
+		r.noteOutcome(m, true)
+	}
+	if r.degraded[m.Key] {
+		t.Fatalf("degraded after %d violations, threshold is %d", k-1, k)
+	}
+	// A clean frame resets the streak — violations must be consecutive.
+	r.noteOutcome(m, false)
+	for i := 0; i < k-1; i++ {
+		r.noteOutcome(m, true)
+	}
+	if r.degraded[m.Key] {
+		t.Fatal("non-consecutive violations degraded the class")
+	}
+	r.noteOutcome(m, true)
+	if !r.degraded[m.Key] {
+		t.Fatalf("not degraded after %d consecutive violations", k)
+	}
+	if st := r.Stats(); st.Degradations != 1 {
+		t.Fatalf("degradations = %d, want 1", st.Degradations)
+	}
+	// While degraded, desired pins the class to the current legal ceiling.
+	if got := r.desired(m); got != r.cpu.Ceiling() {
+		t.Fatalf("degraded desired = %v, want the thermal ceiling %v", got, r.cpu.Ceiling())
+	}
+
+	// k consecutive clean frames recover the class and force a reprofile.
+	for i := 0; i < k; i++ {
+		r.noteOutcome(m, false)
+	}
+	if r.degraded[m.Key] {
+		t.Fatalf("still degraded after %d clean frames", k)
+	}
+	st := r.Stats()
+	if st.Recoveries != 1 || st.Reprofiles != 1 {
+		t.Fatalf("recoveries = %d reprofiles = %d, want 1/1", st.Recoveries, st.Reprofiles)
+	}
+	if m.Ready() {
+		t.Fatal("recovered class kept its stale model; want reprofiling")
+	}
+}
+
+func TestDivergenceUnderCapTriggersReprofile(t *testing.T) {
+	r, s := attachedRuntime(DefaultOptions(qos.Imperceptible))
+	m := identifiedModel(t, 0.002, 8e6)
+	r.models[m.Key] = m
+	cfg := acmp.Config{Cluster: acmp.Big, MHz: 1100}
+	drifted := m.Predict(cfg) * 2 // far outside the 50% band
+
+	// No cap active: drift alone never triggers.
+	for i := 0; i < 3*r.opts.MispredictLimit; i++ {
+		if r.divergedUnderCap(m, drifted, cfg) {
+			t.Fatal("divergence fired without an active thermal cap")
+		}
+	}
+
+	// Trip the thermal governor, then sustained drift must fire after
+	// MispredictLimit consecutive frames.
+	r.cpu.EnableThermal(aggressiveThermal())
+	r.cpu.SetConfig(acmp.PeakConfig())
+	s.RunUntil(sim.Time(100 * sim.Millisecond))
+	if r.cpu.Ceiling() == acmp.PeakConfig() {
+		t.Fatal("thermal cap did not engage")
+	}
+	for i := 0; i < r.opts.MispredictLimit; i++ {
+		if r.divergedUnderCap(m, drifted, cfg) {
+			t.Fatalf("divergence fired on frame %d, limit is %d", i+1, r.opts.MispredictLimit)
+		}
+	}
+	// An accurate frame resets the streak.
+	if r.divergedUnderCap(m, m.Predict(cfg), cfg) {
+		t.Fatal("accurate frame counted as divergence")
+	}
+	for i := 0; i <= r.opts.MispredictLimit; i++ {
+		got := r.divergedUnderCap(m, drifted, cfg)
+		if want := i == r.opts.MispredictLimit; got != want {
+			t.Fatalf("frame %d: diverged = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestRuntimeStaysLegalUnderThermalCap(t *testing.T) {
+	var illegal []string
+	opts := DefaultOptions(qos.Imperceptible)
+	opts.Trace = func(line string) {
+		if strings.HasPrefix(line, "granted ") {
+			illegal = append(illegal, line)
+		}
+	}
+	r := New(opts)
+
+	s := sim.New()
+	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	th := cpu.EnableThermal(aggressiveThermal())
+	e := browser.New(s, cpu, nil)
+	e.SetGovernor(r)
+	if _, err := e.LoadPage(animPage); err != nil {
+		t.Fatal(err)
+	}
+	driveAnimation(s, e)
+	if errs := e.ScriptErrors(); len(errs) > 0 {
+		t.Fatalf("script errors: %v", errs)
+	}
+
+	if th.Trips() == 0 {
+		t.Fatal("profiling at the peak never tripped the aggressive thermal governor")
+	}
+	// With no DVFS faults injected, every request the runtime makes is
+	// granted verbatim — unless it asked for something above the ceiling.
+	if len(illegal) > 0 {
+		t.Fatalf("runtime requested illegal configurations: %v", illegal)
+	}
+	// After the (near-instant) trip, no frame may execute above the cap.
+	cap := acmp.Config{Cluster: acmp.Big, MHz: aggressiveThermal().CapMHz}
+	high := 0
+	for _, fr := range e.Results() {
+		if fr.Config.Index() > cap.Index() {
+			high++
+		}
+	}
+	if high > 2 {
+		t.Fatalf("%d frames ran above the thermal cap %v", high, cap)
+	}
+	if st := r.Stats(); st.CapClamps == 0 {
+		t.Fatalf("no profiling request was cap-clamped under a standing cap: %+v", st)
 	}
 }

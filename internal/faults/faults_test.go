@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec := Default(42)
+	decisions := func(extra int64) []bool {
+		in := spec.NewInjector(extra)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			deny, delay := in.Transition(sim.Time(i) * 1000)
+			out = append(out, deny, delay > 0, in.DropSample(sim.Time(i)*1000))
+		}
+		return out
+	}
+	a, b := decisions(7), decisions(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identically seeded injectors", i)
+		}
+	}
+	c := decisions(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct extra seeds produced identical fault timelines")
+	}
+}
+
+func TestInjectorRepeatedInstantDrawsDiffer(t *testing.T) {
+	// Two decisions on the same stream at the same virtual instant must not
+	// collapse to one value (the per-stream sequence number separates them).
+	in := (&Spec{Seed: 1, DVFS: &DVFSSpec{DenyProb: 0.5}}).NewInjector(0)
+	var denies int
+	for i := 0; i < 100; i++ {
+		if deny, _ := in.Transition(0); deny {
+			denies++
+		}
+	}
+	if denies == 0 || denies == 100 {
+		t.Fatalf("100 same-instant draws gave %d denials; expected a mix", denies)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []*Spec{
+		{DVFS: &DVFSSpec{DenyProb: 1.5}},
+		{DVFS: &DVFSSpec{DelayProb: -0.1}},
+		{DVFS: &DVFSSpec{DelayProb: 0.5}}, // delay_prob without delay_us
+		{DVFS: &DVFSSpec{Delay: -1}},
+		{DAQ: &DAQSpec{DropProb: 2}},
+		{StormAbort: -3},
+		{Thermal: &acmp.ThermalParams{AmbientC: 90, TripC: 70, ClearC: 55, HeatCPerSec: 1, CoolCPerSec: 1, HeatAboveMHz: 1400, CapMHz: 1100}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+	if err := Default(1).Validate(); err != nil {
+		t.Fatalf("default spec rejected: %v", err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatalf("nil spec rejected: %v", err)
+	}
+	if nilSpec.Enabled() {
+		t.Fatal("nil spec reports enabled")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	want := Default(99)
+	want.StormAbort = 12
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != want.Seed || got.StormAbort != want.StormAbort {
+		t.Fatalf("round trip lost scalars: %+v", got)
+	}
+	if got.Thermal == nil || *got.Thermal != *want.Thermal {
+		t.Fatalf("round trip lost thermal params: %+v", got.Thermal)
+	}
+	if got.DVFS == nil || *got.DVFS != *want.DVFS {
+		t.Fatalf("round trip lost dvfs spec: %+v", got.DVFS)
+	}
+	if got.DAQ == nil || *got.DAQ != *want.DAQ {
+		t.Fatalf("round trip lost daq spec: %+v", got.DAQ)
+	}
+}
+
+func TestAttachEndToEnd(t *testing.T) {
+	s := sim.New()
+	cpu := acmp.NewCPU(s, nil)
+	spec := Default(5)
+	in := spec.NewInjector(123)
+	in.Attach(cpu)
+	if cpu.Thermal() == nil {
+		t.Fatal("thermal governor not attached")
+	}
+	daq := acmp.NewDAQ(s, sim.Millisecond, cpu.Power)
+	in.AttachDAQ(daq)
+
+	cpu.SetConfig(acmp.PeakConfig())
+	s.RunUntil(sim.Time(5 * sim.Second))
+	daq.Stop()
+
+	fs := cpu.FaultStats()
+	if fs.Trips == 0 {
+		t.Fatalf("no thermal trips over 5 s of requested peak: %+v", fs)
+	}
+}

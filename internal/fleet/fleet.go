@@ -24,14 +24,18 @@ package fleet
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/metrics"
 )
@@ -53,6 +57,9 @@ type Job struct {
 	Kind    harness.Kind `json:"kind"`
 	Phase   Phase        `json:"phase"`
 	Repeats int          `json:"repeats,omitempty"` // 0 → phase default (micro: harness.MicroRepeats, full: 1)
+	// Faults optionally runs the cell on a faulted device (thermal caps,
+	// DVFS transition failures, DAQ dropout). nil → pristine hardware.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 func (j Job) String() string { return fmt.Sprintf("%s/%s/%s", j.App, j.Kind, j.Phase) }
@@ -75,6 +82,9 @@ func (j Job) Validate() error {
 	if j.Repeats < 0 {
 		return fmt.Errorf("fleet: negative repeats %d", j.Repeats)
 	}
+	if err := j.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -93,7 +103,7 @@ func (j Job) execute(ctx context.Context) (*harness.Run, error) {
 	if j.Repeats > 0 {
 		repeats = j.Repeats
 	}
-	return harness.ExecuteRepeatedContext(ctx, app, j.Kind, trace, repeats)
+	return harness.ExecuteFaultedRepeatedContext(ctx, app, j.Kind, trace, repeats, j.Faults)
 }
 
 // State is a job's lifecycle position.
@@ -113,8 +123,20 @@ type Result struct {
 	Run    *harness.Run // nil when Err != nil
 	Err    error
 	Worker int // index of the worker that ran the job (-1 if never scheduled)
-	// Latency is the wall-clock execution time, excluding queueing.
+	// Latency is the wall-clock execution time, excluding queueing (all
+	// attempts, including backoff sleeps).
 	Latency time.Duration
+
+	// Attempts is how many executions the job consumed (1 for a clean
+	// first run; up to Options.MaxAttempts for a flaky or doomed one).
+	Attempts int
+	// History holds each failed attempt's error string, in attempt order —
+	// the quarantine record, and the provenance of a retried success.
+	History []string
+	// Quarantined marks a job that failed on its own account (panic,
+	// timeout, fault storm) through every allowed attempt. Jobs killed by
+	// sweep-level cancellation are failed but not quarantined.
+	Quarantined bool
 }
 
 // State reports the terminal state the result represents.
@@ -138,9 +160,24 @@ type Options struct {
 	// QueueDepth bounds the job queue; 0 → 4×Workers. Submit blocks while
 	// the queue is full; TrySubmit rejects with ErrQueueFull instead.
 	QueueDepth int
-	// JobTimeout caps one job's execution; 0 disables. An expired cell
-	// becomes a failed result (context.DeadlineExceeded), not a dead worker.
+	// JobTimeout caps one job attempt's execution; 0 disables. An expired
+	// attempt becomes a failed attempt (context.DeadlineExceeded), not a
+	// dead worker — and is retried like any other failure.
 	JobTimeout time.Duration
+	// MaxAttempts is the total executions a failing job may consume before
+	// quarantine (1 = no retry); 0 → 1. Failures covered: panics, per-
+	// attempt timeouts, and harness errors such as injected fault storms.
+	MaxAttempts int
+	// RetryBaseDelay is the first retry's backoff (doubled per further
+	// attempt, capped at RetryMaxDelay). 0 → 50ms. The worker sleeps the
+	// backoff in place: a quarantine-bound cell should not hammer the CPU.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff. 0 → 2s.
+	RetryMaxDelay time.Duration
+	// RetrySeed drives the deterministic backoff jitter (±25%, an FNV hash
+	// of seed × job × attempt — no global randomness, so a replayed sweep
+	// backs off identically).
+	RetrySeed int64
 	// Execute overrides the cell executor; tests use it to inject slow,
 	// panicking, or instant jobs. nil → the real harness execution.
 	Execute func(ctx context.Context, j Job) (*harness.Run, error)
@@ -163,12 +200,14 @@ type Pool struct {
 	mu     sync.RWMutex
 	closed bool
 
-	queued  atomic.Int64
-	running atomic.Int64
-	done    atomic.Int64
-	failed  atomic.Int64
-	busy    atomic.Int64 // accumulated busy nanoseconds across workers
-	hist    *metrics.Histogram
+	queued      atomic.Int64
+	running     atomic.Int64
+	done        atomic.Int64
+	failed      atomic.Int64
+	retried     atomic.Int64 // attempts beyond each job's first
+	quarantined atomic.Int64 // jobs that exhausted every attempt
+	busy        atomic.Int64 // accumulated busy nanoseconds across workers
+	hist        *metrics.Histogram
 }
 
 // New builds the pool and starts its workers.
@@ -276,28 +315,91 @@ func (p *Pool) worker(idx int) {
 	}
 }
 
-// runOne executes one job with panic recovery and the per-job timeout; a
-// crashed or expired cell becomes a failed result instead of killing the
-// sweep or the worker.
-func (p *Pool) runOne(ctx context.Context, worker int, job Job) (res Result) {
-	res = Result{Job: job, Worker: worker}
+// runOne executes one job through the retry ladder: each attempt runs with
+// panic recovery and the per-attempt timeout; failed attempts back off
+// (capped exponential, deterministically jittered) and retry until success,
+// MaxAttempts exhaustion (→ quarantine), or sweep-level cancellation.
+func (p *Pool) runOne(ctx context.Context, worker int, job Job) Result {
+	res := Result{Job: job, Worker: worker}
+	max := p.opts.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; attempt <= max; attempt++ {
+		res.Attempts = attempt
+		run, err := p.attempt(ctx, job)
+		if err == nil {
+			res.Run, res.Err = run, nil
+			return res
+		}
+		res.Err = err
+		res.History = append(res.History, err.Error())
+		if ctx.Err() != nil || attempt == max {
+			break
+		}
+		p.retried.Add(1)
+		select {
+		case <-time.After(p.backoff(job, attempt)):
+		case <-ctx.Done():
+			// The sweep died while we waited; the attempt's own error
+			// stands as the job's cause of death.
+		}
+	}
+	if ctx.Err() == nil {
+		res.Quarantined = true
+		p.quarantined.Add(1)
+	}
+	return res
+}
+
+// attempt is one isolated execution: its own recovery scope (so a panicking
+// cell is retryable) and its own timeout budget.
+func (p *Pool) attempt(ctx context.Context, job Job) (run *harness.Run, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res.Run = nil
-			res.Err = fmt.Errorf("fleet: %s panicked: %v", job, r)
+			run, err = nil, fmt.Errorf("fleet: %s panicked: %v", job, r)
 		}
 	}()
 	if err := ctx.Err(); err != nil {
-		res.Err = err
-		return res
+		return nil, err
 	}
 	if p.opts.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.opts.JobTimeout)
 		defer cancel()
 	}
-	res.Run, res.Err = p.opts.Execute(ctx, job)
-	return res
+	return p.opts.Execute(ctx, job)
+}
+
+// backoff computes the sleep before retrying a job after its attempt-th
+// failure: base·2^(attempt-1) capped at the max, scaled by a deterministic
+// jitter in [0.75, 1.25) hashed from (seed, job, attempt) so concurrent
+// retries de-synchronize identically on every run.
+func (p *Pool) backoff(job Job, attempt int) time.Duration {
+	base := p.opts.RetryBaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.opts.RetryMaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.opts.RetrySeed))
+	h.Write(buf[:])
+	io.WriteString(h, job.String())
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	frac := float64(h.Sum64()>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
 }
 
 // RunSweep fans the jobs out and blocks until every one has a result. The
@@ -331,6 +433,8 @@ type Stats struct {
 	Running     int64                     `json:"running"`
 	Done        int64                     `json:"done"`
 	Failed      int64                     `json:"failed"`
+	Retried     int64                     `json:"retried"`     // attempts beyond each job's first
+	Quarantined int64                     `json:"quarantined"` // jobs that exhausted every attempt
 	Utilization float64                   `json:"utilization"` // busy worker-time / available worker-time since start
 	Latency     metrics.HistogramSnapshot `json:"latency"`     // wall-clock job latency, seconds
 }
@@ -352,6 +456,8 @@ func (p *Pool) Stats() Stats {
 		Running:     p.running.Load(),
 		Done:        p.done.Load(),
 		Failed:      p.failed.Load(),
+		Retried:     p.retried.Load(),
+		Quarantined: p.quarantined.Load(),
 		Utilization: util,
 		Latency:     p.hist.Snapshot(),
 	}

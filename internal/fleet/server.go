@@ -2,12 +2,15 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 )
@@ -20,6 +23,9 @@ type SweepRequest struct {
 	Kinds   []string `json:"kinds,omitempty"`
 	Phase   string   `json:"phase,omitempty"`
 	Repeats int      `json:"repeats,omitempty"`
+	// Faults optionally runs every cell of the sweep on a faulted device
+	// (see faults.Spec). Invalid specs answer 400 before any job runs.
+	Faults *faults.Spec `json:"faults,omitempty"`
 }
 
 // DefaultKinds is the sweep the evaluation section revolves around.
@@ -31,6 +37,9 @@ var DefaultKinds = []harness.Kind{harness.Perf, harness.Interactive, harness.Gre
 func (r SweepRequest) Jobs() ([]Job, error) {
 	if r.Repeats < 0 {
 		return nil, fmt.Errorf("fleet: negative repeats %d", r.Repeats)
+	}
+	if err := r.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	phase := Full
 	if r.Phase != "" {
@@ -60,7 +69,7 @@ func (r SweepRequest) Jobs() ([]Job, error) {
 	var jobs []Job
 	for _, name := range names {
 		for _, kind := range kinds {
-			j := Job{App: name, Kind: kind, Phase: phase, Repeats: r.Repeats}
+			j := Job{App: name, Kind: kind, Phase: phase, Repeats: r.Repeats, Faults: r.Faults}
 			if err := j.Validate(); err != nil {
 				return nil, err
 			}
@@ -92,7 +101,22 @@ type ResultRow struct {
 	FrameEnergyJ float64 `json:"frame_energy_j,omitempty"`
 	IdleEnergyJ  float64 `json:"idle_energy_j,omitempty"`
 	EventEnergyJ float64 `json:"event_energy_j,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// Retry provenance: executions consumed (only when >1) and each failed
+	// attempt's error. A quarantined row is a failure that exhausted every
+	// allowed attempt. All omitted for clean first-try rows, so unfaulted
+	// sweeps stay byte-identical to pre-retry output.
+	Attempts      int      `json:"attempts,omitempty"`
+	AttemptErrors []string `json:"attempt_errors,omitempty"`
+	Quarantined   bool     `json:"quarantined,omitempty"`
+	// Fault-adversity columns (zero, and omitted, on pristine hardware).
+	ThermalTrips int `json:"thermal_trips,omitempty"`
+	DVFSDenied   int `json:"dvfs_denied,omitempty"`
+	DVFSDelayed  int `json:"dvfs_delayed,omitempty"`
+	DAQDropped   int `json:"daq_dropped,omitempty"`
+	CapClamps    int `json:"cap_clamps,omitempty"`
+	Degradations int `json:"degradations,omitempty"`
+	Recoveries   int `json:"recoveries,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 func rowOf(index int, r Result) ResultRow {
@@ -104,6 +128,11 @@ func rowOf(index int, r Result) ResultRow {
 		State:     r.State(),
 		LatencyMS: float64(r.Latency) / float64(time.Millisecond),
 	}
+	if r.Attempts > 1 {
+		row.Attempts = r.Attempts
+		row.AttemptErrors = r.History
+	}
+	row.Quarantined = r.Quarantined
 	if r.Err != nil {
 		row.Error = r.Err.Error()
 		return row
@@ -119,8 +148,39 @@ func rowOf(index int, r Result) ResultRow {
 	row.FrameEnergyJ = float64(run.FrameEnergy)
 	row.IdleEnergyJ = float64(run.IdleEnergy)
 	row.EventEnergyJ = float64(run.EventEnergy)
+	row.ThermalTrips = run.ThermalTrips
+	row.DVFSDenied = run.DVFSDenied
+	row.DVFSDelayed = run.DVFSDelayed
+	row.DAQDropped = run.DAQDropped
+	row.CapClamps = run.CapClamps
+	row.Degradations = run.Degradations
+	row.Recoveries = run.Recoveries
 	return row
 }
+
+// WriteResults renders a finished sweep's results as NDJSON — byte-for-byte
+// the rows greensrv streams. deterministic zeroes the wall-clock latency
+// column, so two runs of an identical sweep (same jobs, same fault seeds)
+// produce byte-identical output; the CI determinism job diffs exactly this.
+func WriteResults(w io.Writer, results []Result, deterministic bool) error {
+	enc := json.NewEncoder(w)
+	for i, r := range results {
+		row := rowOf(i, r)
+		if deterministic {
+			row.LatencyMS = 0
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxSweepRequestBytes bounds the POST /v1/sweeps body. The largest
+// legitimate request — every app, every kind, a fault spec — is a few
+// kilobytes; 1 MiB leaves two orders of magnitude of headroom while keeping
+// a hostile or misconfigured client from buffering arbitrary payloads.
+const maxSweepRequestBytes = 1 << 20
 
 // NewServer builds the greensrv HTTP API over a manager:
 //
@@ -159,8 +219,25 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		// Reject non-JSON payloads up front (415) and bound the body (400 on
+		// overflow): a sweep request is a small job grid, never megabytes.
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			mt, _, _ := strings.Cut(ct, ";")
+			if !strings.EqualFold(strings.TrimSpace(mt), "application/json") {
+				httpError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("content type %q not supported; use application/json", ct))
+				return
+			}
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxSweepRequestBytes)
 		var req SweepRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}

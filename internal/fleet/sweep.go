@@ -78,7 +78,11 @@ type JobStatus struct {
 	Phase     Phase        `json:"phase"`
 	State     State        `json:"state"`
 	LatencyMS float64      `json:"latency_ms,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	// Attempts surfaces retries (only when >1); Quarantined marks a job
+	// that failed through every allowed attempt.
+	Attempts    int    `json:"attempts,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // SweepStatus is the GET /v1/sweeps/{id} body.
@@ -109,10 +113,17 @@ func (s *Sweep) Status() SweepStatus {
 		case StateDone:
 			st.Done++
 			js.LatencyMS = float64(s.results[i].Latency) / float64(time.Millisecond)
+			if s.results[i].Attempts > 1 {
+				js.Attempts = s.results[i].Attempts
+			}
 		case StateFailed:
 			st.Failed++
 			js.LatencyMS = float64(s.results[i].Latency) / float64(time.Millisecond)
 			js.Error = s.results[i].Err.Error()
+			if s.results[i].Attempts > 1 {
+				js.Attempts = s.results[i].Attempts
+			}
+			js.Quarantined = s.results[i].Quarantined
 		}
 		st.Jobs = append(st.Jobs, js)
 	}

@@ -16,6 +16,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/browser"
 	"github.com/wattwiseweb/greenweb/internal/core"
+	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/governor"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/metrics"
@@ -139,6 +140,24 @@ type Run struct {
 	Spans []ledger.Span
 	// ConfigMarks is the configuration-change history, for trace export.
 	ConfigMarks []ledger.ConfigMark
+
+	// Fault-adversity observability, all zero on an unfaulted run: injected
+	// hardware faults the device absorbed (thermal trips, denied/delayed
+	// DVFS transitions, dropped DAQ samples) and the runtime's degradation
+	// decisions in response (sweep results clamped to the thermal ceiling,
+	// Perf-within-cap fallbacks, recoveries back to model control).
+	ThermalTrips int
+	DVFSDenied   int
+	DVFSDelayed  int
+	DAQSamples   int
+	DAQDropped   int
+	// MeteredEnergy is the (lossy) DAQ integral over the whole run; only
+	// populated when the fault spec samples the DAQ. Compare against
+	// TotalEnergy to see what dropout cost the measurement.
+	MeteredEnergy acmp.Joules
+	CapClamps     int
+	Degradations  int
+	Recoveries    int
 }
 
 // settle advances the simulation until the engine is quiescent, cap elapses,
@@ -199,7 +218,22 @@ func Execute(app *apps.App, kind Kind, trace *replay.Trace) (*Run, error) {
 // returned wrapped (errors.Is-able against context.Canceled /
 // DeadlineExceeded). Fleet workers use this for per-job timeouts.
 func ExecuteContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace) (*Run, error) {
-	run, _, err := executeSeeded(ctx, app, kind, trace, nil)
+	run, _, err := executeSeeded(ctx, app, kind, trace, nil, nil)
+	return run, err
+}
+
+// ExecuteFaulted is Execute on a faulted device: spec's adversities (thermal
+// throttling, DVFS transition failures, DAQ dropout) are injected with a
+// fault pattern seeded by spec.Seed mixed with the trace's intrinsic seed,
+// so each cell's faults are stable across repetitions, machines, and fleet
+// worker counts. A nil or empty spec degenerates to Execute exactly.
+func ExecuteFaulted(app *apps.App, kind Kind, trace *replay.Trace, spec *faults.Spec) (*Run, error) {
+	return ExecuteFaultedContext(context.Background(), app, kind, trace, spec)
+}
+
+// ExecuteFaultedContext is ExecuteFaulted with cancellation.
+func ExecuteFaultedContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, spec *faults.Spec) (*Run, error) {
+	run, _, err := executeSeeded(ctx, app, kind, trace, nil, spec)
 	return run, err
 }
 
@@ -216,13 +250,21 @@ func ExecuteRepeated(app *apps.App, kind Kind, trace *replay.Trace, n int) (*Run
 // ExecuteRepeatedContext is ExecuteRepeated with cancellation (see
 // ExecuteContext).
 func ExecuteRepeatedContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, n int) (*Run, error) {
+	return ExecuteFaultedRepeatedContext(ctx, app, kind, trace, n, nil)
+}
+
+// ExecuteFaultedRepeatedContext is ExecuteRepeatedContext on a faulted
+// device (see ExecuteFaulted). Every repetition replays the identical fault
+// pattern: the injector is a pure function of (spec seed, trace seed,
+// virtual time), and each repetition restarts virtual time.
+func ExecuteFaultedRepeatedContext(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, n int, spec *faults.Spec) (*Run, error) {
 	if n < 1 {
 		n = 1
 	}
 	var runs []*Run
 	var models map[string]*core.Model
 	for i := 0; i < n; i++ {
-		run, trained, err := executeSeeded(ctx, app, kind, trace, models)
+		run, trained, err := executeSeeded(ctx, app, kind, trace, models, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -244,15 +286,32 @@ func ExecuteRepeatedContext(ctx context.Context, app *apps.App, kind Kind, trace
 	return med, nil
 }
 
-func executeSeeded(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
-	return executeHTML(ctx, app, app.HTML(), kind, trace, seed)
+func executeSeeded(ctx context.Context, app *apps.App, kind Kind, trace *replay.Trace, seed map[string]*core.Model, spec *faults.Spec) (*Run, map[string]*core.Model, error) {
+	return executeHTML(ctx, app, app.HTML(), kind, trace, seed, spec)
 }
 
 // executeHTML runs an explicit page source (e.g. an AUTOGREEN-annotated
 // variant of an application) through the same measurement pipeline.
-func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, trace *replay.Trace, seed map[string]*core.Model) (*Run, map[string]*core.Model, error) {
+func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, trace *replay.Trace, seed map[string]*core.Model, spec *faults.Spec) (*Run, map[string]*core.Model, error) {
 	s := sim.New()
 	cpu := acmp.NewCPU(s, acmp.DefaultPower())
+	var inj *faults.Injector
+	var daq *acmp.DAQ
+	if spec.Enabled() || (spec != nil && spec.StormAbort > 0) {
+		if err := spec.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
+		}
+		var traceSeed int64
+		if trace != nil {
+			traceSeed = trace.Seed()
+		}
+		inj = spec.NewInjector(traceSeed)
+		inj.Attach(cpu)
+		if spec.DAQ != nil {
+			daq = acmp.NewDAQ(s, sim.Millisecond, cpu.Power)
+			inj.AttachDAQ(daq)
+		}
+	}
 	e := browser.New(s, cpu, nil)
 	led := ledger.New(cpu)
 	e.SetLedger(led)
@@ -303,6 +362,16 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 		st.Stop()
 	}
 
+	// Fault storm: a cell whose DVFS denial count reached the threshold is a
+	// failed job (deterministically — the pattern is a pure function of the
+	// seeds), exercising the fleet's retry and quarantine machinery.
+	if inj != nil {
+		if lim := inj.StormAbort(); lim > 0 && cpu.FaultStats().Denied >= lim {
+			return nil, nil, fmt.Errorf("harness: %s/%s: %w (%d DVFS transitions denied)",
+				app.Name, kind, faults.ErrStorm, cpu.FaultStats().Denied)
+		}
+	}
+
 	if loadOnly {
 		// The loading microbenchmark: the whole run is the measurement.
 		run.Energy = cpu.Energy()
@@ -335,6 +404,18 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	run.FrameEnergy, run.IdleEnergy, run.EventEnergy = led.Summary()
 	run.Spans = led.Spans()
 	run.ConfigMarks = led.Marks()
+	if daq != nil {
+		daq.Stop()
+		run.DAQSamples, run.DAQDropped, run.MeteredEnergy = daq.Samples(), daq.Dropped(), daq.Energy()
+	}
+	if inj != nil {
+		fs := cpu.FaultStats()
+		run.ThermalTrips, run.DVFSDenied, run.DVFSDelayed = fs.Trips, fs.Denied, fs.Delayed
+	}
+	if rt != nil {
+		st := rt.Stats()
+		run.CapClamps, run.Degradations, run.Recoveries = st.CapClamps, st.Degradations, st.Recoveries
+	}
 	if errs := e.ScriptErrors(); len(errs) > 0 {
 		return nil, nil, fmt.Errorf("harness: %s/%s: script errors: %v", app.Name, kind, errs[0])
 	}

@@ -119,7 +119,16 @@ func (t *Trace) Seed() int64 {
 // fleet worker. The paper reports ~5% run-to-run variation on hardware;
 // jittered replays reintroduce that source of noise into the otherwise
 // exact simulation.
+// A maxShift of zero (or less) is the identity: the copy keeps the original
+// name — not a "-jitter" suffix — so its intrinsic Seed is unchanged and a
+// zero-jitter replay is indistinguishable from the source trace everywhere
+// downstream (fault injectors key off trace Seed).
 func (t *Trace) Jitter(seed int64, maxShift sim.Duration) *Trace {
+	if maxShift <= 0 {
+		out := &Trace{Name: t.Name, Steps: make([]Step, len(t.Steps))}
+		copy(out.Steps, t.Steps)
+		return out
+	}
 	rng := rand.New(rand.NewSource(seed ^ t.Seed()))
 	out := &Trace{Name: t.Name + "-jitter"}
 	var last sim.Duration

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/wattwiseweb/greenweb/internal/acmp"
@@ -230,5 +231,66 @@ func TestJitterMixesTraceSeed(t *testing.T) {
 	}
 	if same {
 		t.Fatal("distinct traces share a perturbation pattern under the same caller seed")
+	}
+}
+
+func TestJitterZeroShiftIsExactIdentity(t *testing.T) {
+	orig := &Trace{Name: "t"}
+	orig.Append(Tap(0, "a")...)
+	orig.Append(Move(sim.Second, "b", 10, 16*sim.Millisecond)...)
+	for _, shift := range []sim.Duration{0, -sim.Millisecond} {
+		j := orig.Jitter(42, shift)
+		if j.Name != orig.Name {
+			t.Fatalf("maxShift=%v: name = %q, want the original %q (intrinsic Seed must not move)", shift, j.Name, orig.Name)
+		}
+		if j.Seed() != orig.Seed() {
+			t.Fatalf("maxShift=%v: Seed changed under identity jitter", shift)
+		}
+		if len(j.Steps) != len(orig.Steps) {
+			t.Fatalf("maxShift=%v: step count changed", shift)
+		}
+		for i := range j.Steps {
+			if j.Steps[i].At != orig.Steps[i].At ||
+				j.Steps[i].Event != orig.Steps[i].Event ||
+				j.Steps[i].Target != orig.Steps[i].Target {
+				t.Fatalf("maxShift=%v: step %d altered", shift, i)
+			}
+		}
+		// Identity is a copy, not an alias: mutating it leaves the source alone.
+		j.Steps[0].At += sim.Millisecond
+		if orig.Steps[0].At == j.Steps[0].At {
+			t.Fatal("identity jitter aliases the source trace's steps")
+		}
+	}
+}
+
+// TestJitterConcurrentUse: Jitter must be safe to call from many fleet
+// workers on the shared catalog trace at once (it only reads the receiver),
+// and every worker must derive the identical perturbation. Run with -race.
+func TestJitterConcurrentUse(t *testing.T) {
+	orig := &Trace{Name: "shared"}
+	orig.Append(Tap(0, "a")...)
+	orig.Append(Move(sim.Second, "b", 30, 16*sim.Millisecond)...)
+	const workers = 8
+	got := make([]*Trace, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = orig.Jitter(7, 20*sim.Millisecond)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(got[w].Steps) != len(got[0].Steps) {
+			t.Fatalf("worker %d: step count diverged", w)
+		}
+		for i := range got[w].Steps {
+			if got[w].Steps[i].At != got[0].Steps[i].At {
+				t.Fatalf("worker %d step %d: %v != %v — fleet workers disagree",
+					w, i, got[w].Steps[i].At, got[0].Steps[i].At)
+			}
+		}
 	}
 }
