@@ -20,9 +20,18 @@
 // inline JSON object, or @file; a fixed -fault-seed makes the output
 // byte-reproducible. -trace honors -faults too, tracing one faulted run.
 //
+// Profiling and cache control (see EXPERIMENTS.md):
+//
+//   - -cpuprofile f / -memprofile f write standard pprof profiles of the
+//     run for `go tool pprof`;
+//   - -no-asset-cache disables the parse-once page asset cache, re-parsing
+//     every cell as earlier versions did. Output bytes are identical either
+//     way — the cache only skips redundant real work, never simulated cost.
+//
 // Usage:
 //
-//	greenbench [-o report.txt] [-workers N] [-seq]
+//	greenbench [-o report.txt] [-workers N] [-seq] [-no-asset-cache]
+//	greenbench [-cpuprofile cpu.pb] [-memprofile mem.pb] ...
 //	greenbench -faults default|JSON|@file [-fault-seed S] [-o rows.ndjson]
 //	greenbench -trace out.json [-trace-app NAME] [-trace-kind KIND]
 package main
@@ -34,9 +43,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/browser"
 	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
@@ -44,6 +56,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so deferred profile/file finalizers execute
+// before the process exits (os.Exit skips defers when called directly).
+func run() int {
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	workers := flag.Int("workers", 0, "fleet worker count (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "bypass the fleet and compute every cell sequentially")
@@ -52,20 +70,54 @@ func main() {
 	traceKind := flag.String("trace-kind", string(harness.GreenWebU), "governor kind for -trace")
 	faultsArg := flag.String("faults", "", `fault spec: "default", inline JSON, or @file (runs the fault sweep instead of the report)`)
 	faultSeed := flag.Int64("fault-seed", 0, "override the fault spec's seed (0 = keep the spec's own)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
+	noAssetCache := flag.Bool("no-asset-cache", false, "disable the parse-once page asset cache (re-parse every cell; output must be identical)")
 	flag.Parse()
+
+	if *noAssetCache {
+		browser.SetAssetCache(false)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "greenbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "greenbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "greenbench:", err)
+			}
+		}()
+	}
 
 	spec, err := parseFaultSpec(*faultsArg, *faultSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *trace != "" {
 		if err := writeTrace(*trace, *traceApp, *traceKind, spec); err != nil {
 			fmt.Fprintln(os.Stderr, "greenbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var w io.Writer = os.Stdout
@@ -73,7 +125,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "greenbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -82,9 +134,9 @@ func main() {
 	if spec != nil {
 		if err := faultSweep(w, spec, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "greenbench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	suite := harness.NewSuite()
@@ -95,8 +147,9 @@ func main() {
 	}
 	if err := harness.RenderAll(w, suite); err != nil {
 		fmt.Fprintln(os.Stderr, "greenbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseFaultSpec resolves the -faults argument: "" (no faults), "default"

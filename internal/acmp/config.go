@@ -21,6 +21,7 @@ package acmp
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -63,7 +64,14 @@ type Config struct {
 	MHz     int
 }
 
-func (c Config) String() string { return fmt.Sprintf("%s@%dMHz", c.Cluster, c.MHz) }
+func (c Config) String() string {
+	// The ledger stringifies the active configuration on every switch;
+	// valid operating points come from the precomputed name table.
+	if c.Valid() {
+		return configNames[c.Index()]
+	}
+	return fmt.Sprintf("%s@%dMHz", c.Cluster, c.MHz)
+}
 
 // Valid reports whether the configuration names a real operating point.
 func (c Config) Valid() bool {
@@ -80,11 +88,41 @@ func (c Config) Valid() bool {
 // HzF reports the configured frequency in Hz as a float, for latency math.
 func (c Config) HzF() float64 { return float64(c.MHz) * 1e6 }
 
+// The ladders and configuration space are fixed by the hardware constants
+// above, so they are computed once at package init. The exported slice
+// accessors return defensive copies; the scheduler's per-frame sweep walks
+// the shared tables through ConfigAt/NumConfigs without allocating.
+var (
+	bigFreqTable    = ladder(BigMinMHz, BigMaxMHz, BigStepMHz)
+	littleFreqTable = ladder(LittleMinMHz, LittleMaxMHz, LittleStepMHz)
+	configTable     = buildConfigTable()
+	configNames     = buildConfigNames()
+)
+
+func buildConfigNames() []string {
+	names := make([]string, len(configTable))
+	for i, c := range configTable {
+		names[i] = fmt.Sprintf("%s@%dMHz", c.Cluster, c.MHz)
+	}
+	return names
+}
+
+func buildConfigTable() []Config {
+	cs := make([]Config, 0, len(littleFreqTable)+len(bigFreqTable))
+	for _, f := range littleFreqTable {
+		cs = append(cs, Config{Little, f})
+	}
+	for _, f := range bigFreqTable {
+		cs = append(cs, Config{Big, f})
+	}
+	return cs
+}
+
 // BigFreqs returns the big cluster's frequency ladder in ascending MHz.
-func BigFreqs() []int { return ladder(BigMinMHz, BigMaxMHz, BigStepMHz) }
+func BigFreqs() []int { return slices.Clone(bigFreqTable) }
 
 // LittleFreqs returns the little cluster's frequency ladder in ascending MHz.
-func LittleFreqs() []int { return ladder(LittleMinMHz, LittleMaxMHz, LittleStepMHz) }
+func LittleFreqs() []int { return slices.Clone(littleFreqTable) }
 
 func ladder(lo, hi, step int) []int {
 	var fs []int
@@ -108,16 +146,7 @@ func ClusterFreqs(c Cluster) []int {
 // operating point outperforms every little one for CPU-bound work, because
 // the big cluster's lowest frequency (800 MHz) combined with its higher IPC
 // exceeds the little cluster's peak.
-func Configs() []Config {
-	var cs []Config
-	for _, f := range LittleFreqs() {
-		cs = append(cs, Config{Little, f})
-	}
-	for _, f := range BigFreqs() {
-		cs = append(cs, Config{Big, f})
-	}
-	return cs
-}
+func Configs() []Config { return slices.Clone(configTable) }
 
 // MinConfig returns the lowest-frequency operating point of a cluster.
 func MinConfig(c Cluster) Config {
@@ -186,20 +215,20 @@ func (c Config) Index() int {
 	if c.Cluster == Little {
 		return (c.MHz - LittleMinMHz) / LittleStepMHz
 	}
-	return len(LittleFreqs()) + (c.MHz-BigMinMHz)/BigStepMHz
+	return len(littleFreqTable) + (c.MHz-BigMinMHz)/BigStepMHz
 }
 
-// ConfigAt is the inverse of Index.
+// ConfigAt is the inverse of Index. It does not allocate, so sweeping the
+// configuration space via NumConfigs/ConfigAt is free of per-call garbage.
 func ConfigAt(i int) Config {
-	cs := Configs()
-	if i < 0 || i >= len(cs) {
+	if i < 0 || i >= len(configTable) {
 		panic(fmt.Sprintf("acmp: config index %d out of range", i))
 	}
-	return cs[i]
+	return configTable[i]
 }
 
 // NumConfigs reports the size of the configuration space.
-func NumConfigs() int { return len(LittleFreqs()) + len(BigFreqs()) }
+func NumConfigs() int { return len(configTable) }
 
 // SortConfigs orders a slice of configurations by ascending performance.
 func SortConfigs(cs []Config) {

@@ -26,6 +26,7 @@ package apps
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/wattwiseweb/greenweb/internal/qos"
 	"github.com/wattwiseweb/greenweb/internal/replay"
@@ -61,12 +62,21 @@ type App struct {
 	// full-interaction sequence.
 	Micro *replay.Trace
 	Full  *replay.Trace
+
+	htmlOnce sync.Once
+	htmlMemo string
 }
 
 // HTML returns the annotated application: the base page with the manual
-// GreenWeb rules injected as a final <style> element.
+// GreenWeb rules injected as a final <style> element. The result is
+// assembled once: catalog apps are shared across fleet workers, and the
+// returned string doubles as the asset-cache key, so handing out one
+// identical string per app keeps every worker on the same cache entry.
 func (a *App) HTML() string {
-	return injectStyle(a.BaseHTML, a.AnnotationCSS)
+	a.htmlOnce.Do(func() {
+		a.htmlMemo = injectStyle(a.BaseHTML, a.AnnotationCSS)
+	})
+	return a.htmlMemo
 }
 
 func injectStyle(src, cssText string) string {

@@ -7,7 +7,6 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/acmp"
 	"github.com/wattwiseweb/greenweb/internal/css"
 	"github.com/wattwiseweb/greenweb/internal/dom"
-	"github.com/wattwiseweb/greenweb/internal/html"
 	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/sim"
@@ -101,6 +100,7 @@ type Engine struct {
 	scriptErrs   []error
 	loaded       bool
 	loadUID      UID
+	loadStats    LoadStats
 
 	onFrame []func(*FrameResult)
 
@@ -165,6 +165,20 @@ func (e *Engine) ConsoleLines() []string { return e.consoleLines }
 // ScriptErrors returns script failures (logged, not fatal — as in engines).
 func (e *Engine) ScriptErrors() []error { return e.scriptErrs }
 
+// LoadStats reports page-load parsing statistics.
+type LoadStats struct {
+	// DroppedCSSRules counts malformed rules the tolerant CSS parser
+	// skipped across the page's stylesheets. Silently losing rules made
+	// debugging annotation sheets painful; the counter surfaces it.
+	DroppedCSSRules int
+	// AssetCacheHit reports whether the page's parses were served from the
+	// process-wide asset cache.
+	AssetCacheHit bool
+}
+
+// LoadStats returns the page-load statistics. Valid after LoadPage.
+func (e *Engine) LoadStats() LoadStats { return e.loadStats }
+
 // OnFrame registers an observer called after every completed frame.
 func (e *Engine) OnFrame(fn func(*FrameResult)) { e.onFrame = append(e.onFrame, fn) }
 
@@ -195,6 +209,13 @@ func (e *Engine) InputRecords() map[UID]InputRecord {
 		out[k] = v
 	}
 	return out
+}
+
+// InputRecord returns one input by UID. Per-frame consumers use this
+// instead of InputRecords to avoid copying the whole map on every frame.
+func (e *Engine) InputRecord(uid UID) (InputRecord, bool) {
+	rec, ok := e.inputs[uid]
+	return rec, ok
 }
 
 // SetGovernor installs the CPU governor. Must be called before the
@@ -279,15 +300,27 @@ func (e *Engine) LoadPage(src string) (UID, error) {
 	}
 	e.loaded = true
 
-	e.doc = html.Parse(src)
+	// Parse-once asset cache: the document template, stylesheets, and
+	// script ASTs for a page source are built once per process and shared;
+	// this engine works on a private clone of the DOM. With the cache
+	// disabled the assets are built fresh right here, and the template is
+	// this engine's own — the pre-cache code path.
+	var assets *pageAssets
+	if AssetCacheEnabled() {
+		var hit bool
+		assets, hit = assetsFor(src)
+		e.doc = assets.tmpl.Clone()
+		e.loadStats.AssetCacheHit = hit
+	} else {
+		assets = buildAssets(src)
+		e.doc = assets.tmpl
+	}
+	e.sheets = assets.sheets
+	e.loadStats.DroppedCSSRules = assets.dropped
 	e.interp = js.NewInterp()
 	e.bind = webapi.Install(e.interp, e.doc, e)
 	e.installPrelude()
 
-	for _, styleSrc := range html.StyleSources(e.doc) {
-		sheet, _ := css.Parse(styleSrc) // tolerate bad rules like engines do
-		e.sheets = append(e.sheets, sheet)
-	}
 	e.anns = css.NewAnnotationSet(e.sheets...)
 
 	e.doc.OnMutation(func(n *dom.Node) {
@@ -302,10 +335,9 @@ func (e *Engine) LoadPage(src string) (UID, error) {
 	rec := e.inputs[uid]
 	e.gov.OnInput(rec, nil)
 
-	scripts := html.ScriptSources(e.doc)
 	var scriptBytes, pageBytes int64
 	pageBytes = int64(len(src))
-	for _, s := range scripts {
+	for _, s := range assets.scripts {
 		scriptBytes += int64(len(s))
 	}
 
@@ -330,9 +362,15 @@ func (e *Engine) LoadPage(src string) (UID, error) {
 			run: func() acmp.Work {
 				e.curDispatch = &DispatchResult{}
 				var ops int64
-				for _, s := range scripts {
+				// Run the cached ASTs. RunSource is Parse + Run, and the
+				// interpreter counts ops only during evaluation, so this
+				// yields the same ops and the same errors (a script that
+				// failed to parse reports its recorded parse error).
+				for i := range assets.scripts {
 					e.interp.ResetOps()
-					if err := e.interp.RunSource(s); err != nil {
+					if prog := assets.programs[i]; prog == nil {
+						e.scriptErrs = append(e.scriptErrs, assets.parseErrs[i])
+					} else if err := e.interp.Run(prog); err != nil {
 						e.scriptErrs = append(e.scriptErrs, err)
 					}
 					ops += e.interp.ResetOps()

@@ -75,6 +75,27 @@ type Model struct {
 	// configurations for nothing.
 	framesSeen  int
 	completions int
+
+	// version counts every mutation that can change what SelectWithin
+	// returns: re-identification (RecordProfile), Reset, and bias steps
+	// from Feedback. The memoized sweep below is keyed on it.
+	version int
+	sel     selMemo
+}
+
+// selMemo caches the last SelectWithin result. The runtime issues the same
+// sweep on every steady-state frame of a continuous event — same model
+// state, deadline, safety, ceiling, power model — so a single entry keyed on
+// those inputs collapses the per-frame sweep of the whole configuration
+// space to a comparison.
+type selMemo struct {
+	valid    bool
+	version  int
+	deadline sim.Duration
+	safety   float64
+	ceiling  acmp.Config
+	pm       *acmp.PowerModel
+	result   acmp.Config
 }
 
 // SawFrame records that a frame was attributed to this class.
@@ -139,6 +160,7 @@ func (m *Model) kOf(cfg acmp.Config) float64 {
 // event pinned the configuration), the fresher measurement replaces the
 // first and identification keeps waiting.
 func (m *Model) RecordProfile(latency sim.Duration, cfg acmp.Config) {
+	m.Invalidate()
 	switch m.phase {
 	case needPeakProfile:
 		m.s1 = profileSample{latency, cfg}
@@ -217,14 +239,17 @@ func (m *Model) Select(deadline sim.Duration, pm *acmp.PowerModel, safety float6
 // best QoS available under the cap) is returned, and the feedback bias
 // never steps past it.
 func (m *Model) SelectWithin(deadline sim.Duration, pm *acmp.PowerModel, safety float64, ceiling acmp.Config) acmp.Config {
+	if m.sel.valid && m.sel.version == m.version &&
+		m.sel.deadline == deadline && m.sel.safety == safety &&
+		m.sel.ceiling == ceiling && m.sel.pm == pm {
+		return m.sel.result
+	}
 	bound := sim.Duration(float64(deadline) * safety)
 	ceilIdx := ceiling.Index()
 	best := ceiling
 	bestE := acmp.Joules(-1)
-	for _, cfg := range acmp.Configs() {
-		if cfg.Index() > ceilIdx {
-			break
-		}
+	for i := 0; i <= ceilIdx; i++ {
+		cfg := acmp.ConfigAt(i)
 		if m.Predict(cfg) > bound {
 			continue
 		}
@@ -240,7 +265,16 @@ func (m *Model) SelectWithin(deadline sim.Duration, pm *acmp.PowerModel, safety 
 		}
 		best = up
 	}
+	m.sel = selMemo{true, m.version, deadline, safety, ceiling, pm, best}
 	return best
+}
+
+// Invalidate drops the memoized sweep result and marks the model mutated.
+// Every state change that can alter selection calls it; external callers
+// that import models wholesale (Runtime.ImportModels) call it defensively.
+func (m *Model) Invalidate() {
+	m.version++
+	m.sel.valid = false
 }
 
 // Feedback digests a measured frame latency against the deadline and the
@@ -257,15 +291,18 @@ func (m *Model) Feedback(measured, deadline sim.Duration, executed acmp.Config, 
 	switch {
 	case measured > deadline:
 		m.bias++
+		m.Invalidate()
 		m.mispredicts++
 	case predicted > 0 && measured*2 < predicted:
 		// Model grossly over-predicts: also a misprediction, opposite sign.
 		if m.bias > 0 {
 			m.bias--
+			m.Invalidate()
 		}
 		m.mispredicts++
 	case measured*2 < deadline && m.bias > 0:
 		m.bias--
+		m.Invalidate()
 		m.mispredicts = 0
 	default:
 		m.mispredicts = 0
@@ -278,6 +315,7 @@ func (m *Model) Feedback(measured, deadline sim.Duration, executed acmp.Config, 
 
 // Reset discards identification and returns the model to profiling.
 func (m *Model) Reset() {
+	m.Invalidate()
 	m.phase = needPeakProfile
 	m.bias = 0
 	m.mispredicts = 0

@@ -623,9 +623,13 @@ func (r *Runtime) ExportModels() map[string]*Model {
 	return out
 }
 
-// ImportModels seeds the runtime with previously trained models.
+// ImportModels seeds the runtime with previously trained models. Each
+// imported model's memoized sweep is invalidated: the importing runtime may
+// pass a different power model or thermal ceiling than the one the cache
+// was filled under.
 func (r *Runtime) ImportModels(ms map[string]*Model) {
 	for k, m := range ms {
+		m.Invalidate()
 		r.models[k] = m
 	}
 }

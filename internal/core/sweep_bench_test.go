@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// trainedModel returns a model identified from two synthetic profiling
+// samples, as it would be after the runtime's profiling frames.
+func trainedModel() *Model {
+	ann := qos.Annotation{Event: "click", Type: qos.Single, Target: qos.SingleShortTarget}
+	m := NewModel("bench@click", ann)
+	m.RecordProfile(12*sim.Millisecond, acmp.PeakConfig())
+	m.RecordProfile(90*sim.Millisecond, acmp.LowestConfig())
+	return m
+}
+
+// BenchmarkSelectSteadyState measures the scheduler sweep exactly as the
+// runtime issues it on every steady-state animation frame: same model, same
+// deadline, same ceiling, no feedback mutation in between. This is the path
+// the memoized sweep accelerates.
+func BenchmarkSelectSteadyState(b *testing.B) {
+	m := trainedModel()
+	pm := acmp.DefaultPower()
+	deadline := 100 * sim.Millisecond
+	ceiling := acmp.PeakConfig()
+	want := m.SelectWithin(deadline, pm, 0.9, ceiling)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.SelectWithin(deadline, pm, 0.9, ceiling); got != want {
+			b.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// BenchmarkSelectAfterFeedback measures the sweep when every frame's
+// feedback invalidates the model — the worst case for memoization, pinned so
+// the cache cannot regress the uncached path by more than noise.
+func BenchmarkSelectAfterFeedback(b *testing.B) {
+	m := trainedModel()
+	pm := acmp.DefaultPower()
+	deadline := 100 * sim.Millisecond
+	ceiling := acmp.PeakConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A violated frame steps the bias, changing the model state the
+		// selection depends on.
+		m.Feedback(deadline+sim.Millisecond, deadline, ceiling, 1<<30)
+		m.SelectWithin(deadline, pm, 0.9, ceiling)
+	}
+}

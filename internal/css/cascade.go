@@ -1,10 +1,139 @@
 package css
 
 import (
-	"sort"
-
 	"github.com/wattwiseweb/greenweb/internal/dom"
 )
+
+// ruleIndex buckets a stylesheet's rules by the rightmost compound of each
+// selector — the same rule-hash idea WebKit-family engines use: a selector
+// whose subject names an id can only match elements with that id, so the
+// cascade only needs to test an element against the rules in its id, class,
+// tag, and universal buckets instead of every rule in the sheet.
+//
+// The build also precomputes what matching needs per rule: each selector's
+// specificity and the rule's visual (non-QoS) declarations. Rules with no
+// visual declarations — GreenWeb annotation sheets consist entirely of them —
+// contribute nothing to any element's computed style and are not bucketed at
+// all, so the cascade never tests their selectors.
+//
+// Positions are rule indices within the sheet, ascending within each bucket.
+// The index is immutable once built; it is rebuilt (RCU-style, see
+// Stylesheet.index) when rules are appended after a cascade has run.
+type ruleIndex struct {
+	n         int // number of rules indexed (== len(Rules) at build time)
+	byID      map[string][]int32
+	byClass   map[string][]int32
+	byTag     map[string][]int32
+	universal []int32
+
+	specs  [][]Specificity // per rule, parallel to Rule.Selectors
+	visual [][]Decl        // per rule, Decls minus GreenWeb QoS properties
+}
+
+func buildRuleIndex(rules []*Rule) *ruleIndex {
+	idx := &ruleIndex{
+		n:       len(rules),
+		byID:    make(map[string][]int32),
+		byClass: make(map[string][]int32),
+		byTag:   make(map[string][]int32),
+		specs:   make([][]Specificity, len(rules)),
+		visual:  make([][]Decl, len(rules)),
+	}
+	for p, r := range rules {
+		visual := r.Decls
+		for i, d := range r.Decls {
+			if _, isQoS := IsQoSProperty(d.Property); isQoS {
+				// First QoS declaration: switch to a filtered copy.
+				visual = make([]Decl, i, len(r.Decls)-1)
+				copy(visual, r.Decls[:i])
+				for _, d2 := range r.Decls[i+1:] {
+					if _, isQoS := IsQoSProperty(d2.Property); !isQoS {
+						visual = append(visual, d2)
+					}
+				}
+				break
+			}
+		}
+		idx.visual[p] = visual
+		if len(visual) == 0 {
+			continue // QoS-only rule: never a cascade candidate
+		}
+		specs := make([]Specificity, len(r.Selectors))
+		for i, sel := range r.Selectors {
+			specs[i] = sel.Specificity()
+		}
+		idx.specs[p] = specs
+		for _, sel := range r.Selectors {
+			sub := sel.Subject()
+			// Most selective key first: id, then class, then tag. An
+			// element can only match this selector if it carries the key,
+			// so bucketing by it is exact, never lossy.
+			switch {
+			case sub.ID != "":
+				idx.byID[sub.ID] = append(idx.byID[sub.ID], int32(p))
+			case len(sub.Classes) > 0:
+				c := sub.Classes[0]
+				idx.byClass[c] = append(idx.byClass[c], int32(p))
+			case sub.Tag != "" && sub.Tag != "*":
+				idx.byTag[sub.Tag] = append(idx.byTag[sub.Tag], int32(p))
+			default:
+				idx.universal = append(idx.universal, int32(p))
+			}
+		}
+	}
+	return idx
+}
+
+// index returns the sheet's rule index, building it on first use. The index
+// is stored through an atomic pointer so parsed sheets can be shared across
+// concurrently running engines (the browser's asset cache does exactly
+// that); concurrent first builds race benignly — both produce equivalent
+// indexes. Appending rules after a cascade (AUTOGREEN-style sheet growth)
+// is detected by rule count and triggers a rebuild; in-place mutation of an
+// already-indexed rule is not supported.
+func (s *Stylesheet) index() *ruleIndex {
+	if idx := s.idx.Load(); idx != nil && idx.n == len(s.Rules) {
+		return idx
+	}
+	idx := buildRuleIndex(s.Rules)
+	s.idx.Store(idx)
+	return idx
+}
+
+// cand is one candidate declaration during the cascade of a single element.
+type cand struct {
+	spec  Specificity
+	order int
+	decl  *Decl
+}
+
+// candLess is the cascade ordering: importance first, then specificity,
+// then source order. It reports whether a sorts before b (weaker first, so
+// later map writes win).
+func candLess(a, b cand) bool {
+	if a.decl.Important != b.decl.Important {
+		return !a.decl.Important
+	}
+	if a.spec != b.spec {
+		return a.spec.Less(b.spec)
+	}
+	return a.order < b.order
+}
+
+type sheetRules struct {
+	rules []*Rule
+	idx   *ruleIndex
+	base  int // global order offset of this sheet's first rule
+}
+
+// ruleRef identifies one candidate rule: which sheet, which position in it,
+// and its 1-based global source order (the cascade tiebreak). Kept small so
+// ordered insertion shifts cheaply.
+type ruleRef struct {
+	sheet int32
+	pos   int32
+	order int32
+}
 
 // Cascade computes every element's ComputedStyle from the sheets, applying
 // standard cascade order: later declarations win within equal specificity,
@@ -16,51 +145,101 @@ import (
 //
 // It returns the number of (element, declaration) applications performed,
 // which the rendering pipeline uses as its style-resolution cost measure.
+//
+// Per element, only the rules in the element's id/class/tag/universal
+// buckets are tested (see ruleIndex); candidate declarations are kept
+// sorted by ordered insertion into a scratch buffer reused across elements.
+// The computed styles and the returned count are identical to an unindexed
+// full scan — the candidate set is a superset of the matching rules, rules
+// are still tested in source order, and the insertion order is stable.
 func Cascade(doc *dom.Document, sheets ...*Stylesheet) int {
-	type cand struct {
-		spec  Specificity
-		order int
-		decl  Decl
-	}
-	// Cascade ordering: importance first, then specificity, then source
-	// order. less reports whether a sorts before b (weaker first, so later
-	// map writes win).
-	less := func(a, b cand) bool {
-		if a.decl.Important != b.decl.Important {
-			return !a.decl.Important
-		}
-		if a.spec != b.spec {
-			return a.spec.Less(b.spec)
-		}
-		return a.order < b.order
-	}
-	applied := 0
-	order := 0
-	// Pre-index rules once to avoid re-walking sheets per element.
-	type indexedRule struct {
-		rule  *Rule
-		order int
-	}
-	var rules []indexedRule
+	srs := make([]sheetRules, 0, len(sheets))
+	total := 0
 	for _, sheet := range sheets {
-		for _, r := range sheet.Rules {
-			order++
-			rules = append(rules, indexedRule{r, order})
-		}
+		srs = append(srs, sheetRules{sheet.Rules, sheet.index(), total})
+		total += len(sheet.Rules)
 	}
+	if total == 0 {
+		return 0
+	}
+
+	// Scratch state reused across elements: seen de-duplicates rules that
+	// land in several buckets (a selector group like "div, .x" indexes its
+	// rule twice), candRules collects the candidate rules sorted by source
+	// order, cands collects candidate declarations sorted by candLess.
+	seen := make([]int, total)
+	var candRules []ruleRef
+	var cands []cand
+	stamp := 0
+
+	applied := 0
 	for _, n := range doc.Elements() {
-		var cands []cand
-		for _, ir := range rules {
-			for _, sel := range ir.rule.Selectors {
-				if !sel.Matches(n) {
+		stamp++
+		candRules = candRules[:0]
+		// Ordered insertion keeps candRules ascending by source order; the
+		// per-bucket lists are ascending already, so inserts cluster near
+		// the tail.
+		addRule := func(si int, sr *sheetRules, positions []int32) {
+			for _, p := range positions {
+				g := sr.base + int(p)
+				if seen[g] == stamp {
 					continue
 				}
-				spec := sel.Specificity()
-				for _, d := range ir.rule.Decls {
-					if _, isQoS := IsQoSProperty(d.Property); isQoS {
-						continue
+				seen[g] = stamp
+				ref := ruleRef{int32(si), p, int32(g + 1)}
+				i := len(candRules)
+				candRules = append(candRules, ref)
+				for i > 0 && ref.order < candRules[i-1].order {
+					candRules[i] = candRules[i-1]
+					i--
+				}
+				candRules[i] = ref
+			}
+		}
+		id := n.ID()
+		classes := n.Classes()
+		for si := range srs {
+			sr := &srs[si]
+			addRule(si, sr, sr.idx.universal)
+			if len(sr.idx.byTag) > 0 {
+				addRule(si, sr, sr.idx.byTag[n.Tag])
+			}
+			if id != "" && len(sr.idx.byID) > 0 {
+				addRule(si, sr, sr.idx.byID[id])
+			}
+			if len(sr.idx.byClass) > 0 {
+				for _, c := range classes {
+					addRule(si, sr, sr.idx.byClass[c])
+				}
+			}
+		}
+		if len(candRules) == 0 {
+			continue
+		}
+
+		cands = cands[:0]
+		for _, ref := range candRules {
+			idx := srs[ref.sheet].idx
+			rule := srs[ref.sheet].rules[ref.pos]
+			specs := idx.specs[ref.pos]
+			visual := idx.visual[ref.pos]
+			for k := range rule.Selectors {
+				if !rule.Selectors[k].Matches(n) {
+					continue
+				}
+				spec := specs[k]
+				for d := range visual {
+					// Stable ordered insertion: the new candidate lands
+					// after every candidate it does not sort before, so
+					// declarations of one rule keep their source order.
+					c := cand{spec, int(ref.order), &visual[d]}
+					i := len(cands)
+					cands = append(cands, c)
+					for i > 0 && candLess(c, cands[i-1]) {
+						cands[i] = cands[i-1]
+						i--
 					}
-					cands = append(cands, cand{spec, ir.order, d})
+					cands[i] = c
 				}
 				break // one match per rule is enough
 			}
@@ -68,7 +247,6 @@ func Cascade(doc *dom.Document, sheets ...*Stylesheet) int {
 		if len(cands) == 0 {
 			continue
 		}
-		sort.SliceStable(cands, func(i, j int) bool { return less(cands[i], cands[j]) })
 		if n.ComputedStyle == nil {
 			n.ComputedStyle = make(map[string]string, len(cands))
 		}

@@ -1,0 +1,48 @@
+package css_test
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/css"
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/html"
+)
+
+// largestAppDoc parses the catalog's largest application (BBC, 220 filler
+// stories) and its stylesheets — the heaviest cascade the evaluation runs.
+func largestAppDoc(tb testing.TB) (*dom.Document, []*css.Stylesheet) {
+	tb.Helper()
+	app, ok := apps.ByName("BBC")
+	if !ok {
+		tb.Fatal("BBC not in catalog")
+	}
+	doc := html.Parse(app.HTML())
+	var sheets []*css.Stylesheet
+	for _, src := range html.StyleSources(doc) {
+		sheet, errs := css.Parse(src)
+		if len(errs) > 0 {
+			tb.Fatalf("parse errors: %v", errs)
+		}
+		sheets = append(sheets, sheet)
+	}
+	if len(sheets) == 0 {
+		tb.Fatal("no stylesheets")
+	}
+	return doc, sheets
+}
+
+// BenchmarkCascadeLargestApp measures full style resolution on the largest
+// catalog DOM — the microbenchmark BENCH_PR4.json tracks for the indexed
+// cascade.
+func BenchmarkCascadeLargestApp(b *testing.B) {
+	doc, sheets := largestAppDoc(b)
+	want := css.Cascade(doc, sheets...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := css.Cascade(doc, sheets...); got != want {
+			b.Fatalf("applied %d, want %d", got, want)
+		}
+	}
+}

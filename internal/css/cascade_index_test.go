@@ -1,0 +1,185 @@
+package css
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+)
+
+// referenceCascade is the pre-index full-scan cascade, kept verbatim as the
+// semantic oracle: every rule tested against every element, candidates
+// sorted with sort.SliceStable. The indexed Cascade must match it exactly.
+func referenceCascade(doc *dom.Document, sheets ...*Stylesheet) int {
+	applied := 0
+	order := 0
+	type indexedRule struct {
+		rule  *Rule
+		order int
+	}
+	var rules []indexedRule
+	for _, sheet := range sheets {
+		for _, r := range sheet.Rules {
+			order++
+			rules = append(rules, indexedRule{r, order})
+		}
+	}
+	for _, n := range doc.Elements() {
+		var cands []cand
+		for _, ir := range rules {
+			for _, sel := range ir.rule.Selectors {
+				if !sel.Matches(n) {
+					continue
+				}
+				spec := sel.Specificity()
+				for di := range ir.rule.Decls {
+					d := &ir.rule.Decls[di]
+					if _, isQoS := IsQoSProperty(d.Property); isQoS {
+						continue
+					}
+					cands = append(cands, cand{spec, ir.order, d})
+				}
+				break
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+		if n.ComputedStyle == nil {
+			n.ComputedStyle = make(map[string]string, len(cands))
+		}
+		for _, c := range cands {
+			n.ComputedStyle[c.decl.Property] = c.decl.Value
+			applied++
+		}
+	}
+	return applied
+}
+
+// buildCascadeDoc assembles a document exercising every bucket kind: ids,
+// multi-class elements, tags, nesting for combinators, and elements
+// matching several selectors of the same rule group.
+func buildCascadeDoc() *dom.Document {
+	doc := dom.NewDocument()
+	body := doc.NewElement("body")
+	doc.Root.AppendChild(body)
+	nav := doc.NewElement("nav")
+	nav.SetAttr("id", "nav")
+	nav.SetAttr("class", "top wide")
+	body.AppendChild(nav)
+	for i := 0; i < 12; i++ {
+		d := doc.NewElement("div")
+		d.SetAttr("class", fmt.Sprintf("item c%d", i%3))
+		d.SetAttr("id", fmt.Sprintf("item-%d", i))
+		nav.AppendChild(d)
+		p := doc.NewElement("p")
+		p.SetAttr("data-k", fmt.Sprintf("%d", i))
+		d.AppendChild(p)
+		if i%4 == 0 {
+			s := doc.NewElement("span")
+			s.SetAttr("class", "deep")
+			p.AppendChild(s)
+		}
+	}
+	plain := doc.NewElement("footer")
+	body.AppendChild(plain)
+	return doc
+}
+
+var cascadeEquivSheets = []string{
+	`div { color: red; margin: 1px; }
+	 .item { color: blue; }
+	 #item-3 { color: green !important; padding: 2px; }
+	 nav > div { border: thin; }
+	 * { font: base; }
+	 p { font: serif; }
+	 .c1.item { color: teal; }
+	 span.deep { depth: yes; }
+	 [data-k="5"] { data: five; }
+	 div:not(.c2) { not: c2; }`,
+	`div, .c0 { color: purple; }
+	 .top #item-1 { nested: yes; }
+	 footer { foot: 1; }
+	 #nav { width: 10px; }
+	 .wide { width: 20px !important; }
+	 :QoS { onclick-qos: single, short; }
+	 div.item:QoS { ontouchstart-qos: continuous; }`,
+}
+
+// TestCascadeMatchesReference pins the indexed cascade to the full-scan
+// oracle: identical computed styles on every element and an identical
+// applied-declaration count (the pipeline's style cost input).
+func TestCascadeMatchesReference(t *testing.T) {
+	var sheets []*Stylesheet
+	for i, src := range cascadeEquivSheets {
+		sheet, errs := Parse(src)
+		if len(errs) > 0 {
+			t.Fatalf("sheet %d: %v", i, errs)
+		}
+		sheets = append(sheets, sheet)
+	}
+
+	got := buildCascadeDoc()
+	want := buildCascadeDoc()
+	gotN := Cascade(got, sheets...)
+	wantN := referenceCascade(want, sheets...)
+	if gotN != wantN {
+		t.Errorf("applied = %d, reference = %d", gotN, wantN)
+	}
+
+	ge, we := got.Elements(), want.Elements()
+	if len(ge) != len(we) {
+		t.Fatalf("element count %d vs %d", len(ge), len(we))
+	}
+	for i := range ge {
+		g, w := ge[i].ComputedStyle, we[i].ComputedStyle
+		if len(g) != len(w) {
+			t.Errorf("%s: %d computed properties, want %d (%v vs %v)", ge[i].Path(), len(g), len(w), g, w)
+			continue
+		}
+		for k, wv := range w {
+			if gv := g[k]; gv != wv {
+				t.Errorf("%s: %s = %q, want %q", ge[i].Path(), k, gv, wv)
+			}
+		}
+	}
+
+	// Re-running over already-computed styles must also agree (the scratch
+	// buffers are reused across elements; stale state would show here).
+	if gotN2 := Cascade(got, sheets...); gotN2 != gotN {
+		t.Errorf("second cascade applied %d, want %d", gotN2, gotN)
+	}
+}
+
+// TestRuleIndexRebuildOnAppend pins the invalidation rule: growing a sheet
+// after a cascade has built its index (AUTOGREEN appends generated rules)
+// must rebuild the index, not serve the stale one.
+func TestRuleIndexRebuildOnAppend(t *testing.T) {
+	sheet := MustParse(`div { color: red; }`)
+	doc := buildCascadeDoc()
+	Cascade(doc, sheet)
+	if idx := sheet.idx.Load(); idx == nil || idx.n != 1 {
+		t.Fatalf("index not built for 1 rule: %+v", sheet.idx.Load())
+	}
+
+	extra := MustParse(`.item { flag: on; }`)
+	sheet.Rules = append(sheet.Rules, extra.Rules...)
+
+	doc2 := buildCascadeDoc()
+	Cascade(doc2, sheet)
+	if idx := sheet.idx.Load(); idx == nil || idx.n != 2 {
+		t.Fatalf("index not rebuilt after append: %+v", sheet.idx.Load())
+	}
+	items := doc2.Root.Children[0].Children[0].Children // nav's divs
+	if len(items) == 0 || items[0].ComputedStyle["flag"] != "on" {
+		t.Fatalf("appended rule not applied: %v", items[0].ComputedStyle)
+	}
+
+	// And the grown sheet still matches the oracle.
+	ref := buildCascadeDoc()
+	if got, want := Cascade(buildCascadeDoc(), sheet), referenceCascade(ref, sheet); got != want {
+		t.Errorf("applied = %d, reference = %d after append", got, want)
+	}
+}

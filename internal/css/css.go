@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/wattwiseweb/greenweb/internal/sim"
 )
@@ -50,6 +51,12 @@ type Rule struct {
 // Stylesheet is a parsed sheet.
 type Stylesheet struct {
 	Rules []*Rule
+
+	// idx caches the rightmost-compound rule index Cascade matches
+	// against (see cascade.go). It is rebuilt when Rules has grown since
+	// the last build and shared through an atomic pointer so cached,
+	// parsed sheets can cascade concurrently across engines.
+	idx atomic.Pointer[ruleIndex]
 }
 
 // ParseError reports a malformed construct. The parser is tolerant: it

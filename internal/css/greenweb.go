@@ -153,8 +153,29 @@ func QoSRuleFor(selText string, a qos.Annotation) (*Rule, error) {
 // AnnotationSet resolves GreenWeb annotations against a document: for every
 // (element, event) it knows the winning annotation by selector specificity
 // and rule order, mirroring how the visual cascade resolves properties.
+//
+// Resolutions are memoized per (node, event): the runtime looks up the same
+// few interactive elements on every input. The memo is dropped whenever its
+// answers could change — a sheet is added (AddSheet), rules are appended to
+// an existing sheet (detected by total rule count), or the document's
+// structure or attributes mutate (detected by dom.Document.Generation).
 type AnnotationSet struct {
 	sheets []*Stylesheet
+
+	memo      map[lookupKey]lookupResult
+	memoDoc   *dom.Document
+	memoGen   int
+	memoRules int
+}
+
+type lookupKey struct {
+	n     *dom.Node
+	event string
+}
+
+type lookupResult struct {
+	ann qos.Annotation
+	ok  bool
 }
 
 // NewAnnotationSet builds a resolver over the given sheets (in source
@@ -164,12 +185,50 @@ func NewAnnotationSet(sheets ...*Stylesheet) *AnnotationSet {
 }
 
 // AddSheet appends another stylesheet (e.g. AUTOGREEN's generated rules).
-func (as *AnnotationSet) AddSheet(s *Stylesheet) { as.sheets = append(as.sheets, s) }
+// Memoized resolutions are dropped: the new sheet can win any of them.
+func (as *AnnotationSet) AddSheet(s *Stylesheet) {
+	as.sheets = append(as.sheets, s)
+	as.memo = nil
+}
+
+func (as *AnnotationSet) totalRules() int {
+	t := 0
+	for _, s := range as.sheets {
+		t += len(s.Rules)
+	}
+	return t
+}
 
 // Lookup finds the annotation for an event fired on node n, or ok=false if
 // the event is unannotated. Specificity then source order decide conflicts.
 func (as *AnnotationSet) Lookup(n *dom.Node, event string) (qos.Annotation, bool) {
 	event = strings.ToLower(event)
+	doc := n.Document()
+	rules := as.totalRules()
+	key := lookupKey{n, event}
+	if as.memo != nil && doc == as.memoDoc && doc != nil &&
+		doc.Generation() == as.memoGen && rules == as.memoRules {
+		if r, ok := as.memo[key]; ok {
+			return r.ann, r.ok
+		}
+	} else if doc != nil {
+		if as.memo == nil {
+			as.memo = make(map[lookupKey]lookupResult)
+		} else {
+			clear(as.memo) // reuse the buckets; invalidation can be per-frame
+		}
+		as.memoDoc, as.memoGen, as.memoRules = doc, doc.Generation(), rules
+	} else {
+		as.memo = nil
+	}
+	ann, ok := as.lookupUncached(n, event)
+	if as.memo != nil {
+		as.memo[key] = lookupResult{ann, ok}
+	}
+	return ann, ok
+}
+
+func (as *AnnotationSet) lookupUncached(n *dom.Node, event string) (qos.Annotation, bool) {
 	prop := QoSPropertyName(event)
 	var best qos.Annotation
 	bestSpec := Specificity{-1, -1, -1}

@@ -1,0 +1,57 @@
+package css
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/dom"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+)
+
+// TestAnnotationLookupMemoInvalidation warms the lookup memo and then
+// changes each thing that can alter a resolution — added sheet, appended
+// rules, DOM attribute mutation — asserting the next Lookup recomputes.
+func TestAnnotationLookupMemoInvalidation(t *testing.T) {
+	doc := dom.NewDocument()
+	body := doc.NewElement("body")
+	doc.Root.AppendChild(body)
+	div := doc.NewElement("div")
+	div.SetAttr("id", "target")
+	body.AppendChild(div)
+
+	base := MustParse(`div:QoS { onclick-qos: single, long; }`)
+	as := NewAnnotationSet(base)
+
+	ann, ok := as.Lookup(div, "click")
+	if !ok || ann.Target != qos.SingleLongTarget {
+		t.Fatalf("warmup lookup = %+v ok=%v", ann, ok)
+	}
+	// Second call is served from the memo and must agree.
+	if ann2, ok2 := as.Lookup(div, "click"); !ok2 || ann2 != ann {
+		t.Fatalf("memoized lookup = %+v ok=%v, want %+v", ann2, ok2, ann)
+	}
+
+	// AddSheet: a more specific rule must win over the memoized answer.
+	as.AddSheet(MustParse(`#target:QoS { onclick-qos: single, short; }`))
+	if ann, ok = as.Lookup(div, "click"); !ok || ann.Target != qos.SingleShortTarget {
+		t.Fatalf("after AddSheet: lookup = %+v ok=%v, want single-short", ann, ok)
+	}
+
+	// Appending rules to an existing sheet (no AddSheet call) must also be
+	// picked up, via the total rule count.
+	extra := MustParse(`#target:QoS { ontouchstart-qos: continuous; }`)
+	base.Rules = append(base.Rules, extra.Rules...)
+	if _, ok = as.Lookup(div, "touchstart"); !ok {
+		t.Fatal("appended rule not visible through the memo")
+	}
+
+	// A DOM attribute mutation changes what selectors match; the stale
+	// memo must not survive it.
+	as.AddSheet(MustParse(`#target.hot:QoS { onclick-qos: continuous; }`))
+	if ann, ok = as.Lookup(div, "click"); !ok || ann.Type != qos.Single {
+		t.Fatalf("pre-mutation lookup = %+v ok=%v", ann, ok)
+	}
+	div.SetAttr("class", "hot")
+	if ann, ok = as.Lookup(div, "click"); !ok || ann.Type != qos.Continuous {
+		t.Fatalf("after SetAttr: lookup = %+v ok=%v, want continuous", ann, ok)
+	}
+}

@@ -1,0 +1,92 @@
+package dom
+
+import "maps"
+
+// Clone returns a deep copy of the document: structure, attributes, inline
+// and computed styles. Event listeners and mutation/style-change observers
+// are NOT copied — a clone is a freshly loaded page, before any script has
+// attached behavior. The browser's asset cache keeps one parsed document per
+// page source as an immutable template and hands each engine a clone, so a
+// page is tokenized and tree-built once per process instead of once per
+// sweep cell.
+//
+// The clone's nodes are carved out of two slab allocations (one for the
+// nodes, one for the child-pointer arrays) sized from CountNodes — cloning
+// is the per-cell cost the asset cache leaves behind, so it allocates O(1)
+// times instead of O(nodes) times.
+func (d *Document) Clone() *Document {
+	nd := NewDocument()
+	c := &cloner{d: nd}
+	if total := d.CountNodes() - 1; total > 0 { // root excluded: NewDocument made it
+		c.nodes = make([]Node, 0, total)
+		c.ptrs = make([]*Node, 0, total)
+	}
+	nd.Root.Children = c.cloneChildren(d.Root.Children, nd.Root)
+	return nd
+}
+
+type cloner struct {
+	d     *Document
+	nodes []Node
+	ptrs  []*Node
+}
+
+func (c *cloner) alloc() *Node {
+	if len(c.nodes) == cap(c.nodes) {
+		// The template's node count drifted (should not happen — templates
+		// are immutable). Fall back to a plain allocation rather than let
+		// append move the slab out from under earlier pointers.
+		return &Node{}
+	}
+	c.nodes = append(c.nodes, Node{})
+	return &c.nodes[len(c.nodes)-1]
+}
+
+// allocPtrs hands out a capacity-capped window of the pointer slab, so a
+// later AppendChild on the clone reallocates instead of scribbling over a
+// sibling's children.
+func (c *cloner) allocPtrs(k int) []*Node {
+	if cap(c.ptrs)-len(c.ptrs) < k {
+		return make([]*Node, k)
+	}
+	off := len(c.ptrs)
+	c.ptrs = c.ptrs[:off+k]
+	return c.ptrs[off : off+k : off+k]
+}
+
+func (c *cloner) cloneChildren(children []*Node, parent *Node) []*Node {
+	if len(children) == 0 {
+		return nil
+	}
+	out := c.allocPtrs(len(children))
+	for i, ch := range children {
+		out[i] = c.cloneNode(ch, parent)
+	}
+	return out
+}
+
+func (c *cloner) cloneNode(n *Node, parent *Node) *Node {
+	m := c.alloc()
+	*m = Node{
+		Type:   n.Type,
+		Tag:    n.Tag,
+		Text:   n.Text,
+		Parent: parent,
+		doc:    c.d,
+		id:     n.id,
+		// The class list is replaced wholesale on SetAttr, never edited in
+		// place, so template and clones can share one slice. The attribute
+		// map is shared copy-on-write: SetAttr clones it before the first
+		// write (most cloned nodes are never written).
+		classes:       n.classes,
+		attrs:         n.attrs,
+		sharedAttrs:   n.attrs != nil,
+		InlineStyle:   maps.Clone(n.InlineStyle),
+		ComputedStyle: maps.Clone(n.ComputedStyle),
+	}
+	if m.id != "" {
+		c.d.byID[m.id] = m
+	}
+	m.Children = c.cloneChildren(n.Children, m)
+	return m
+}

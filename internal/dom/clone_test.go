@@ -1,0 +1,112 @@
+package dom
+
+import (
+	"testing"
+)
+
+func buildCloneFixture() *Document {
+	d := NewDocument()
+	body := d.NewElement("body")
+	d.Root.AppendChild(body)
+	div := d.NewElement("div")
+	div.SetAttr("id", "main")
+	div.SetAttr("class", "a b")
+	div.SetAttr("data-x", "1")
+	div.SetStyle("width", "10px")
+	body.AppendChild(div)
+	txt := d.NewText("hello")
+	div.AppendChild(txt)
+	div.ComputedStyle = map[string]string{"color": "red"}
+	return d
+}
+
+func TestCloneDeepCopies(t *testing.T) {
+	d := buildCloneFixture()
+	c := d.Clone()
+
+	if got, want := c.CountNodes(), d.CountNodes(); got != want {
+		t.Fatalf("clone CountNodes = %d, want %d", got, want)
+	}
+	cd := c.GetElementByID("main")
+	if cd == nil {
+		t.Fatal("clone lost the id index")
+	}
+	od := d.GetElementByID("main")
+	if cd == od {
+		t.Fatal("clone shares nodes with the original")
+	}
+	if cd.Document() != c {
+		t.Fatal("clone node owned by wrong document")
+	}
+	if !cd.HasClass("b") || cd.ID() != "main" {
+		t.Fatal("clone lost cached id/class state")
+	}
+	if v, _ := cd.Attr("data-x"); v != "1" {
+		t.Fatalf("clone attr data-x = %q", v)
+	}
+	if cd.Style("width") != "10px" || cd.ComputedStyle["color"] != "red" {
+		t.Fatal("clone lost styles")
+	}
+	if cd.TextContent() != "hello" {
+		t.Fatalf("clone text = %q", cd.TextContent())
+	}
+
+	// Mutating the clone must not leak into the original, and vice versa.
+	cd.SetAttr("id", "changed")
+	cd.SetStyle("width", "20px")
+	cd.ComputedStyle["color"] = "blue"
+	if od.ID() != "main" || od.Style("width") != "10px" || od.ComputedStyle["color"] != "red" {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if d.GetElementByID("main") != od {
+		t.Fatal("original id index disturbed")
+	}
+	od.AppendChild(d.NewElement("span"))
+	if len(cd.Children) != 1 {
+		t.Fatal("original mutation leaked into clone")
+	}
+}
+
+func TestCloneDoesNotCopyListeners(t *testing.T) {
+	d := buildCloneFixture()
+	fired := 0
+	d.GetElementByID("main").AddEventListener("click", func(e *Event) { fired++ })
+	c := d.Clone()
+	Dispatch(c.GetElementByID("main"), "click", nil)
+	if fired != 0 {
+		t.Fatal("clone carried the original's listeners")
+	}
+}
+
+func TestGenerationAndCountNodesCache(t *testing.T) {
+	d := buildCloneFixture()
+	g0 := d.Generation()
+	n0 := d.CountNodes()
+
+	// Inline style writes must not advance the generation.
+	d.GetElementByID("main").SetStyle("width", "30px")
+	if d.Generation() != g0 {
+		t.Fatal("SetStyle advanced the generation")
+	}
+
+	// Structural mutations advance it and are reflected in CountNodes.
+	span := d.NewElement("span")
+	d.Root.Children[0].AppendChild(span)
+	if d.Generation() == g0 {
+		t.Fatal("AppendChild did not advance the generation")
+	}
+	if got := d.CountNodes(); got != n0+1 {
+		t.Fatalf("CountNodes after append = %d, want %d", got, n0+1)
+	}
+	d.Root.Children[0].RemoveChild(span)
+	if got := d.CountNodes(); got != n0 {
+		t.Fatalf("CountNodes after remove = %d, want %d", got, n0)
+	}
+
+	// Attribute writes advance the generation (selector matching can change).
+	g1 := d.Generation()
+	d.GetElementByID("main").SetAttr("class", "c")
+	if d.Generation() == g1 {
+		t.Fatal("SetAttr did not advance the generation")
+	}
+}

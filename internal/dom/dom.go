@@ -10,8 +10,10 @@ package dom
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeType discriminates the node kinds the tree can hold.
@@ -48,6 +50,15 @@ type Node struct {
 	Children []*Node
 
 	attrs map[string]string
+	// sharedAttrs marks attrs as borrowed from a clone template; SetAttr
+	// copies the map before the first write (see clone.go).
+	sharedAttrs bool
+
+	// id and classes mirror attrs["id"] and attrs["class"], split once at
+	// SetAttr time: selector matching reads them on every candidate test and
+	// must not pay a map lookup plus strings.Fields per probe.
+	id      string
+	classes []string
 
 	// InlineStyle holds style declarations from the element's style=""
 	// attribute; ComputedStyle is filled by the CSS cascade.
@@ -73,14 +84,32 @@ type Document struct {
 	onStyleChange []func(n *Node, property, old, new string)
 
 	listenerSeq int
+
+	// gen counts structural and attribute mutations (AppendChild,
+	// RemoveChild, SetAttr — not inline style writes, which cannot change
+	// what selectors match or how many nodes exist). Caches keyed on the
+	// tree's shape — the node-count cache below, the annotation lookup memo —
+	// compare generations instead of re-walking.
+	gen int
+	// nodeCountCache packs (gen<<32 | count) into one word so concurrent
+	// CountNodes calls on a shared immutable template (fleet workers cloning
+	// the same cached page) are race-free: racing writers store the same
+	// value. Mutations themselves are single-owner; only reads are shared.
+	nodeCountCache atomic.Uint64
 }
 
 // NewDocument returns an empty document with a root node.
 func NewDocument() *Document {
-	d := &Document{byID: make(map[string]*Node)}
+	d := &Document{byID: make(map[string]*Node), gen: 1}
 	d.Root = &Node{Type: DocumentNode, doc: d}
 	return d
 }
+
+// Generation returns a counter that increases on every structural or
+// attribute mutation. Two calls returning the same value guarantee the
+// tree's shape and attributes are unchanged between them; inline style
+// writes do not advance it.
+func (d *Document) Generation() int { return d.gen }
 
 // NewElement creates a detached element owned by this document.
 func (d *Document) NewElement(tag string) *Node {
@@ -138,7 +167,7 @@ func (d *Document) GetElementsByClass(class string) []*Node {
 
 // Elements returns every element node in tree order.
 func (d *Document) Elements() []*Node {
-	var out []*Node
+	out := make([]*Node, 0, d.CountNodes())
 	d.Root.Walk(func(n *Node) {
 		if n.Type == ElementNode {
 			out = append(out, n)
@@ -148,10 +177,16 @@ func (d *Document) Elements() []*Node {
 }
 
 // CountNodes reports the total number of nodes in the tree, including the
-// document node. The rendering pipeline scales style/layout cost with this.
+// document node. The rendering pipeline scales style/layout cost with this
+// on every frame, so the walk result is cached against the mutation
+// generation and only recomputed after a structural change.
 func (d *Document) CountNodes() int {
+	if c := d.nodeCountCache.Load(); int(c>>32) == d.gen {
+		return int(uint32(c))
+	}
 	n := 0
 	d.Root.Walk(func(*Node) { n++ })
+	d.nodeCountCache.Store(uint64(d.gen)<<32 | uint64(uint32(n)))
 	return n
 }
 
@@ -173,6 +208,7 @@ func (n *Node) AppendChild(child *Node) {
 	n.Children = append(n.Children, child)
 	if n.doc != nil {
 		child.adopt(n.doc)
+		n.doc.gen++
 		n.doc.mutated(n)
 	}
 }
@@ -185,6 +221,7 @@ func (n *Node) RemoveChild(child *Node) {
 			child.Parent = nil
 			if n.doc != nil {
 				child.unindex(n.doc)
+				n.doc.gen++
 				n.doc.mutated(n)
 			}
 			return
@@ -256,6 +293,10 @@ func (n *Node) Attr(name string) (string, bool) {
 // SetAttr sets an attribute, maintaining the document id index.
 func (n *Node) SetAttr(name, value string) {
 	name = strings.ToLower(name)
+	if n.sharedAttrs {
+		n.attrs = maps.Clone(n.attrs)
+		n.sharedAttrs = false
+	}
 	if n.attrs == nil {
 		n.attrs = make(map[string]string)
 	}
@@ -268,7 +309,14 @@ func (n *Node) SetAttr(name, value string) {
 		}
 	}
 	n.attrs[name] = value
+	switch name {
+	case "id":
+		n.id = value
+	case "class":
+		n.classes = strings.Fields(value)
+	}
 	if n.doc != nil {
+		n.doc.gen++
 		n.doc.mutated(n)
 	}
 }
@@ -284,20 +332,15 @@ func (n *Node) AttrNames() []string {
 }
 
 // ID returns the element's id attribute.
-func (n *Node) ID() string { return n.attr("id") }
+func (n *Node) ID() string { return n.id }
 
-// Classes returns the element's class list.
-func (n *Node) Classes() []string {
-	c := n.attr("class")
-	if c == "" {
-		return nil
-	}
-	return strings.Fields(c)
-}
+// Classes returns the element's class list. The returned slice is the
+// node's cached list — callers must not mutate it.
+func (n *Node) Classes() []string { return n.classes }
 
 // HasClass reports whether the element carries the given class.
 func (n *Node) HasClass(class string) bool {
-	for _, c := range n.Classes() {
+	for _, c := range n.classes {
 		if c == class {
 			return true
 		}

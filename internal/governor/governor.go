@@ -28,8 +28,8 @@ func perfScale(c acmp.Config) float64 {
 // configFor returns the lowest-energy configuration whose throughput is at
 // least want.
 func configFor(want float64) acmp.Config {
-	for _, c := range acmp.Configs() {
-		if perfScale(c) >= want {
+	for i, n := 0, acmp.NumConfigs(); i < n; i++ {
+		if c := acmp.ConfigAt(i); perfScale(c) >= want {
 			return c
 		}
 	}

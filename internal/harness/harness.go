@@ -429,7 +429,7 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 // violationsOf extracts violation percentages for frames completing at or
 // after start.
 func violationsOf(c *metrics.Collector, start sim.Time) []float64 {
-	var out []float64
+	out := make([]float64, 0, len(c.Frames))
 	for _, f := range c.Frames {
 		if f.Frame.End >= start {
 			out = append(out, f.Pct)

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+)
+
+// benchCell is the heaviest full-suite cell: the largest catalog app (BBC)
+// under the GreenWeb-U runtime, full-interaction trace — the unit the fleet
+// executes 12 apps × 4+ governors times per report.
+func benchCell(tb testing.TB) Cell {
+	tb.Helper()
+	app, ok := apps.ByName("BBC")
+	if !ok {
+		tb.Fatal("BBC not in catalog")
+	}
+	return Cell{App: app, Kind: GreenWebU, Full: true}
+}
+
+// BenchmarkExecuteCellWarmFull measures a full-suite cell execution in the
+// steady state of a sweep: page assets already parsed once by an earlier
+// cell (the warm path every cell but the first takes). BENCH_PR4.json
+// tracks this number.
+func BenchmarkExecuteCellWarmFull(b *testing.B) {
+	cell := benchCell(b)
+	// Warm every layer the way a running sweep would.
+	if _, err := ExecuteCell(context.Background(), cell); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteCell(context.Background(), cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteCellColdFull measures the same cell with the asset cache
+// emptied before every execution — the first-cell-of-a-sweep path, and a
+// regression pin for the raw parser speed the cache sits in front of.
+func BenchmarkExecuteCellColdFull(b *testing.B) {
+	cell := benchCell(b)
+	if _, err := ExecuteCell(context.Background(), cell); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		browser.ResetAssetCache()
+		if _, err := ExecuteCell(context.Background(), cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	browser.ResetAssetCache()
+}

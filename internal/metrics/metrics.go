@@ -113,13 +113,12 @@ func (c *Collector) resolve(in browser.InputRecord) (qos.Annotation, bool) {
 
 func (c *Collector) onFrame(fr *browser.FrameResult) {
 	// Find the strictest annotated deadline among the frame's ancestry.
-	inputs := c.e.InputRecords()
 	var best qos.Annotation
 	found := false
 	var bestInput browser.InputRecord
 	// Ascending-UID iteration keeps deadline ties deterministic.
 	for _, uid := range fr.Provenance.IDs() {
-		rec, ok := inputs[uid]
+		rec, ok := c.e.InputRecord(uid)
 		if !ok {
 			continue
 		}

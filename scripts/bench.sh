@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR4.json: re-runs the PR 4 headline benchmarks and
+# records them against the pre-PR baselines measured on the seed tree
+# (commit f26a6a2, same machine class). Run from the repository root:
+#
+#   ./scripts/bench.sh
+#
+# The "before" numbers are frozen — they were measured once on the tree
+# immediately before the hot-path overhaul and cannot be regenerated from a
+# checkout that contains it. The "after" numbers come from the run below.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3s}"
+OUT="${OUT:-BENCH_PR4.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkCascadeLargestApp' -benchmem -benchtime="$BENCHTIME" ./internal/css/ | tee -a "$RAW" >&2
+go test -run '^$' -bench 'BenchmarkSelect' -benchmem -benchtime="$BENCHTIME" ./internal/core/ | tee -a "$RAW" >&2
+go test -run '^$' -bench 'BenchmarkExecuteCell' -benchmem -benchtime="$BENCHTIME" ./internal/harness/ | tee -a "$RAW" >&2
+
+# Pre-PR baselines (seed tree, go1.24, linux/amd64).
+declare -A BEFORE_NS=(
+  [BenchmarkCascadeLargestApp]=89176
+  [BenchmarkSelectSteadyState]=2222
+  [BenchmarkSelectAfterFeedback]=3364
+  [BenchmarkExecuteCellWarmFull]=1543287
+)
+declare -A BEFORE_B=(
+  [BenchmarkCascadeLargestApp]=35952
+  [BenchmarkSelectSteadyState]=2816
+  [BenchmarkSelectAfterFeedback]=4135
+  [BenchmarkExecuteCellWarmFull]=877513
+)
+declare -A BEFORE_ALLOCS=(
+  [BenchmarkCascadeLargestApp]=675
+  [BenchmarkSelectSteadyState]=63
+  [BenchmarkSelectAfterFeedback]=106
+  [BenchmarkExecuteCellWarmFull]=9699
+)
+
+{
+  echo '{'
+  echo '  "pr": 4,'
+  echo '  "title": "parse-once asset cache, indexed CSS cascade, memoized DVFS sweep",'
+  echo '  "before_commit": "f26a6a2",'
+  echo '  "benchtime": "'"$BENCHTIME"'",'
+  echo '  "benchmarks": ['
+  first=1
+  while read -r name _ ns _ bytes _ allocs _; do
+    name="${name%-*}" # strip -GOMAXPROCS suffix
+    [ "$first" = 1 ] || echo ','
+    first=0
+    bns="${BEFORE_NS[$name]:-null}"
+    bb="${BEFORE_B[$name]:-null}"
+    ba="${BEFORE_ALLOCS[$name]:-null}"
+    if [ "$bns" != null ]; then
+      # improvement = (before - after) / before, in percent
+      imp=$(awk -v b="$bns" -v a="$ns" 'BEGIN{printf "%.1f", (b-a)/b*100}')
+      speedup=$(awk -v b="$bns" -v a="$ns" 'BEGIN{printf "%.2f", b/a}')
+    else
+      imp=null speedup=null
+    fi
+    printf '    {"name": "%s", "before": {"ns_op": %s, "bytes_op": %s, "allocs_op": %s}, "after": {"ns_op": %s, "bytes_op": %s, "allocs_op": %s}, "improvement_pct": %s, "speedup": %s}' \
+      "$name" "$bns" "$bb" "$ba" "$ns" "$bytes" "$allocs" "$imp" "$speedup"
+  done < <(grep -E '^Benchmark' "$RAW")
+  echo
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2
