@@ -27,6 +27,9 @@
 //   - -no-asset-cache disables the parse-once page asset cache, re-parsing
 //     every cell as earlier versions did. Output bytes are identical either
 //     way — the cache only skips redundant real work, never simulated cost.
+//   - -no-obs disables the observability layer (metrics counters and the
+//     per-frame decision recorder). Like the asset cache, it is out-of-band:
+//     report and sweep bytes are identical with obs on or off (CI diffs them).
 //
 // Usage:
 //
@@ -53,6 +56,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 func main() {
@@ -73,10 +77,14 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to a file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	noAssetCache := flag.Bool("no-asset-cache", false, "disable the parse-once page asset cache (re-parse every cell; output must be identical)")
+	noObs := flag.Bool("no-obs", false, "disable metrics and decision recording (output must be identical)")
 	flag.Parse()
 
 	if *noAssetCache {
 		browser.SetAssetCache(false)
+	}
+	if *noObs {
+		obs.SetEnabled(false)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -7,16 +7,23 @@
 //
 //	greensrv [-addr :8080] [-workers N] [-queue DEPTH] [-job-timeout 2m]
 //	         [-max-attempts N] [-retry-base 50ms] [-retry-max 2s] [-retry-seed S]
+//	         [-no-obs] [-drain-timeout 30s] [-obs-dump FILE]
 //
 // API:
 //
 //	POST /v1/sweeps              {"apps":[...],"kinds":[...],"phase":"full"}
 //	GET  /v1/sweeps/{id}         status snapshot
 //	GET  /v1/sweeps/{id}/results NDJSON rows in submission order
+//	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON (per-frame/per-event
-//	                             energy spans, one trace process per job)
-//	GET  /healthz                liveness
-//	GET  /metrics                fleet counters
+//	                             energy spans with nested decision spans)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/pprof/           runtime profiles
+//
+// On SIGINT/SIGTERM the server drains: new submissions answer 503, in-flight
+// sweeps get -drain-timeout to finish (then are cancelled), the final metrics
+// snapshot is flushed to -obs-dump (or stderr), and the process exits.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 func main() {
@@ -41,9 +49,22 @@ func main() {
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
+	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight sweeps on SIGINT/SIGTERM before cancellation")
+	obsDump := flag.String("obs-dump", "", "file for the final metrics snapshot on shutdown (default stderr)")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// The sweep context is deliberately NOT the signal context: a signal
+	// must stop intake and start the drain, not kill every running sweep on
+	// the spot. Cancellation of stragglers happens inside Drain, after the
+	// grace period.
+	baseCtx := context.Background()
+	if *noObs {
+		obs.SetEnabled(false)
+		baseCtx = obs.ContextWithObs(baseCtx, false)
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	pool := fleet.New(fleet.Options{
@@ -51,23 +72,53 @@ func main() {
 		MaxAttempts: *maxAttempts, RetryBaseDelay: *retryBase,
 		RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
 	})
-	manager := fleet.NewManager(ctx, pool)
-	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(manager)}
+	manager := fleet.NewManager(baseCtx, pool)
+	api := fleet.NewServer(manager)
+	srv := &http.Server{Addr: *addr, Handler: api}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers\n", *addr, pool.Workers())
 
 	select {
-	case <-ctx.Done():
+	case <-sigCtx.Done():
+		fmt.Fprintf(os.Stderr, "greensrv: signal received, draining (timeout %v)\n", *drainTimeout)
+		api.StartDrain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := manager.Drain(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "greensrv: drain expired, in-flight sweeps cancelled:", err)
+		}
+		cancel()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "greensrv: shutdown:", err)
 		}
 		pool.Close()
+		flushMetrics(api, *obsDump)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "greensrv:", err)
 		os.Exit(1)
+	}
+}
+
+// flushMetrics writes the final metrics snapshot (Prometheus text) so a
+// drained server leaves its counters on record even when nothing scraped it.
+func flushMetrics(api *fleet.Server, path string) {
+	out := os.Stderr
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greensrv: obs-dump:", err)
+		} else {
+			defer f.Close()
+			out = f
+		}
+	}
+	if out == os.Stderr {
+		fmt.Fprintln(out, "greensrv: final metrics snapshot:")
+	}
+	if err := obs.WriteAll(out, api.Registry(), obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "greensrv: obs-dump:", err)
 	}
 }

@@ -9,8 +9,24 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/dom"
 	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 	"github.com/wattwiseweb/greenweb/internal/sim"
 	"github.com/wattwiseweb/greenweb/internal/webapi"
+)
+
+// Process-wide engine counters. These are pure observability — simulation
+// code never reads them back, so they cannot perturb outputs.
+var (
+	obsFrames = obs.Default().Counter("greenweb_engine_frames_total",
+		"Committed frames produced across all engine instances")
+	obsInputs = obs.Default().Counter("greenweb_engine_inputs_total",
+		"Input events received across all engine instances (including page loads)")
+	obsAssetHits = obs.Default().Counter("greenweb_engine_asset_cache_hits_total",
+		"Page loads served from the parse-once asset cache")
+	obsAssetMisses = obs.Default().Counter("greenweb_engine_asset_cache_misses_total",
+		"Page loads that built assets fresh (cold cache or cache disabled)")
+	obsDroppedCSS = obs.Default().Counter("greenweb_engine_dropped_css_rules_total",
+		"Malformed CSS rules skipped by the tolerant parser across page loads")
 )
 
 // Governor decides execution configurations. The baselines (Perf,
@@ -107,6 +123,10 @@ type Engine struct {
 	// led, when set, receives a span per frame production and per input's
 	// event closure for energy attribution (nil disables tracking).
 	led *ledger.Ledger
+	// tracer, when set, receives every closed frame span as a scheduling
+	// decision. Purely observational: it reads ledger output the run already
+	// produced and never feeds anything back.
+	tracer *obs.Recorder
 }
 
 // New creates an engine on the simulator and CPU. A nil cost model uses
@@ -190,6 +210,11 @@ func (e *Engine) SetLedger(l *ledger.Ledger) { e.led = l }
 // Ledger returns the installed energy ledger (nil when attribution is off).
 // Governors use this to annotate the spans of frames they schedule.
 func (e *Engine) Ledger() *ledger.Ledger { return e.led }
+
+// SetTracer installs a decision recorder fed each closed frame span (a nil
+// recorder is a no-op). Requires a ledger: decisions are projections of its
+// frame spans.
+func (e *Engine) SetTracer(r *obs.Recorder) { e.tracer = r }
 
 // Quiescent reports whether the engine has no work in flight: no queued or
 // running main-thread tasks, no frame in production, no pending animation
@@ -315,8 +340,14 @@ func (e *Engine) LoadPage(src string) (UID, error) {
 		assets = buildAssets(src)
 		e.doc = assets.tmpl
 	}
+	if e.loadStats.AssetCacheHit {
+		obsAssetHits.Inc()
+	} else {
+		obsAssetMisses.Inc()
+	}
 	e.sheets = assets.sheets
 	e.loadStats.DroppedCSSRules = assets.dropped
+	obsDroppedCSS.Add(int64(assets.dropped))
 	e.interp = js.NewInterp()
 	e.bind = webapi.Install(e.interp, e.doc, e)
 	e.installPrelude()
@@ -448,6 +479,7 @@ func (e *Engine) newInput(event, target string) UID {
 	e.inputs[uid] = InputRecord{UID: uid, Event: event, Target: target, Start: e.simu.Now()}
 	e.refs[uid] = 0
 	e.ref(uid, +1) // in-flight input processing
+	obsInputs.Inc()
 	if e.led != nil {
 		e.led.BeginEvent(uint64(uid), event+" "+target)
 	}
@@ -727,7 +759,7 @@ func (e *Engine) produceFrame(begin sim.Time, _ Provenance) {
 	if !e.dirty {
 		// Animations ran but nothing changed visually: no frame needed.
 		if e.led != nil {
-			e.led.EndFrame(0, e.cpu.Config())
+			e.tracer.RecordFrame(e.led.EndFrame(0, e.cpu.Config()))
 		}
 		e.producing = false
 		e.checkComplete()
@@ -820,11 +852,12 @@ func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, d
 	for _, fn := range e.onFrame {
 		fn(&fr)
 	}
+	obsFrames.Inc()
 	// Close the frame's energy span after OnFrameEnd so the governor's
 	// feedback annotations land on it; its rescheduling here is zero-width
 	// in virtual time and charges nothing to the closing span.
 	if e.led != nil {
-		e.led.EndFrame(seq, cfg)
+		e.tracer.RecordFrame(e.led.EndFrame(seq, cfg))
 	}
 	e.checkComplete()
 	if e.needsFrameWork() {

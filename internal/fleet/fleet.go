@@ -37,7 +37,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/harness"
-	"github.com/wattwiseweb/greenweb/internal/metrics"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 // Phase selects which interaction trace a job replays.
@@ -207,7 +207,7 @@ type Pool struct {
 	retried     atomic.Int64 // attempts beyond each job's first
 	quarantined atomic.Int64 // jobs that exhausted every attempt
 	busy        atomic.Int64 // accumulated busy nanoseconds across workers
-	hist        *metrics.Histogram
+	hist        *obs.Histogram
 }
 
 // New builds the pool and starts its workers.
@@ -225,7 +225,7 @@ func New(opts Options) *Pool {
 		opts:  opts,
 		queue: make(chan task, opts.QueueDepth),
 		start: time.Now(),
-		hist:  metrics.NewLatencyHistogram(),
+		hist:  obs.NewLatencyHistogram(),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
@@ -435,8 +435,8 @@ type Stats struct {
 	Failed      int64                     `json:"failed"`
 	Retried     int64                     `json:"retried"`     // attempts beyond each job's first
 	Quarantined int64                     `json:"quarantined"` // jobs that exhausted every attempt
-	Utilization float64                   `json:"utilization"` // busy worker-time / available worker-time since start
-	Latency     metrics.HistogramSnapshot `json:"latency"`     // wall-clock job latency, seconds
+	Utilization float64               `json:"utilization"` // busy worker-time / available worker-time since start
+	Latency     obs.HistogramSnapshot `json:"latency"`     // wall-clock job latency, seconds
 }
 
 // Stats snapshots the counters.
@@ -461,4 +461,35 @@ func (p *Pool) Stats() Stats {
 		Utilization: util,
 		Latency:     p.hist.Snapshot(),
 	}
+}
+
+// RegisterMetrics exposes the pool's live counters on an obs registry under
+// the greenweb_fleet_* names. Values are read from the pool's own atomics at
+// scrape time — no shadow counters to keep in sync. Register on a
+// per-server registry (not obs.Default) so multiple pools in one process
+// (tests) do not fight over sources.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("greenweb_fleet_workers",
+		"Worker goroutines in the pool", func() float64 { return float64(p.opts.Workers) })
+	reg.GaugeFunc("greenweb_fleet_queue_depth",
+		"Jobs waiting in the queue", func() float64 {
+			if q := p.queued.Load(); q > 0 {
+				return float64(q)
+			}
+			return 0
+		})
+	reg.GaugeFunc("greenweb_fleet_running_jobs",
+		"Jobs executing right now", func() float64 { return float64(p.running.Load()) })
+	reg.CounterFunc("greenweb_fleet_jobs_done_total",
+		"Jobs finished successfully", func() float64 { return float64(p.done.Load()) })
+	reg.CounterFunc("greenweb_fleet_jobs_failed_total",
+		"Jobs that ended in failure (including cancellation)", func() float64 { return float64(p.failed.Load()) })
+	reg.CounterFunc("greenweb_fleet_retries_total",
+		"Job attempts beyond each job's first", func() float64 { return float64(p.retried.Load()) })
+	reg.CounterFunc("greenweb_fleet_quarantines_total",
+		"Jobs that exhausted every allowed attempt", func() float64 { return float64(p.quarantined.Load()) })
+	reg.GaugeFunc("greenweb_fleet_utilization",
+		"Busy worker-time over available worker-time since start", func() float64 { return p.Stats().Utilization })
+	reg.AttachHistogram("greenweb_fleet_job_latency_seconds",
+		"Wall-clock job latency in seconds (all attempts incl. backoff)", p.hist)
 }

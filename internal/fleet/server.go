@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 // SweepRequest is the POST /v1/sweeps body. Empty fields take defaults:
@@ -182,43 +185,91 @@ func WriteResults(w io.Writer, results []Result, deterministic bool) error {
 // a hostile or misconfigured client from buffering arbitrary payloads.
 const maxSweepRequestBytes = 1 << 20
 
-// NewServer builds the greensrv HTTP API over a manager:
+// Server is the greensrv HTTP API over a manager:
 //
-//	POST /v1/sweeps              enqueue a sweep (202 + id)
+//	POST /v1/sweeps              enqueue a sweep (202 + id; 503 while draining)
 //	GET  /v1/sweeps/{id}         status snapshot
 //	GET  /v1/sweeps/{id}/results NDJSON rows, streamed as jobs finish
+//	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log, streamed per job
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON of the whole sweep
-//	GET  /healthz                liveness
-//	GET  /metrics                fleet counters (JSON)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/pprof/           net/http/pprof profiles
 //
 // Method mismatches answer 405 (ServeMux method patterns); unknown sweep
 // IDs answer 404.
-func NewServer(m *Manager) http.Handler {
-	mux := http.NewServeMux()
+type Server struct {
+	m        *Manager
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	draining atomic.Bool
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDrain flips the server into draining mode: new sweep submissions
+// answer 503 (with Retry-After) and healthz reports draining, while reads —
+// status, results, events, metrics — keep working so clients can collect
+// what is already in flight. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Registry returns the server's own metric registry (fleet pool and sweep
+// gauges); /metrics merges it with obs.Default().
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// eventRow is one NDJSON line of GET /v1/sweeps/{id}/events: the job's
+// coordinates plus the embedded per-frame decision.
+type eventRow struct {
+	Index int          `json:"index"`
+	App   string       `json:"app"`
+	Kind  harness.Kind `json:"kind"`
+	obs.Decision
+}
+
+// NewServer builds the HTTP API (see Server for the route table).
+func NewServer(m *Manager) *Server {
+	srv := &Server{m: m, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	m.Pool().RegisterMetrics(srv.reg)
+	srv.reg.CounterFunc("greenweb_fleet_sweeps_total",
+		"Sweeps ever registered", func() float64 { t, _ := m.Counts(); return float64(t) })
+	srv.reg.CounterFunc("greenweb_fleet_sweeps_finished_total",
+		"Sweeps whose every job reached a terminal state", func() float64 { _, f := m.Counts(); return float64(f) })
+	mux := srv.mux
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if srv.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		sweeps := m.Sweeps()
-		finished := 0
-		for _, s := range sweeps {
-			select {
-			case <-s.Done():
-				finished++
-			default:
-			}
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"fleet":           m.Pool().Stats(),
-			"sweeps_total":    len(sweeps),
-			"sweeps_finished": finished,
-		})
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteAll(w, srv.reg, obs.Default())
 	})
 
+	// Profiling endpoints. pprof.Index dispatches /debug/pprof/<name> to the
+	// named runtime profile (heap, goroutine, block, ...) itself.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		if srv.draining.Load() {
+			w.Header().Set("Retry-After", "10")
+			httpError(w, http.StatusServiceUnavailable,
+				errors.New("server is draining; not accepting new sweeps"))
+			return
+		}
 		// Reject non-JSON payloads up front (415) and bound the body (400 on
 		// overflow): a sweep request is a small job grid, never megabytes.
 		if ct := r.Header.Get("Content-Type"); ct != "" {
@@ -294,6 +345,37 @@ func NewServer(m *Manager) http.Handler {
 		}
 	})
 
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(SweepID(r.PathValue("id")))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		// Per-job decision logs in submission order, each flushed as its job
+		// finishes. Failed jobs (and -no-obs runs) contribute no rows.
+		for i := 0; i < s.Len(); i++ {
+			res, err := s.Result(r.Context(), i)
+			if err != nil {
+				return // client went away
+			}
+			if res.Err != nil || res.Run == nil {
+				continue
+			}
+			for _, d := range res.Run.Decisions {
+				if err := enc.Encode(eventRow{Index: i, App: res.Job.App, Kind: res.Job.Kind, Decision: d}); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := m.Get(SweepID(r.PathValue("id")))
 		if !ok {
@@ -323,7 +405,7 @@ func NewServer(m *Manager) http.Handler {
 		ledger.WriteTrace(w, procs...)
 	})
 
-	return mux
+	return srv
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

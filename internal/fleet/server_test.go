@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -324,6 +326,43 @@ func TestServerNotFoundAndMethodNotAllowed(t *testing.T) {
 	}
 }
 
+// scrapeMetrics fetches /metrics and returns the sample lines (no comments)
+// as a name{labels} → value map, plus the raw body for format assertions.
+func scrapeMetrics(t *testing.T, srv *httptest.Server) (map[string]float64, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples, string(raw)
+}
+
 func TestServerHealthAndMetrics(t *testing.T) {
 	srv, _ := newTestServer(t, Options{Workers: 3})
 
@@ -343,32 +382,222 @@ func TestServerHealthAndMetrics(t *testing.T) {
 
 	deadline := time.After(30 * time.Second)
 	for {
-		resp, err := http.Get(srv.URL + "/metrics")
-		if err != nil {
-			t.Fatal(err)
+		samples, raw := scrapeMetrics(t, srv)
+		if samples["greenweb_fleet_workers"] != 3 || samples["greenweb_fleet_sweeps_total"] != 1 {
+			t.Fatalf("metrics:\n%s", raw)
 		}
-		var body struct {
-			Fleet       Stats `json:"fleet"`
-			SweepsTotal int   `json:"sweeps_total"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if body.Fleet.Workers != 3 || body.SweepsTotal != 1 {
-			t.Fatalf("metrics = %+v", body)
-		}
-		if body.Fleet.Done == 1 {
-			if body.Fleet.Latency.Count != 1 {
-				t.Fatalf("latency histogram = %+v", body.Fleet.Latency)
+		if samples["greenweb_fleet_jobs_done_total"] == 1 {
+			if samples["greenweb_fleet_job_latency_seconds_count"] != 1 {
+				t.Fatalf("latency histogram missing:\n%s", raw)
+			}
+			for _, want := range []string{
+				"# TYPE greenweb_fleet_workers gauge",
+				"# TYPE greenweb_fleet_jobs_done_total counter",
+				"# TYPE greenweb_fleet_job_latency_seconds histogram",
+				`greenweb_fleet_job_latency_seconds_bucket{le="+Inf"} 1`,
+			} {
+				if !strings.Contains(raw, want) {
+					t.Errorf("exposition missing %q:\n%s", want, raw)
+				}
 			}
 			return
 		}
 		select {
 		case <-deadline:
-			t.Fatalf("job never finished: %+v", body)
+			t.Fatalf("job never finished:\n%s", raw)
 		case <-time.After(5 * time.Millisecond):
 		}
+	}
+}
+
+// /debug/pprof/ smoke: the index and a profile endpoint answer 200 with
+// non-empty, well-typed bodies.
+func TestServerPprofSmoke(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("GET /debug/pprof/ = %d, body %.80q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine profile:") {
+		t.Fatalf("GET /debug/pprof/goroutine = %d, body %.80q", resp.StatusCode, body)
+	}
+}
+
+// GET /v1/sweeps/{id}/events streams the per-frame decision log as NDJSON:
+// one row per frame span, tagged with the job index and app, energies summing
+// to each run's frame-energy total.
+func TestServerEventsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 2})
+
+	ack := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf","GreenWeb-U"],"phase":"micro"}`)
+	id := ack["id"].(string)
+
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	type row struct {
+		Index   int     `json:"index"`
+		App     string  `json:"app"`
+		Span    int     `json:"span"`
+		StartUS int64   `json:"start_us"`
+		EndUS   int64   `json:"end_us"`
+		EnergyJ float64 `json:"energy_j"`
+	}
+	perJob := make(map[int]int)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if r.App != "Todo" || r.Span <= 0 || r.EndUS < r.StartUS || r.EnergyJ < 0 {
+			t.Fatalf("row = %+v", r)
+		}
+		perJob[r.Index]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(perJob) != 2 || perJob[0] == 0 || perJob[1] == 0 {
+		t.Fatalf("decision rows per job = %v, want both jobs represented", perJob)
+	}
+
+	resp404, err := http.Get(srv.URL + "/v1/sweeps/s-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown events = %d, want 404", resp404.StatusCode)
+	}
+}
+
+// A draining server refuses new sweeps with 503 but keeps serving reads, and
+// Manager.Drain returns once in-flight sweeps finish.
+func TestServerDrain(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(ctx context.Context, j Job) (*harness.Run, error) {
+		select {
+		case <-release:
+			return &harness.Run{Frames: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	pool := New(Options{Workers: 1, Execute: exec})
+	m := NewManager(context.Background(), pool)
+	api := NewServer(m)
+	srv := httptest.NewServer(api)
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+
+	ack := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf"]}`)
+	id := ack["id"].(string)
+
+	api.StartDrain()
+
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(`{"apps":["Todo"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 has no Retry-After header")
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	// Reads keep working for in-flight sweeps.
+	resp, err = http.Get(srv.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status while draining = %d, want 200", resp.StatusCode)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- m.Drain(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Drain returned %v before the sweep finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Drain = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned after jobs finished")
+	}
+}
+
+// An expired drain deadline cancels the stragglers: Drain returns the
+// context error and every job delivers a terminal state.
+func TestManagerDrainDeadlineCancels(t *testing.T) {
+	exec := func(ctx context.Context, j Job) (*harness.Run, error) {
+		<-ctx.Done() // never finishes voluntarily
+		return nil, ctx.Err()
+	}
+	pool := New(Options{Workers: 1, Execute: exec})
+	defer pool.Close()
+	m := NewManager(context.Background(), pool)
+	s, err := m.Enqueue([]Job{{App: "Todo", Kind: harness.Perf, Phase: Full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("sweep not terminal after expired drain")
+	}
+	r, err := s.Result(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Err == nil {
+		t.Fatalf("cancelled job result = %+v, want error", r)
 	}
 }
 

@@ -236,6 +236,48 @@ func (m *Manager) Enqueue(jobs []Job) (*Sweep, error) {
 	return s, nil
 }
 
+// Drain blocks until every registered sweep has finished, or ctx expires.
+// On expiry the stragglers are cancelled and Drain waits for their jobs to
+// deliver (cancellation propagates at simulation-chunk granularity inside
+// the harness, so this wait is bounded), then returns ctx's error. greensrv
+// runs this between "stop accepting sweeps" and "shut the pool down".
+func (m *Manager) Drain(ctx context.Context) error {
+	for _, s := range m.Sweeps() {
+		select {
+		case <-s.Done():
+		case <-ctx.Done():
+			// Deadline passed: cancel everything still in flight, then wait
+			// for the cancellations to deliver so the pool can close cleanly.
+			for _, s2 := range m.Sweeps() {
+				select {
+				case <-s2.Done():
+				default:
+					s2.Cancel()
+				}
+			}
+			for _, s2 := range m.Sweeps() {
+				<-s2.Done()
+			}
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Counts reports how many sweeps are registered and how many have finished,
+// for metrics exposition.
+func (m *Manager) Counts() (total, finished int) {
+	for _, s := range m.Sweeps() {
+		total++
+		select {
+		case <-s.Done():
+			finished++
+		default:
+		}
+	}
+	return total, finished
+}
+
 // Sweeps lists all registered sweeps (newest last by ID order not
 // guaranteed; callers sort as needed).
 func (m *Manager) Sweeps() []*Sweep {

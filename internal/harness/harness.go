@@ -20,9 +20,18 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/governor"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/metrics"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 	"github.com/wattwiseweb/greenweb/internal/qos"
 	"github.com/wattwiseweb/greenweb/internal/replay"
 	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// Process-wide harness counters.
+var (
+	obsRuns = obs.Default().CounterVec("greenweb_harness_runs_total",
+		"Completed measured executions by governor kind", "governor")
+	obsThermalTrips = obs.Default().CounterVec("greenweb_faults_injections_total",
+		"Injected faults by kind across all runs", "kind").With("thermal_trip")
 )
 
 // Kind names the schedulers under evaluation.
@@ -140,6 +149,13 @@ type Run struct {
 	Spans []ledger.Span
 	// ConfigMarks is the configuration-change history, for trace export.
 	ConfigMarks []ledger.ConfigMark
+
+	// Decisions is the per-frame decision log recorded live by the obs
+	// tracer as each frame span closed — one entry per frame span, in
+	// production order. Empty when observability is disabled for the run's
+	// context (obs.EnabledIn); everything else in Run is unaffected either
+	// way, which CI enforces byte-for-byte.
+	Decisions []obs.Decision
 
 	// Fault-adversity observability, all zero on an unfaulted run: injected
 	// hardware faults the device absorbed (thermal trips, denied/delayed
@@ -315,6 +331,15 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	e := browser.New(s, cpu, nil)
 	led := ledger.New(cpu)
 	e.SetLedger(led)
+	// Decision-level tracing rides the ledger out-of-band: a nil recorder
+	// costs one pointer compare per frame, a live one copies the already-
+	// closed span. Gated per context so greensrv/greenbench -no-obs runs
+	// skip even that.
+	var rec *obs.Recorder
+	if obs.EnabledIn(ctx) {
+		rec = obs.NewRecorder(0)
+		e.SetTracer(rec)
+	}
 	gov := newGovernor(kind)
 	var rt *core.Runtime
 	if r, ok := gov.(*core.Runtime); ok {
@@ -404,6 +429,7 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	run.FrameEnergy, run.IdleEnergy, run.EventEnergy = led.Summary()
 	run.Spans = led.Spans()
 	run.ConfigMarks = led.Marks()
+	run.Decisions = rec.Decisions()
 	if daq != nil {
 		daq.Stop()
 		run.DAQSamples, run.DAQDropped, run.MeteredEnergy = daq.Samples(), daq.Dropped(), daq.Energy()
@@ -411,6 +437,7 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	if inj != nil {
 		fs := cpu.FaultStats()
 		run.ThermalTrips, run.DVFSDenied, run.DVFSDelayed = fs.Trips, fs.Denied, fs.Delayed
+		obsThermalTrips.Add(int64(fs.Trips))
 	}
 	if rt != nil {
 		st := rt.Stats()
@@ -423,6 +450,7 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 	if rt != nil {
 		trained = rt.ExportModels()
 	}
+	obsRuns.With(string(kind)).Inc()
 	return run, trained, nil
 }
 

@@ -106,8 +106,21 @@ func TestRunTraceExport(t *testing.T) {
 			}
 		}
 	}
-	if complete != len(run.Spans) {
-		t.Errorf("trace has %d complete events for %d spans", complete, len(run.Spans))
+	// Each span is one complete event, plus one nested "decide:" event per
+	// frame span carrying a governor decision.
+	want := len(run.Spans)
+	var decided int
+	for _, sp := range run.Spans {
+		if sp.Kind == ledger.KindFrame && sp.Attrs["decision"] != "" {
+			want++
+			decided++
+		}
+	}
+	if complete != want {
+		t.Errorf("trace has %d complete events for %d spans + %d decisions", complete, len(run.Spans), decided)
+	}
+	if decided == 0 {
+		t.Error("GreenWeb-U run exported no nested decision spans")
 	}
 }
 

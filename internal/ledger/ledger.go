@@ -175,10 +175,12 @@ func (l *Ledger) BeginFrame() {
 	l.switchTo(KindFrame)
 }
 
-// EndFrame closes the open frame span. seq is the committed frame's sequence
-// number, or 0 when the frame ran callbacks but committed nothing; cfg is
-// the configuration the frame executed under.
-func (l *Ledger) EndFrame(seq int, cfg acmp.Config) {
+// EndFrame closes the open frame span and returns it. seq is the committed
+// frame's sequence number, or 0 when the frame ran callbacks but committed
+// nothing; cfg is the configuration the frame executed under. The returned
+// span is a value copy — observers (the obs decision recorder) may keep it
+// without aliasing ledger state.
+func (l *Ledger) EndFrame(seq int, cfg acmp.Config) Span {
 	if l.cur.Kind != KindFrame {
 		panic("ledger: EndFrame without an open frame span")
 	}
@@ -190,6 +192,9 @@ func (l *Ledger) EndFrame(seq int, cfg acmp.Config) {
 		l.cur.Name = "frame (no commit)"
 	}
 	l.switchTo(KindIdle)
+	// switchTo never drops a frame span, so the closed frame is the last
+	// appended span.
+	return l.spans[len(l.spans)-1]
 }
 
 // AnnotateFrame attaches a key/value to the open frame span (the GreenWeb

@@ -119,6 +119,22 @@ func processEvents(p Process) []traceEvent {
 			TID:  tid,
 			Args: spanArgs(sp),
 		})
+		// Annotated frames carry the governor's scheduling decision; emit it
+		// as a second complete event spanning the same interval on the same
+		// lane — Perfetto and chrome://tracing nest same-thread events by
+		// containment, so the decision renders as a child of its frame.
+		if sp.Kind == KindFrame && sp.Attrs["decision"] != "" {
+			evs = append(evs, traceEvent{
+				Name: "decide:" + sp.Attrs["decision"],
+				Cat:  "decision",
+				Ph:   "X",
+				TS:   int64(sp.Start),
+				Dur:  int64(sp.Duration()),
+				PID:  p.PID,
+				TID:  tid,
+				Args: spanArgs(sp),
+			})
+		}
 	}
 
 	// Configuration changes as a counter track (MHz over time) plus instant

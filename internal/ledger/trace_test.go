@@ -53,7 +53,7 @@ func TestWriteTraceProducesValidChromeTrace(t *testing.T) {
 		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
 	}
 
-	var complete, meta, counters int
+	var complete, meta, counters, decisions int
 	lanes := make(map[uint64]int)
 	for _, ev := range tf.TraceEvents {
 		if ev.TS == nil {
@@ -68,14 +68,25 @@ func TestWriteTraceProducesValidChromeTrace(t *testing.T) {
 			if uid, ok := ev.Args["input_uid"].(float64); ok {
 				lanes[uint64(uid)] = ev.TID
 			}
+			if ev.Name == "decide:profile@big@1800MHz" {
+				decisions++
+				if ev.TID != frameTID || *ev.TS != 16_000 || ev.Dur != 8_000 {
+					t.Errorf("decision span not nested inside its frame: %+v", ev)
+				}
+			}
 		case "M":
 			meta++
 		case "C":
 			counters++
 		}
 	}
-	if complete != len(sampleSpans()) {
-		t.Errorf("complete events = %d, want %d", complete, len(sampleSpans()))
+	// One complete event per span, plus one nested decision span under the
+	// frame that carries a "decision" attribute.
+	if complete != len(sampleSpans())+1 {
+		t.Errorf("complete events = %d, want %d", complete, len(sampleSpans())+1)
+	}
+	if decisions != 1 {
+		t.Errorf("decision spans = %d, want 1", decisions)
 	}
 	if meta < 3 { // process_name + frames thread + at least one event lane
 		t.Errorf("metadata events = %d, want >= 3", meta)

@@ -1,123 +1,22 @@
 package metrics
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+import "github.com/wattwiseweb/greenweb/internal/obs"
+
+// The histogram moved to internal/obs, the unified observability layer, so
+// the fleet, greensrv, and the registry share one implementation. These
+// aliases keep the historical metrics.Histogram API working; new code should
+// use obs directly.
+type (
+	// Histogram counts observations into fixed buckets (see obs.Histogram).
+	Histogram = obs.Histogram
+	// HistogramBucket is one occupied snapshot bucket.
+	HistogramBucket = obs.HistogramBucket
+	// HistogramSnapshot is a consistent copy of histogram state.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
-// Histogram counts observations into fixed exponential buckets. The fleet
-// uses it for wall-clock job latency (seconds); it is safe for concurrent
-// Observe calls from many workers.
-type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // inclusive upper bounds, ascending
-	counts []uint64  // len(bounds)+1; last bucket is overflow
-	sum    float64
-	n      uint64
-}
-
 // NewHistogram builds a histogram over the given ascending upper bounds.
-func NewHistogram(bounds []float64) *Histogram {
-	if !sort.Float64sAreSorted(bounds) {
-		panic("metrics: histogram bounds must be ascending")
-	}
-	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]uint64, len(bounds)+1),
-	}
-}
+func NewHistogram(bounds []float64) *Histogram { return obs.NewHistogram(bounds) }
 
-// NewLatencyHistogram returns a histogram with a 1-2-5 decade ladder from
-// 1 ms to 60 s, suiting experiment-job wall latencies.
-func NewLatencyHistogram() *Histogram {
-	return NewHistogram([]float64{
-		0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
-		0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
-	})
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.mu.Lock()
-	h.counts[i]++
-	h.sum += v
-	h.n++
-	h.mu.Unlock()
-}
-
-// HistogramBucket is one snapshot row: the count of observations ≤ LE that
-// fell above the previous bound. The overflow bucket has LE = +Inf encoded
-// as LE <= 0 being impossible; it is the final row with LE == -1.
-type HistogramBucket struct {
-	LE    float64 `json:"le"` // -1 marks the overflow bucket
-	Count uint64  `json:"count"`
-}
-
-// HistogramSnapshot is a consistent copy of the histogram state.
-type HistogramSnapshot struct {
-	Buckets []HistogramBucket `json:"buckets"`
-	Count   uint64            `json:"count"`
-	Sum     float64           `json:"sum"`
-}
-
-// Snapshot copies the current state; empty buckets are elided.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.n, Sum: h.sum}
-	for i, c := range h.counts {
-		if c == 0 {
-			continue
-		}
-		le := -1.0
-		if i < len(h.bounds) {
-			le = h.bounds[i]
-		}
-		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: c})
-	}
-	return s
-}
-
-// Mean reports the average observation (0 when empty).
-func (s HistogramSnapshot) Mean() float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	return s.Sum / float64(s.Count)
-}
-
-// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
-// bucket containing it; the overflow bucket reports -1 (unbounded).
-func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(s.Count))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen uint64
-	for _, b := range s.Buckets {
-		seen += b.Count
-		if seen >= rank {
-			return b.LE
-		}
-	}
-	return -1
-}
-
-// String renders the snapshot compactly for logs: "n=5 mean=12ms [≤0.01:3 ≤0.02:2]".
-func (s HistogramSnapshot) String() string {
-	parts := make([]string, 0, len(s.Buckets))
-	for _, b := range s.Buckets {
-		label := fmt.Sprintf("≤%g", b.LE)
-		if b.LE < 0 {
-			label = ">max"
-		}
-		parts = append(parts, fmt.Sprintf("%s:%d", label, b.Count))
-	}
-	return fmt.Sprintf("n=%d mean=%.3fs [%s]", s.Count, s.Mean(), strings.Join(parts, " "))
-}
+// NewLatencyHistogram returns the 1 ms – 60 s job-latency ladder.
+func NewLatencyHistogram() *Histogram { return obs.NewLatencyHistogram() }

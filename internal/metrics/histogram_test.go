@@ -30,8 +30,10 @@ func TestHistogramBucketsAndStats(t *testing.T) {
 	if m := s.Mean(); math.Abs(m-5.565/5) > 1e-9 {
 		t.Errorf("mean = %v", m)
 	}
-	if q := s.Quantile(0.5); q != 0.01 {
-		t.Errorf("p50 = %v, want 0.01", q)
+	// Interpolated: target rank 2.5 lands halfway through the (0.01, 0.1]
+	// bucket, so p50 = 0.01 + 0.5·(0.1−0.01).
+	if q := s.Quantile(0.5); math.Abs(q-0.055) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.055", q)
 	}
 	if q := s.Quantile(1); q != -1 {
 		t.Errorf("p100 = %v, want -1 (overflow)", q)

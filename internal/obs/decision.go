@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"github.com/wattwiseweb/greenweb/internal/ledger"
+)
+
+// Decision is one frame-level scheduling decision in the structured event
+// log: what the governor chose for the frame, why, and what it cost. Fields
+// mirror the ledger frame span and the GreenWeb runtime's annotations
+// verbatim — the decision log is a projection of the ledger, never a second
+// source of truth, which is what keeps it out-of-band.
+type Decision struct {
+	Span  int `json:"span"`
+	Frame int `json:"frame,omitempty"` // committed sequence number; 0 = no commit
+
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+
+	// Runtime annotations (absent under baseline governors that do not
+	// annotate).
+	Governor   string `json:"governor,omitempty"`
+	Class      string `json:"class,omitempty"`
+	Deadline   string `json:"deadline,omitempty"`
+	Decision   string `json:"decision,omitempty"`
+	Predicted  string `json:"predicted,omitempty"`
+	Measured   string `json:"measured,omitempty"`
+	Outcome    string `json:"outcome,omitempty"`
+	ThermalCap string `json:"thermal_cap,omitempty"`
+	Degrade    string `json:"degrade,omitempty"`
+	Recover    string `json:"recover,omitempty"`
+
+	// Config is the ACMP configuration the frame executed under (at close).
+	Config string `json:"config,omitempty"`
+
+	EnergyJ float64 `json:"energy_j"`
+	BusyUS  int64   `json:"busy_us"`
+}
+
+// DecisionOf projects a ledger span into a Decision. Only frame spans are
+// decisions; ok is false otherwise. Every frame span qualifies — including
+// no-commit and un-annotated frames — so the decision energies sum to the
+// ledger's frame-energy total exactly.
+func DecisionOf(sp ledger.Span) (Decision, bool) {
+	if sp.Kind != ledger.KindFrame {
+		return Decision{}, false
+	}
+	return Decision{
+		Span:       sp.ID,
+		Frame:      sp.Seq,
+		StartUS:    int64(sp.Start),
+		EndUS:      int64(sp.End),
+		Governor:   sp.Attrs["governor"],
+		Class:      sp.Attrs["class"],
+		Deadline:   sp.Attrs["deadline"],
+		Decision:   sp.Attrs["decision"],
+		Predicted:  sp.Attrs["predicted"],
+		Measured:   sp.Attrs["measured"],
+		Outcome:    sp.Attrs["outcome"],
+		ThermalCap: sp.Attrs["thermal_cap"],
+		Degrade:    sp.Attrs["degrade"],
+		Recover:    sp.Attrs["recover"],
+		Config:     sp.Config,
+		EnergyJ:    float64(sp.Energy),
+		BusyUS:     int64(sp.Busy),
+	}, true
+}
+
+// DecisionsOf projects every frame span into the decision log — the pure
+// derivation used for trace export and for cross-checking a live Recorder.
+func DecisionsOf(spans []ledger.Span) []Decision {
+	var out []Decision
+	for _, sp := range spans {
+		if d, ok := DecisionOf(sp); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DefaultRecorderCap bounds a Recorder's in-memory decision log. At ~200 B a
+// decision this is a few MB — far above any single app run (thousands of
+// frames) but a hard stop against a runaway loop.
+const DefaultRecorderCap = 1 << 16
+
+// Recorder accumulates the decision log for one run. It is the live tracer
+// the engine feeds as each frame span closes; all methods are nil-safe so
+// un-instrumented callers pass nil and pay one pointer compare per frame.
+type Recorder struct {
+	mu        sync.Mutex
+	cap       int
+	decisions []Decision
+	dropped   int64
+}
+
+// NewRecorder returns a recorder holding at most cap decisions
+// (DefaultRecorderCap when cap <= 0); later decisions are counted as
+// dropped.
+func NewRecorder(cap int) *Recorder {
+	if cap <= 0 {
+		cap = DefaultRecorderCap
+	}
+	return &Recorder{cap: cap}
+}
+
+// RecordFrame projects and appends a closed frame span. Nil-safe; non-frame
+// spans are ignored.
+func (r *Recorder) RecordFrame(sp ledger.Span) {
+	if r == nil {
+		return
+	}
+	d, ok := DecisionOf(sp)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	if len(r.decisions) >= r.cap {
+		r.dropped++
+	} else {
+		r.decisions = append(r.decisions, d)
+	}
+	r.mu.Unlock()
+}
+
+// Decisions returns a copy of the recorded log in record order.
+func (r *Recorder) Decisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Decision(nil), r.decisions...)
+}
+
+// Dropped reports how many decisions the cap discarded.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteNDJSON streams decisions one JSON object per line — the format
+// greensrv serves at GET /v1/sweeps/{id}/events.
+func WriteNDJSON(w io.Writer, ds []Decision) error {
+	enc := json.NewEncoder(w)
+	for _, d := range ds {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram counts observations into fixed buckets. The fleet uses it for
+// wall-clock job latency (seconds); it is safe for concurrent Observe calls
+// from many workers.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // inclusive upper bounds, ascending
+	counts []uint64  // len(bounds)+1; last bucket is overflow
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram with a 1-2-5 decade ladder from
+// 1 ms to 60 s, suiting experiment-job wall latencies.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram([]float64{
+		0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+		0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
+	})
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistogramBucket is one snapshot row: the count of observations ≤ LE that
+// fell above the previous bound. The overflow bucket is the final row with
+// LE == -1 (observations above every bound).
+type HistogramBucket struct {
+	LE    float64 `json:"le"` // -1 marks the overflow bucket
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a consistent copy of the histogram state. Buckets
+// holds only occupied buckets (compact for logs/JSON); Bounds holds the full
+// bound ladder so quantile interpolation and Prometheus cumulative export
+// can recover each bucket's lower edge and the empty buckets in between.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	Bounds  []float64         `json:"bounds,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+}
+
+// Snapshot copies the current state; empty buckets are elided.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.n, Sum: h.sum, Bounds: h.bounds}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := -1.0
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: c})
+	}
+	return s
+}
+
+// Mean reports the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// lowerEdge reports the lower edge of the bucket whose upper bound is le,
+// using the full bound ladder. The first bucket's lower edge is pinned to 0
+// (observations are non-negative in every histogram we keep). Snapshots
+// without Bounds (decoded from pre-obs JSON) fall back to the previous
+// occupied bucket's bound.
+func (s HistogramSnapshot) lowerEdge(le float64) float64 {
+	prev := 0.0
+	if len(s.Bounds) == 0 {
+		for _, b := range s.Buckets {
+			if b.LE == le {
+				return prev
+			}
+			prev = b.LE
+		}
+		return prev
+	}
+	for _, b := range s.Bounds {
+		if b == le {
+			return prev
+		}
+		prev = b
+	}
+	return prev // le == -1 (overflow): lower edge is the last bound
+}
+
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing rank q·Count, assuming observations are uniformly
+// spread inside each bucket. Pinned behavior at the edges:
+//
+//   - Empty histogram: 0 for every q.
+//   - q ≤ 0: the lower edge of the first occupied bucket (0 when the first
+//     bucket is occupied — the histogram cannot see below a bucket edge).
+//   - q ≥ 1: the upper bound of the last occupied bucket, or -1 (unbounded)
+//     when the overflow bucket is occupied.
+//   - Any rank landing in the overflow bucket: -1 — the overflow bucket has
+//     no upper edge, so no finite estimate is honest.
+//   - Single-sample histogram: lo + q·(hi−lo) across its bucket — the
+//     degenerate case of the uniform-spread assumption, NOT the sample
+//     value, which the histogram no longer knows.
+//
+// Snapshots taken before Bounds existed (zero value, old persisted JSON)
+// degrade to the occupied buckets' own edges: interpolation then uses the
+// previous occupied bound as the lower edge.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	first := s.Buckets[0]
+	last := s.Buckets[len(s.Buckets)-1]
+	if q <= 0 {
+		if first.LE < 0 {
+			return s.lowerEdge(-1)
+		}
+		return s.lowerEdge(first.LE)
+	}
+	if q >= 1 {
+		return last.LE // -1 when the overflow bucket is occupied
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		cumBefore := cum
+		cum += float64(b.Count)
+		if cum >= target {
+			if b.LE < 0 {
+				return -1
+			}
+			lo := s.lowerEdge(b.LE)
+			return lo + (target-cumBefore)/float64(b.Count)*(b.LE-lo)
+		}
+	}
+	return last.LE
+}
+
+// String renders the snapshot compactly for logs: "n=5 mean=12ms [≤0.01:3 ≤0.02:2]".
+func (s HistogramSnapshot) String() string {
+	parts := make([]string, 0, len(s.Buckets))
+	for _, b := range s.Buckets {
+		label := fmt.Sprintf("≤%g", b.LE)
+		if b.LE < 0 {
+			label = ">max"
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, b.Count))
+	}
+	return fmt.Sprintf("n=%d mean=%.3fs [%s]", s.Count, s.Mean(), strings.Join(parts, " "))
+}

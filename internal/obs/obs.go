@@ -1,0 +1,67 @@
+// Package obs is the unified observability layer: a label-aware metrics
+// registry with Prometheus text exposition, and a decision-level tracer that
+// turns the energy ledger's frame spans into a structured per-decision event
+// log (NDJSON) and nested Chrome-trace spans.
+//
+// Design constraints, in order:
+//
+//  1. Byte-identical outputs. Observability must never change a report,
+//     fault sweep, or NDJSON result row by one byte. Everything here is
+//     therefore attached out-of-band: counters are process-local atomics
+//     that no simulation code reads back, and the decision log is derived
+//     from ledger spans the run already produced — the tracer observes the
+//     simulation, it never participates in it. CI diffs obs-on vs -no-obs
+//     outputs to enforce this.
+//  2. Lock-cheap hot path. Incrementing a counter is one atomic add.
+//     Labeled instruments resolve their child once (callers cache the
+//     returned *Counter) so per-frame code never touches a map or mutex.
+//  3. Bounded memory. Label cardinality is capped per family (overflowing
+//     children collapse into an "overflow" child) and the decision recorder
+//     caps its in-memory log, counting what it dropped.
+//
+// The enable gate is two-level: SetEnabled flips the process default
+// (greenbench -no-obs), and ContextWithObs overrides it per call tree
+// (greensrv threads the override from the HTTP layer through the fleet into
+// the harness). Metrics counters stay live either way — they are free and
+// side-effect-free — while decision recording honors the gate.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// enabled is the process-wide default gate. On unless SetEnabled(false).
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled flips the process-wide observability default (decision
+// recording). Metrics counters are unaffected: they never alter outputs and
+// cost one atomic add.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports the process-wide default gate.
+func Enabled() bool { return enabled.Load() }
+
+type ctxKey struct{}
+
+// ContextWithObs returns a context that overrides the process default for
+// everything running under it. greensrv threads this through the fleet into
+// the harness so one server flag (or one sweep) can switch decision
+// recording without touching the global gate.
+func ContextWithObs(ctx context.Context, on bool) context.Context {
+	return context.WithValue(ctx, ctxKey{}, on)
+}
+
+// EnabledIn reports whether observability is on for this context: an
+// explicit ContextWithObs setting wins; otherwise the process default
+// applies.
+func EnabledIn(ctx context.Context) bool {
+	if ctx != nil {
+		if v, ok := ctx.Value(ctxKey{}).(bool); ok {
+			return v
+		}
+	}
+	return Enabled()
+}

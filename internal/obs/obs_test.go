@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestEnabledGlobalAndContext(t *testing.T) {
+	defer SetEnabled(true) // restore the package default for other tests
+
+	if !Enabled() {
+		t.Fatal("obs must default to enabled")
+	}
+	ctx := context.Background()
+	if !EnabledIn(ctx) {
+		t.Error("plain context should inherit the global default")
+	}
+
+	SetEnabled(false)
+	if Enabled() || EnabledIn(ctx) {
+		t.Error("global disable not observed")
+	}
+	// A context override wins over the global in both directions.
+	if !EnabledIn(ContextWithObs(ctx, true)) {
+		t.Error("context enable did not override global disable")
+	}
+	SetEnabled(true)
+	if EnabledIn(ContextWithObs(ctx, false)) {
+		t.Error("context disable did not override global enable")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry exercises every exposition shape: unlabeled counter/gauge,
+// func-backed value, labeled children needing escaping and ordering, and a
+// histogram with an empty interior bucket and an overflow.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Total requests.").Add(12)
+	r.Gauge("app_temp", "Temperature.").Set(-3.5)
+	r.GaugeFunc("app_func", "Func-backed gauge.", func() float64 { return 42.5 })
+
+	v := r.CounterVec("app_errors_total", "Errors by code.", "code")
+	v.With("500").Add(7)
+	v.With(`4"04`).Add(2) // label value escaping: quote and backslash
+	v.With(`back\slash`).Inc()
+
+	// Help-string escaping: literal newline must render as \n.
+	h := r.Histogram("app_latency_seconds", "Latency.\nSecond line.", []float64{0.1, 0.5, 1})
+	h.Observe(0.0625) // binary-exact values keep _sum's rendering stable
+	h.Observe(0.25)
+	h.Observe(2) // overflow
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// family name ordering, label-value ordering, HELP/TYPE lines, escaping,
+// cumulative histogram buckets including empty ones and +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch (run with -update to regenerate)\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two renders of the same registry are
+// byte-identical (map iteration order must not leak into the output).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of one registry differ")
+	}
+}
+
+// WriteAll merges registries with earliest-wins collision semantics and
+// re-sorts the merged family set by name.
+func TestWriteAllMerge(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Gauge("dup", "").Set(1)
+	r1.Counter("zz_total", "").Inc()
+	r2 := NewRegistry()
+	r2.Gauge("dup", "").Set(2)
+	r2.Counter("aa_total", "").Inc()
+
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dup 1\n") || strings.Contains(out, "dup 2") {
+		t.Errorf("collision should resolve to the first registry:\n%s", out)
+	}
+	if !strings.Contains(out, "aa_total 1\n") || !strings.Contains(out, "zz_total 1\n") {
+		t.Errorf("merged families missing:\n%s", out)
+	}
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Errorf("merged set not re-sorted by name:\n%s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // counters only go up; negative deltas are ignored
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestRegistryIdempotentGetters(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Error("same name returned distinct counters")
+	}
+	g1 := r.Gauge("g", "")
+	g2 := r.Gauge("g", "")
+	if g1 != g2 {
+		t.Error("same name returned distinct gauges")
+	}
+	h1 := r.Histogram("h", "", []float64{1, 2})
+	h2 := r.Histogram("h", "", []float64{5}) // bounds of the first registration win
+	if h1 != h2 {
+		t.Error("same name returned distinct histograms")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	mustPanic(t, "counter re-registered as gauge", func() { r.Gauge("x_total", "") })
+	r.CounterVec("v_total", "", "kind")
+	mustPanic(t, "label-set change", func() { r.CounterVec("v_total", "", "kind", "extra") })
+	mustPanic(t, "labeled re-registered unlabeled", func() { r.Counter("v_total", "") })
+	r.CounterFunc("f_total", "", func() float64 { return 0 })
+	mustPanic(t, "func-backed via Counter", func() { r.Counter("f_total", "") })
+	mustPanic(t, "CounterVec with no labels", func() { r.CounterVec("nolabels", "") })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestCounterVecChildrenAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("errs_total", "", "code")
+	a := v.With("500")
+	b := v.With("500")
+	if a != b {
+		t.Error("same label values resolved to distinct children")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("children with equal labels do not share state")
+	}
+	mustPanic(t, "wrong arity", func() { v.With("a", "b") })
+
+	// Past the cardinality cap, every new combination collapses into one
+	// shared overflow child; existing children keep working.
+	fam := v.f
+	fam.maxCard = 2
+	v.With("501")
+	o1 := v.With("502")
+	o2 := v.With("503")
+	if o1 != o2 {
+		t.Error("overflow combinations did not share a child")
+	}
+	o1.Inc()
+	o2.Inc()
+	if o1.Value() != 2 {
+		t.Errorf("overflow counter = %d, want 2", o1.Value())
+	}
+	if v.With("500") != a {
+		t.Error("pre-overflow child lost after cap hit")
+	}
+}
+
+func TestFuncBackedLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "", func() float64 { return 1 })
+	r.GaugeFunc("depth", "", func() float64 { return 2 }) // rebind replaces
+	fams := r.sortedFamilies()
+	if len(fams) != 1 || fams[0].fn() != 2 {
+		t.Fatalf("rebound func not in effect: %+v", fams)
+	}
+}
+
+func TestDefaultCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("many_total", "", "k")
+	var children []*Counter
+	for i := 0; i < DefaultMaxCardinality+10; i++ {
+		children = append(children, v.With(fmt.Sprintf("v%03d", i)))
+	}
+	over := children[DefaultMaxCardinality]
+	for _, c := range children[DefaultMaxCardinality:] {
+		if c != over {
+			t.Fatal("children past the cap are not collapsed")
+		}
+	}
+}
