@@ -1,0 +1,329 @@
+// Command greenload replays high-volume sweep submissions against a live
+// greensrv and reports the client-side latency distribution: submission
+// RTT and end-to-end sweep completion, p50/p99/p999 from obs histograms,
+// plus throughput in sweeps/sec and jobs/sec.
+//
+// Usage:
+//
+//	greenload [-addr http://127.0.0.1:8080] [-sweeps N] [-concurrency C]
+//	          [-apps csv] [-kinds csv] [-phase micro|full] [-repeats N]
+//	          [-client-id ID] [-poll 25ms] [-timeout 2m] [-max-retries 50]
+//	          [-wait-persisted] [-json FILE]
+//
+// greenload is an honest client: a 429/503 rejection is parsed for its
+// retry_after_ms (falling back to the Retry-After header) and the
+// submission retried after that backoff, up to -max-retries times.
+// -wait-persisted additionally waits for each sweep's status to report
+// persisted=true — the handshake the CI distributed-smoke job uses before
+// SIGKILLing the server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/obs"
+)
+
+// loadBounds suits client-observed latencies: 100 µs submission RTTs up to
+// minute-long sweep completions.
+var loadBounds = []float64{
+	0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005,
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 30, 60,
+}
+
+// rejection mirrors the server's 429/503 body.
+type rejection struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+	QueueDepth   int64  `json:"queue_depth"`
+}
+
+// sweepAck mirrors the 202 body.
+type sweepAck struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+}
+
+// sweepStatus is the slice of GET /v1/sweeps/{id} greenload reads.
+type sweepStatus struct {
+	Done      int  `json:"done"`
+	Failed    int  `json:"failed"`
+	Finished  bool `json:"finished"`
+	Persisted bool `json:"persisted"`
+}
+
+// report is the machine-readable summary (-json).
+type report struct {
+	Sweeps        int       `json:"sweeps"`
+	Jobs          int64     `json:"jobs"`
+	FailedJobs    int64     `json:"failed_jobs"`
+	FailedSweeps  int64     `json:"failed_sweeps"`
+	Rejections    int64     `json:"rejections"` // 429/503 answers absorbed by backoff
+	WallS         float64   `json:"wall_s"`
+	SweepsPerSec  float64   `json:"sweeps_per_sec"`
+	JobsPerSec    float64   `json:"jobs_per_sec"`
+	SubmitMS      quantiles `json:"submit_ms"`
+	EndToEndMS    quantiles `json:"e2e_ms"`
+	SweepIDs      []string  `json:"sweep_ids"`
+	WaitPersisted bool      `json:"wait_persisted,omitempty"`
+}
+
+// quantiles are histogram-interpolated estimates in milliseconds; -1 means
+// the quantile landed in the overflow bucket (beyond the bound ladder).
+type quantiles struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+func quantilesOf(s obs.HistogramSnapshot) quantiles {
+	ms := func(q float64) float64 {
+		v := s.Quantile(q)
+		if v < 0 {
+			return -1
+		}
+		return v * 1000
+	}
+	return quantiles{P50: ms(0.5), P99: ms(0.99), P999: ms(0.999)}
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "greensrv base URL")
+	sweeps := flag.Int("sweeps", 100, "sweep submissions to replay")
+	concurrency := flag.Int("concurrency", 8, "concurrent client connections")
+	apps := flag.String("apps", "Todo", "comma-separated app names (empty = server default grid)")
+	kinds := flag.String("kinds", "Perf,GreenWeb-U", "comma-separated governor kinds (empty = server default)")
+	phase := flag.String("phase", "micro", "trace phase: micro or full")
+	repeats := flag.Int("repeats", 0, "per-job repeats (0 = phase default)")
+	clientID := flag.String("client-id", "", "X-Client-ID header (admission token-bucket key)")
+	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-sweep completion deadline")
+	maxRetries := flag.Int("max-retries", 50, "submission retries on 429/503 before giving up")
+	waitPersisted := flag.Bool("wait-persisted", false, "wait for persisted=true in each sweep's status")
+	jsonOut := flag.String("json", "", "write the machine-readable report to this file")
+	flag.Parse()
+
+	body, err := json.Marshal(sweepRequest(*apps, *kinds, *phase, *repeats))
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		submitHist = obs.NewHistogram(loadBounds)
+		e2eHist    = obs.NewHistogram(loadBounds)
+		jobs       atomic.Int64
+		failedJobs atomic.Int64
+		failedSw   atomic.Int64
+		rejections atomic.Int64
+		mu         sync.Mutex
+		ids        []string
+	)
+	client := &http.Client{Timeout: *timeout}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				id, n, ok := submit(client, *addr, *clientID, body, *maxRetries, submitHist, &rejections)
+				if !ok {
+					failedSw.Add(1)
+					continue
+				}
+				jobs.Add(int64(n))
+				mu.Lock()
+				ids = append(ids, id)
+				mu.Unlock()
+				st, ok := await(client, *addr, id, *poll, *timeout, *waitPersisted)
+				if !ok {
+					failedSw.Add(1)
+					continue
+				}
+				failedJobs.Add(int64(st.Failed))
+				// End-to-end: first POST (including any rejection backoff)
+				// to finished — what a submitting client actually waits.
+				e2eHist.Observe(time.Since(t0).Seconds())
+			}
+		}()
+	}
+	for i := 0; i < *sweeps; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Sweeps:        *sweeps,
+		Jobs:          jobs.Load(),
+		FailedJobs:    failedJobs.Load(),
+		FailedSweeps:  failedSw.Load(),
+		Rejections:    rejections.Load(),
+		WallS:         wall.Seconds(),
+		SweepsPerSec:  float64(*sweeps-int(failedSw.Load())) / wall.Seconds(),
+		JobsPerSec:    float64(jobs.Load()) / wall.Seconds(),
+		SubmitMS:      quantilesOf(submitHist.Snapshot()),
+		EndToEndMS:    quantilesOf(e2eHist.Snapshot()),
+		SweepIDs:      ids,
+		WaitPersisted: *waitPersisted,
+	}
+	printReport(rep)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if failedSw.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func sweepRequest(apps, kinds, phase string, repeats int) map[string]any {
+	req := map[string]any{"phase": phase}
+	if apps != "" {
+		req["apps"] = strings.Split(apps, ",")
+	}
+	if kinds != "" {
+		req["kinds"] = strings.Split(kinds, ",")
+	}
+	if repeats > 0 {
+		req["repeats"] = repeats
+	}
+	return req
+}
+
+// submit POSTs one sweep, honoring rejection backoff.
+func submit(client *http.Client, addr, clientID string, body []byte, maxRetries int,
+	hist *obs.Histogram, rejections *atomic.Int64) (string, int, bool) {
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, addr+"/v1/sweeps", bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if clientID != "" {
+			req.Header.Set("X-Client-ID", clientID)
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenload: submit:", err)
+			return "", 0, false
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			hist.Observe(time.Since(t0).Seconds())
+			var ack sweepAck
+			err := json.NewDecoder(resp.Body).Decode(&ack)
+			resp.Body.Close()
+			if err != nil || ack.ID == "" {
+				fmt.Fprintln(os.Stderr, "greenload: bad 202 body:", err)
+				return "", 0, false
+			}
+			return ack.ID, ack.Jobs, true
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			rejections.Add(1)
+			backoff := rejectionBackoff(resp)
+			resp.Body.Close()
+			if attempt >= maxRetries {
+				fmt.Fprintf(os.Stderr, "greenload: gave up after %d rejections\n", attempt+1)
+				return "", 0, false
+			}
+			time.Sleep(backoff)
+		default:
+			slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "greenload: submit = %d: %s\n", resp.StatusCode, slurp)
+			return "", 0, false
+		}
+	}
+}
+
+// rejectionBackoff extracts the advised wait from a 429/503: the JSON
+// body's retry_after_ms, else the Retry-After header, else 100ms.
+func rejectionBackoff(resp *http.Response) time.Duration {
+	var rej rejection
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&rej); err == nil && rej.RetryAfterMS > 0 {
+		return time.Duration(rej.RetryAfterMS) * time.Millisecond
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// await polls a sweep's status until it is finished (and, when asked,
+// persisted) or the deadline passes.
+func await(client *http.Client, addr, id string, poll, timeout time.Duration, persisted bool) (sweepStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(addr + "/v1/sweeps/" + id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenload: status:", err)
+			return sweepStatus{}, false
+		}
+		var st sweepStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenload: status body:", err)
+			return sweepStatus{}, false
+		}
+		if st.Finished && (!persisted || st.Persisted) {
+			return st, true
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "greenload: sweep %s missed the %v deadline\n", id, timeout)
+			return sweepStatus{}, false
+		}
+		time.Sleep(poll)
+	}
+}
+
+func printReport(rep report) {
+	fmt.Printf("greenload: %d sweeps (%d jobs) in %.2fs — %.1f sweeps/s, %.1f jobs/s\n",
+		rep.Sweeps, rep.Jobs, rep.WallS, rep.SweepsPerSec, rep.JobsPerSec)
+	fmt.Printf("  rejections absorbed: %d   failed sweeps: %d   failed jobs: %d\n",
+		rep.Rejections, rep.FailedSweeps, rep.FailedJobs)
+	fmt.Printf("  submit  p50 %s  p99 %s  p999 %s\n",
+		fmtMS(rep.SubmitMS.P50), fmtMS(rep.SubmitMS.P99), fmtMS(rep.SubmitMS.P999))
+	fmt.Printf("  e2e     p50 %s  p99 %s  p999 %s\n",
+		fmtMS(rep.EndToEndMS.P50), fmtMS(rep.EndToEndMS.P99), fmtMS(rep.EndToEndMS.P999))
+}
+
+func fmtMS(v float64) string {
+	if v < 0 {
+		return ">60000ms"
+	}
+	return fmt.Sprintf("%.2fms", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "greenload:", err)
+	os.Exit(1)
+}

@@ -1,18 +1,25 @@
 // Command greensrv serves the experiment fleet over HTTP: clients enqueue
 // app × governor sweeps as jobs, poll their status, and stream results as
 // NDJSON while workers — one isolated simulated device each — chew through
-// the queue in parallel.
+// the queue in parallel. With -nodes N the workers are spread across N
+// shard nodes pulling from a partitioned work-stealing queue; with -store
+// DIR every finished sweep is made durable in a write-ahead log and
+// survives restarts (GET /v1/sweeps/{id} replays from disk).
 //
 // Usage:
 //
-//	greensrv [-addr :8080] [-workers N] [-queue DEPTH] [-job-timeout 2m]
+//	greensrv [-addr :8080] [-nodes N] [-workers N] [-queue DEPTH] [-job-timeout 2m]
 //	         [-max-attempts N] [-retry-base 50ms] [-retry-max 2s] [-retry-seed S]
+//	         [-store DIR] [-store-compact BYTES]
+//	         [-admit-queue N] [-admit-rate R] [-admit-burst B]
 //	         [-no-obs] [-drain-timeout 30s] [-obs-dump FILE]
 //
 // API:
 //
 //	POST /v1/sweeps              {"apps":[...],"kinds":[...],"phase":"full"}
-//	GET  /v1/sweeps/{id}         status snapshot
+//	                             (503/429 + JSON {code, retry_after_ms,
+//	                             queue_depth} while draining or shedding)
+//	GET  /v1/sweeps/{id}         status snapshot (live or store-replayed)
 //	GET  /v1/sweeps/{id}/results NDJSON rows in submission order
 //	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON (per-frame/per-event
@@ -33,22 +40,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/shard"
+	"github.com/wattwiseweb/greenweb/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	nodes := flag.Int("nodes", 1, "shard node count (1 = single worker pool, no shard layer)")
+	workers := flag.Int("workers", 0, "worker count per node (0 = GOMAXPROCS, split across nodes when -nodes > 1)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt execution cap (0 = none)")
 	maxAttempts := flag.Int("max-attempts", 3, "executions per failing job before quarantine (1 = no retry)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
+	storeDir := flag.String("store", "", "durable sweep store directory (empty = in-memory only)")
+	storeCompact := flag.Int64("store-compact", 64<<20, "auto-compact the WAL past this many bytes (0 = manual)")
+	admitQueue := flag.Int("admit-queue", 0, "reject new sweeps (429) while this many jobs are queued (0 = off)")
+	admitRate := flag.Float64("admit-rate", 0, "per-client sweep submissions per second (0 = off)")
+	admitBurst := flag.Int("admit-burst", 10, "per-client token-bucket burst")
 	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight sweeps on SIGINT/SIGTERM before cancellation")
 	obsDump := flag.String("obs-dump", "", "file for the final metrics snapshot on shutdown (default stderr)")
@@ -67,18 +83,54 @@ func main() {
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	pool := fleet.New(fleet.Options{
-		Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout,
-		MaxAttempts: *maxAttempts, RetryBaseDelay: *retryBase,
-		RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
-	})
-	manager := fleet.NewManager(baseCtx, pool)
+	nodeOpts := fleet.Options{
+		JobTimeout: *jobTimeout, MaxAttempts: *maxAttempts,
+		RetryBaseDelay: *retryBase, RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
+	}
+	var runner fleet.Runner
+	if *nodes > 1 {
+		per := *workers
+		if per <= 0 {
+			if per = runtime.GOMAXPROCS(0) / *nodes; per < 1 {
+				per = 1
+			}
+		}
+		runner = shard.New(shard.Options{
+			Nodes: *nodes, WorkersPerNode: per,
+			QueueDepth: *queue, Node: nodeOpts,
+		})
+	} else {
+		nodeOpts.Workers, nodeOpts.QueueDepth = *workers, *queue
+		runner = fleet.New(nodeOpts)
+	}
+	manager := fleet.NewManager(baseCtx, runner)
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greensrv:", err)
+			os.Exit(1)
+		}
+		st.SetCompactThreshold(*storeCompact)
+		manager.SetStore(st)
+		fmt.Fprintf(os.Stderr, "greensrv: store %s recovered %d sweeps (%d torn records, %d incomplete sweeps discarded)\n",
+			*storeDir, len(st.IDs()), st.Torn(), st.Dropped())
+	}
+
 	api := fleet.NewServer(manager)
+	if *admitQueue > 0 || *admitRate > 0 {
+		api.ConfigureAdmission(fleet.AdmissionOptions{
+			MaxQueueDepth: *admitQueue, RatePerSec: *admitRate, Burst: *admitBurst,
+		})
+	}
 	srv := &http.Server{Addr: *addr, Handler: api}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers\n", *addr, pool.Workers())
+	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers (%d node(s))\n",
+		*addr, runner.Workers(), *nodes)
 
 	select {
 	case <-sigCtx.Done():
@@ -94,7 +146,12 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "greensrv: shutdown:", err)
 		}
-		pool.Close()
+		runner.Close()
+		if st != nil {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "greensrv: store:", err)
+			}
+		}
 		flushMetrics(api, *obsDump)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "greensrv:", err)

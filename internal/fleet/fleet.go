@@ -153,6 +153,24 @@ var (
 	ErrClosed    = errors.New("fleet: pool closed")
 )
 
+// Runner is the execution backend a Manager schedules sweeps onto: the
+// single-process Pool, or a multi-node shard.Cluster. Start enqueues one job
+// (blocking while the backend is saturated, aborting on ctx) and guarantees
+// deliver is called exactly once with the job's terminal Result; started, if
+// non-nil, fires when the job leaves the queue for a worker.
+type Runner interface {
+	Start(ctx context.Context, job Job, started func(), deliver func(Result)) error
+	// Workers is the total concurrent execution slots.
+	Workers() int
+	// Stats snapshots the backend's live counters (queue depth feeds
+	// admission control).
+	Stats() Stats
+	// RegisterMetrics exposes the backend's counters on an obs registry.
+	RegisterMetrics(reg *obs.Registry)
+	// Close stops intake, drains queued jobs, and waits for the workers.
+	Close()
+}
+
 // Options configures a Pool.
 type Options struct {
 	// Workers is the number of concurrent simulated devices; 0 → GOMAXPROCS.
@@ -260,6 +278,12 @@ func (p *Pool) Submit(ctx context.Context, job Job, deliver func(Result)) error 
 // ErrQueueFull and deliver is never called.
 func (p *Pool) TrySubmit(ctx context.Context, job Job, deliver func(Result)) error {
 	return p.submit(task{job: job, ctx: ctx, deliver: deliver}, false)
+}
+
+// Start implements Runner: Submit with a started hook that fires when the
+// job leaves the queue for a worker.
+func (p *Pool) Start(ctx context.Context, job Job, started func(), deliver func(Result)) error {
+	return p.submit(task{job: job, ctx: ctx, started: started, deliver: deliver}, true)
 }
 
 func (p *Pool) submit(t task, wait bool) error {
@@ -408,13 +432,21 @@ func (p *Pool) backoff(job Job, attempt int) time.Duration {
 // the not-yet-finished cells into failed results carrying ctx's error; the
 // slice is always fully populated.
 func (p *Pool) RunSweep(ctx context.Context, jobs []Job) []Result {
+	return RunSweep(ctx, p, jobs)
+}
+
+// RunSweep fans the jobs out over any Runner and blocks until every one has
+// a result, merged back in submission order — the deterministic merge is a
+// property of the merge step, not the backend, so a shard cluster inherits
+// it unchanged.
+func RunSweep(ctx context.Context, r Runner, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	var wg sync.WaitGroup
 	wg.Add(len(jobs))
 	for i, job := range jobs {
 		i, job := i, job
-		err := p.Submit(ctx, job, func(r Result) {
-			results[i] = r
+		err := r.Start(ctx, job, nil, func(res Result) {
+			results[i] = res
 			wg.Done()
 		})
 		if err != nil {

@@ -203,6 +203,15 @@ type Server struct {
 	mux      *http.ServeMux
 	reg      *obs.Registry
 	draining atomic.Bool
+	adm      atomic.Pointer[admission]
+}
+
+// ConfigureAdmission (re)arms admission control on POST /v1/sweeps:
+// queue-depth-aware shedding and per-client token buckets, both answering
+// 429 with a rejection body and Retry-After. Safe to call at any time; a
+// zero options value disables both gates.
+func (s *Server) ConfigureAdmission(opts AdmissionOptions) {
+	s.adm.Store(newAdmission(opts))
 }
 
 // ServeHTTP implements http.Handler.
@@ -233,7 +242,10 @@ type eventRow struct {
 // NewServer builds the HTTP API (see Server for the route table).
 func NewServer(m *Manager) *Server {
 	srv := &Server{m: m, mux: http.NewServeMux(), reg: obs.NewRegistry()}
-	m.Pool().RegisterMetrics(srv.reg)
+	m.Runner().RegisterMetrics(srv.reg)
+	if st := m.Store(); st != nil {
+		st.RegisterMetrics(srv.reg)
+	}
 	srv.reg.CounterFunc("greenweb_fleet_sweeps_total",
 		"Sweeps ever registered", func() float64 { t, _ := m.Counts(); return float64(t) })
 	srv.reg.CounterFunc("greenweb_fleet_sweeps_finished_total",
@@ -264,11 +276,21 @@ func NewServer(m *Manager) *Server {
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		queued := m.Runner().Stats().Queued
 		if srv.draining.Load() {
-			w.Header().Set("Retry-After", "10")
-			httpError(w, http.StatusServiceUnavailable,
-				errors.New("server is draining; not accepting new sweeps"))
+			writeRejection(w, http.StatusServiceUnavailable, &rejection{
+				Error:        "server is draining; not accepting new sweeps",
+				Code:         CodeDraining,
+				RetryAfterMS: 10_000,
+				QueueDepth:   queued,
+			})
 			return
+		}
+		if adm := srv.adm.Load(); adm != nil {
+			if rej := adm.admit(clientKey(r), queued); rej != nil {
+				writeRejection(w, http.StatusTooManyRequests, rej)
+				return
+			}
 		}
 		// Reject non-JSON payloads up front (415) and bound the body (400 on
 		// overflow): a sweep request is a small job grid, never megabytes.
@@ -311,8 +333,15 @@ func NewServer(m *Manager) *Server {
 	})
 
 	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := m.Get(SweepID(r.PathValue("id")))
+		id := SweepID(r.PathValue("id"))
+		s, ok := m.Get(id)
 		if !ok {
+			// A sweep from before this process's lifetime replays from the
+			// durable store.
+			if st, stored := m.StoredStatus(id); stored {
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}
@@ -320,8 +349,19 @@ func NewServer(m *Manager) *Server {
 	})
 
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := m.Get(SweepID(r.PathValue("id")))
+		id := SweepID(r.PathValue("id"))
+		s, ok := m.Get(id)
 		if !ok {
+			// Replay the persisted NDJSON byte-for-byte from the store.
+			if rows, stored := m.StoredRows(id); stored {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+				for _, row := range rows {
+					w.Write(row)
+					io.WriteString(w, "\n")
+				}
+				return
+			}
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}
@@ -348,6 +388,11 @@ func NewServer(m *Manager) *Server {
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := m.Get(SweepID(r.PathValue("id")))
 		if !ok {
+			if _, stored := m.StoredRows(SweepID(r.PathValue("id"))); stored {
+				httpError(w, http.StatusNotFound, fmt.Errorf(
+					"sweep %q was replayed from the store; decision events are not persisted", r.PathValue("id")))
+				return
+			}
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}
@@ -379,6 +424,11 @@ func NewServer(m *Manager) *Server {
 	mux.HandleFunc("GET /v1/sweeps/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := m.Get(SweepID(r.PathValue("id")))
 		if !ok {
+			if _, stored := m.StoredRows(SweepID(r.PathValue("id"))); stored {
+				httpError(w, http.StatusNotFound, fmt.Errorf(
+					"sweep %q was replayed from the store; trace spans are not persisted", r.PathValue("id")))
+				return
+			}
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}

@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/store"
 )
 
 // SweepID identifies an enqueued sweep.
@@ -29,6 +32,24 @@ type Sweep struct {
 	pending int
 	allDone chan struct{}
 	cancel  context.CancelFunc
+
+	// persisted is closed once the sweep's end record has been fsynced to
+	// the manager's store; nil when the manager has no store.
+	persisted chan struct{}
+}
+
+// Persisted reports whether the sweep is durable in the manager's store (a
+// restarted server can replay it). Always false without a store.
+func (s *Sweep) Persisted() bool {
+	if s.persisted == nil {
+		return false
+	}
+	select {
+	case <-s.persisted:
+		return true
+	default:
+		return false
+	}
 }
 
 // Len reports the job count.
@@ -95,14 +116,21 @@ type SweepStatus struct {
 	Done     int         `json:"done"`
 	Failed   int         `json:"failed"`
 	Finished bool        `json:"finished"`
+	// Persisted is true once the sweep is durable in the server's store
+	// (omitted entirely when the server runs without one).
+	Persisted bool `json:"persisted,omitempty"`
+	// Replayed marks a status reconstructed from the store after a restart.
+	Replayed bool        `json:"replayed,omitempty"`
 	Jobs     []JobStatus `json:"jobs"`
 }
 
 // Status snapshots the sweep.
 func (s *Sweep) Status() SweepStatus {
+	persisted := s.Persisted()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SweepStatus{ID: s.ID, Created: s.Created, Total: len(s.jobs), Finished: s.pending == 0}
+	st := SweepStatus{ID: s.ID, Created: s.Created, Total: len(s.jobs),
+		Finished: s.pending == 0, Persisted: persisted}
 	for i, j := range s.jobs {
 		js := JobStatus{Index: i, App: j.App, Kind: j.Kind, Phase: j.Phase, State: s.state[i]}
 		switch s.state[i] {
@@ -139,31 +167,133 @@ type registryShard struct {
 	sweeps map[SweepID]*Sweep
 }
 
-// Manager owns the pool-facing sweep lifecycle for the job server: it
+// Manager owns the runner-facing sweep lifecycle for the job server: it
 // assigns IDs, submits jobs asynchronously (absorbing queue backpressure
-// off the HTTP handler), and resolves IDs through a sharded registry.
+// off the HTTP handler), resolves IDs through a sharded registry, and —
+// when given a store — persists every finished sweep and replays persisted
+// ones that predate this process.
 type Manager struct {
 	ctx    context.Context // parents every sweep; server lifetime
-	pool   *Pool
+	runner Runner
+	st     *store.Store // nil → in-memory only
 	seq    atomic.Uint64
 	shards [registryShards]registryShard
 }
 
-// NewManager builds a manager over the pool; ctx bounds the lifetime of
-// every sweep it enqueues (pass the server's base context).
-func NewManager(ctx context.Context, pool *Pool) *Manager {
+// NewManager builds a manager over any Runner (a Pool or a shard cluster);
+// ctx bounds the lifetime of every sweep it enqueues (pass the server's
+// base context).
+func NewManager(ctx context.Context, r Runner) *Manager {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := &Manager{ctx: ctx, pool: pool}
+	m := &Manager{ctx: ctx, runner: r}
 	for i := range m.shards {
 		m.shards[i].sweeps = make(map[SweepID]*Sweep)
 	}
 	return m
 }
 
-// Pool exposes the underlying pool (for /metrics).
-func (m *Manager) Pool() *Pool { return m.pool }
+// Runner exposes the execution backend (for /metrics and admission).
+func (m *Manager) Runner() Runner { return m.runner }
+
+// Store exposes the durable sweep store (nil without one).
+func (m *Manager) Store() *store.Store { return m.st }
+
+// SetStore attaches the durable store. Must be called before the first
+// Enqueue. The ID sequence skips past every persisted sweep so restarted
+// servers never mint a colliding ID.
+func (m *Manager) SetStore(st *store.Store) {
+	m.st = st
+	for _, id := range st.IDs() {
+		var n uint64
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq.Load() {
+			m.seq.Store(n)
+		}
+	}
+}
+
+// persistMeta is the store's opaque registration payload for a sweep.
+type persistMeta struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// persist streams the sweep's rows into the store as they finish (in
+// submission order — the same deterministic merge the HTTP stream serves)
+// and fsyncs the end record, then marks the sweep persisted.
+func (m *Manager) persist(s *Sweep) {
+	meta, err := json.Marshal(persistMeta{Jobs: s.jobs})
+	if err != nil {
+		return
+	}
+	if err := m.st.Begin(string(s.ID), s.Created, meta); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < s.Len(); i++ {
+		res, err := s.Result(m.ctx, i)
+		if err != nil {
+			return // server shutting down
+		}
+		buf.Reset()
+		if err := enc.Encode(rowOf(i, res)); err != nil {
+			return
+		}
+		line := append([]byte(nil), bytes.TrimSuffix(buf.Bytes(), []byte("\n"))...)
+		if err := m.st.AppendRow(string(s.ID), i, line); err != nil {
+			return
+		}
+	}
+	if err := m.st.End(string(s.ID)); err != nil {
+		return
+	}
+	close(s.persisted)
+}
+
+// StoredStatus reconstructs a replayed sweep's status from the store. It
+// answers for completed sweeps from before this process's lifetime.
+func (m *Manager) StoredStatus(id SweepID) (SweepStatus, bool) {
+	if m.st == nil {
+		return SweepStatus{}, false
+	}
+	rec, ok := m.st.Get(string(id))
+	if !ok {
+		return SweepStatus{}, false
+	}
+	st := SweepStatus{ID: id, Created: rec.Created, Total: len(rec.Rows),
+		Finished: true, Persisted: true, Replayed: true}
+	for i, raw := range rec.Rows {
+		var row ResultRow
+		if err := json.Unmarshal(raw, &row); err != nil {
+			continue
+		}
+		js := JobStatus{Index: i, App: row.App, Kind: row.Kind, Phase: row.Phase,
+			State: row.State, LatencyMS: row.LatencyMS, Quarantined: row.Quarantined, Error: row.Error}
+		if row.Attempts > 1 {
+			js.Attempts = row.Attempts
+		}
+		if row.State == StateFailed {
+			st.Failed++
+		} else {
+			st.Done++
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st, true
+}
+
+// StoredRows returns a replayed sweep's NDJSON result lines.
+func (m *Manager) StoredRows(id SweepID) ([]json.RawMessage, bool) {
+	if m.st == nil {
+		return nil, false
+	}
+	rec, ok := m.st.Get(string(id))
+	if !ok {
+		return nil, false
+	}
+	return rec.Rows, true
+}
 
 func (m *Manager) shardFor(id SweepID) *registryShard {
 	h := fnv.New32a()
@@ -205,6 +335,9 @@ func (m *Manager) Enqueue(jobs []Job) (*Sweep, error) {
 		s.state[i] = StateQueued
 		s.rowDone[i] = make(chan struct{})
 	}
+	if m.st != nil {
+		s.persisted = make(chan struct{})
+	}
 	if len(jobs) == 0 {
 		close(s.allDone)
 	}
@@ -213,21 +346,21 @@ func (m *Manager) Enqueue(jobs []Job) (*Sweep, error) {
 	sh.sweeps[s.ID] = s
 	sh.mu.Unlock()
 
+	if m.st != nil {
+		go m.persist(s)
+	}
 	go func() {
 		for i, job := range s.jobs {
 			i := i
-			err := m.pool.submit(task{
-				job: job,
-				ctx: ctx,
-				started: func() {
+			err := m.runner.Start(ctx, job,
+				func() {
 					s.mu.Lock()
 					if s.state[i] == StateQueued {
 						s.state[i] = StateRunning
 					}
 					s.mu.Unlock()
 				},
-				deliver: func(r Result) { s.finish(i, r) },
-			}, true)
+				func(r Result) { s.finish(i, r) })
 			if err != nil {
 				s.finish(i, Result{Job: job, Worker: -1, Err: err})
 			}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/store"
+)
+
+// getBody fetches a URL and returns status code + body.
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// storeServer stands up a manager + HTTP server over a durable store rooted
+// at dir, returning a teardown that closes everything in order.
+func storeServer(t *testing.T, dir string) (*httptest.Server, *Manager, func()) {
+	t.Helper()
+	pool := New(Options{Workers: 2})
+	m := NewManager(context.Background(), pool)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetStore(st)
+	srv := httptest.NewServer(NewServer(m))
+	return srv, m, func() {
+		srv.Close()
+		pool.Close()
+		st.Close()
+	}
+}
+
+// getStatus decodes the (indented) status body into a map.
+func getStatus(t *testing.T, srv *httptest.Server, id string) (int, map[string]any) {
+	t.Helper()
+	code, body := getBody(t, srv.URL+"/v1/sweeps/"+id)
+	st := map[string]any{}
+	if code == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("status body unparsable: %v\n%s", err, body)
+		}
+	}
+	return code, st
+}
+
+// waitPersisted polls the status endpoint until the sweep reports durable.
+func waitPersisted(t *testing.T, srv *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, st := getStatus(t, srv, id); st["persisted"] == true {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reported persisted", id)
+}
+
+// TestStoreReplayByteIdentical is the restart guarantee end to end: results
+// streamed live, then replayed from disk by a fresh process, must be the
+// same bytes.
+func TestStoreReplayByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, shutdown := storeServer(t, dir)
+
+	ack := postSweep(t, srv, `{"apps":["Todo","MSN"],"kinds":["Perf","GreenWeb-I"],"phase":"micro"}`)
+	id := ack["id"].(string)
+	waitPersisted(t, srv, id)
+
+	code, live := getBody(t, srv.URL+"/v1/sweeps/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("live results = %d", code)
+	}
+	if n := strings.Count(live, "\n"); n != 4 {
+		t.Fatalf("live stream has %d rows, want 4", n)
+	}
+	shutdown()
+
+	// "Restart": a brand-new manager over the same directory.
+	srv2, m2, shutdown2 := storeServer(t, dir)
+	defer shutdown2()
+
+	code, replayed := getBody(t, srv2.URL+"/v1/sweeps/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("replayed results = %d", code)
+	}
+	if replayed != live {
+		t.Fatalf("replay diverged from live stream:\n--- live\n%s--- replayed\n%s", live, replayed)
+	}
+
+	code, status := getStatus(t, srv2, id)
+	if code != http.StatusOK || status["replayed"] != true || status["persisted"] != true {
+		t.Fatalf("replayed status = %d %v, want replayed+persisted", code, status)
+	}
+	// Decision events are deliberately not persisted; the error must say so
+	// rather than pretend the sweep doesn't exist.
+	code, events := getBody(t, srv2.URL+"/v1/sweeps/"+id+"/events")
+	if code != http.StatusNotFound || !strings.Contains(events, "not persisted") {
+		t.Fatalf("replayed events = %d %q, want 404 explaining persistence", code, events)
+	}
+
+	// The restarted manager must not reissue the persisted sweep's ID.
+	ack2 := postSweep(t, srv2, `{"apps":["Todo"],"kinds":["Perf"],"phase":"micro"}`)
+	if id2 := ack2["id"].(string); id2 == id {
+		t.Fatalf("restarted manager reissued sweep ID %s", id)
+	}
+	s2, ok := m2.Get(SweepID(ack2["id"].(string)))
+	if !ok {
+		t.Fatal("restart-submitted sweep not registered")
+	}
+	<-s2.Done()
+}
+
+// TestStoreSurvivesManagerWithoutStore: managers without a store keep the
+// PR 1–5 behaviour — no persisted field, 404 after restart.
+func TestStoreSurvivesManagerWithoutStore(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+	ack := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf"],"phase":"micro"}`)
+	id := ack["id"].(string)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, st := getStatus(t, srv, id)
+		if st["finished"] == true {
+			if _, ok := st["persisted"]; ok {
+				t.Fatalf("storeless sweep claims persistence: %v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -71,9 +71,12 @@ func writeFamily(w *bufio.Writer, f *family) {
 	case f.labels != nil:
 		for _, ch := range f.sortedChildren() {
 			w.WriteString(f.name + labelSet(f.labels, ch.values, "") + " ")
-			if f.typ == typeGauge {
+			switch {
+			case ch.fn != nil:
+				w.WriteString(formatValue(ch.fn()))
+			case f.typ == typeGauge:
 				w.WriteString(formatValue(ch.g.Value()))
-			} else {
+			default:
 				w.WriteString(strconv.FormatInt(ch.c.Value(), 10))
 			}
 			w.WriteByte('\n')

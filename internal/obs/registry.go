@@ -55,11 +55,14 @@ const (
 // label drawn from unbounded input cannot grow memory without bound.
 const DefaultMaxCardinality = 64
 
-// child is one labeled sample of a family.
+// child is one labeled sample of a family. fn, when set, makes the child
+// func-backed: its value is read at scrape time (the bridge for subsystems
+// that keep their own per-shard atomics, like the shard cluster).
 type child struct {
 	values []string
 	c      Counter
 	g      Gauge
+	fn     func() float64
 }
 
 // family is one named metric: its metadata plus either a single unlabeled
@@ -210,19 +213,57 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // label, positionally). Past the family's cardinality bound every new
 // combination shares one "overflow" child.
 func (v *CounterVec) With(values ...string) *Counter {
-	if len(values) != len(v.f.labels) {
+	return &v.f.childFor(values).c
+}
+
+// Func binds the child for the label values to fn, read at scrape time —
+// the labeled analogue of CounterFunc. Re-binding replaces fn (last wins).
+func (v *CounterVec) Func(fn func() float64, values ...string) {
+	v.f.childFor(values).fn = fn
+}
+
+// GaugeVec is a gauge family with labels; resolve children once with With
+// (or bind them to scrape-time funcs with Func) and cache the result.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec returns (creating on first use) the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{f: r.register(name, help, typeGauge, labels)}
+}
+
+// With resolves the child gauge for the label values, subject to the same
+// cardinality bound as CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &v.f.childFor(values).g
+}
+
+// Func binds the child for the label values to fn, read at scrape time —
+// the labeled analogue of GaugeFunc. Re-binding replaces fn (last wins).
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	v.f.childFor(values).fn = fn
+}
+
+// childFor resolves or creates the child for the label values. Past the
+// family's cardinality bound every new combination shares one "overflow"
+// child.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
-			v.f.name, len(v.f.labels), len(values)))
+			f.name, len(f.labels), len(values)))
 	}
 	key := strings.Join(values, "\xff")
-	f := v.f
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.children == nil {
 		f.children = make(map[string]*child)
 	}
 	if ch, ok := f.children[key]; ok {
-		return &ch.c
+		return ch
 	}
 	if len(f.children) >= f.maxCard {
 		if f.overflow == nil {
@@ -232,11 +273,11 @@ func (v *CounterVec) With(values ...string) *Counter {
 			}
 			f.overflow = &child{values: over}
 		}
-		return &f.overflow.c
+		return f.overflow
 	}
 	ch := &child{values: append([]string(nil), values...)}
 	f.children[key] = ch
-	return &ch.c
+	return ch
 }
 
 // sortedFamilies snapshots the registry's families in name order.

@@ -1,0 +1,426 @@
+// Package shard scales the fleet past one worker pool: a Cluster fans jobs
+// out across N nodes — each an isolated execution backend with its own
+// workers — through a partitioned queue with work stealing, while keeping
+// the fleet's determinism guarantee intact. Submission-order merge is a
+// property of delivery indexing, not of which node ran a job, and every job
+// still executes harness.ExecuteCell semantics on a private simulated
+// device, so sweep output is byte-identical to the sequential path at any
+// node×worker topology.
+//
+// Nodes are goroutine-backed in-process by default (LocalNode wraps a
+// fleet.Pool), so CI and tests need no network; the Node interface is the
+// seam where a remote/process-per-node backend would plug in.
+//
+// The queue has one partition per node. A submission lands on a partition
+// round-robin; each node's pullers pop their home partition FIFO and, when
+// it runs dry, steal from the back of the busiest sibling — classic
+// work-stealing, so a node stuck on a slow cell does not strand queued work
+// behind it. Steals and per-partition depths are exported through obs.
+package shard
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/obs"
+)
+
+// Node is one execution backend of the cluster. Run executes a single job
+// to its terminal Result (retries, panic recovery, and timeouts happen
+// inside), and is called by at most Workers() cluster pullers concurrently.
+type Node interface {
+	ID() int
+	Workers() int
+	Run(ctx context.Context, job fleet.Job) fleet.Result
+	Stats() fleet.Stats
+	Close()
+}
+
+// LocalNode is the in-process Node: a fleet.Pool behind the interface, so a
+// "node" is a goroutine-backed worker pool with the fleet's full retry and
+// quarantine ladder.
+type LocalNode struct {
+	id   int
+	pool *fleet.Pool
+}
+
+// NewLocalNode builds a node over a fresh pool. opts.Workers defaults to 1.
+func NewLocalNode(id int, opts fleet.Options) *LocalNode {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	// The cluster's pullers are the only submitters and there are exactly
+	// Workers of them, so the pool queue never holds more than one job per
+	// worker; depth 2× keeps Submit from ever blocking.
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 2 * opts.Workers
+	}
+	return &LocalNode{id: id, pool: fleet.New(opts)}
+}
+
+// ID reports the node index.
+func (n *LocalNode) ID() int { return n.id }
+
+// Workers reports the node's concurrent execution slots.
+func (n *LocalNode) Workers() int { return n.pool.Workers() }
+
+// Stats snapshots the node's pool counters.
+func (n *LocalNode) Stats() fleet.Stats { return n.pool.Stats() }
+
+// Close shuts the node's pool down.
+func (n *LocalNode) Close() { n.pool.Close() }
+
+// Run executes one job synchronously on the node's pool. The result's
+// Worker index is remapped into the cluster-global space
+// (node·workers + local index) so per-worker provenance stays unambiguous.
+func (n *LocalNode) Run(ctx context.Context, job fleet.Job) fleet.Result {
+	ch := make(chan fleet.Result, 1)
+	if err := n.pool.Start(ctx, job, nil, func(r fleet.Result) { ch <- r }); err != nil {
+		return fleet.Result{Job: job, Worker: -1, Err: err}
+	}
+	r := <-ch
+	if r.Worker >= 0 {
+		r.Worker = n.id*n.pool.Workers() + r.Worker
+	}
+	return r
+}
+
+// item is one queued submission.
+type item struct {
+	job     fleet.Job
+	ctx     context.Context
+	started func()
+	deliver func(fleet.Result)
+}
+
+// queue is the partitioned job queue: one FIFO deque per node, guarded by a
+// single mutex (contention is negligible next to job execution, which runs
+// a whole simulated device). Home pops take the front; steals take the
+// back, so a thief grabs the work its victim would reach last.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parts  [][]item
+	closed bool
+}
+
+func newQueue(partitions int) *queue {
+	q := &queue{parts: make([][]item, partitions)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(part int, it item) {
+	q.mu.Lock()
+	q.parts[part] = append(q.parts[part], it)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available for the given home partition (own
+// front, else the back of the fullest sibling) or the queue is closed and
+// empty. It reports the partition the item came from.
+func (q *queue) pop(home int) (item, int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.parts[home]) > 0 {
+			it := q.parts[home][0]
+			q.parts[home] = q.parts[home][1:]
+			return it, home, true
+		}
+		// Steal from the deepest sibling — balances better than first-found
+		// and keeps the scan deterministic for equal depths (lowest index).
+		victim, depth := -1, 0
+		for p := range q.parts {
+			if p != home && len(q.parts[p]) > depth {
+				victim, depth = p, len(q.parts[p])
+			}
+		}
+		if victim >= 0 {
+			n := len(q.parts[victim])
+			it := q.parts[victim][n-1]
+			q.parts[victim] = q.parts[victim][:n-1]
+			return it, victim, true
+		}
+		if q.closed {
+			return item{}, -1, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *queue) depth(part int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.parts[part])
+}
+
+// Options configures a Cluster of LocalNodes.
+type Options struct {
+	// Nodes is the node count; 0 → 1.
+	Nodes int
+	// WorkersPerNode is each node's pool size; 0 → 1.
+	WorkersPerNode int
+	// QueueDepth bounds the total jobs queued across all partitions
+	// (admission control reads this backpressure); 0 → 4× total workers.
+	QueueDepth int
+	// Node is the per-node pool template (timeouts, retry ladder, Execute
+	// override). Workers and QueueDepth inside it are overridden per node.
+	Node fleet.Options
+}
+
+// Cluster is a multi-node Runner: it implements fleet.Runner so a
+// fleet.Manager (and greensrv) can schedule onto it interchangeably with a
+// single Pool.
+type Cluster struct {
+	nodes []Node
+	q     *queue
+	slots chan struct{} // total-queue-depth semaphore
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	seq     atomic.Uint64 // round-robin partition cursor
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	steals  []atomic.Int64 // per stealing node
+	pulled  []atomic.Int64 // jobs executed per node
+	start   time.Time
+	busy    atomic.Int64
+	hist    *obs.Histogram
+}
+
+// New builds a cluster of LocalNodes and starts its pullers.
+func New(opts Options) *Cluster {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.WorkersPerNode <= 0 {
+		opts.WorkersPerNode = 1
+	}
+	nodes := make([]Node, opts.Nodes)
+	for i := range nodes {
+		nodeOpts := opts.Node
+		nodeOpts.Workers = opts.WorkersPerNode
+		nodeOpts.QueueDepth = 0 // let LocalNode size it
+		nodes[i] = NewLocalNode(i, nodeOpts)
+	}
+	return NewWithNodes(nodes, opts.QueueDepth)
+}
+
+// NewWithNodes builds a cluster over caller-supplied nodes (tests inject
+// instrumented ones). Node IDs must equal their slice index.
+func NewWithNodes(nodes []Node, queueDepth int) *Cluster {
+	total := 0
+	for _, n := range nodes {
+		total += n.Workers()
+	}
+	if queueDepth <= 0 {
+		queueDepth = 4 * total
+	}
+	c := &Cluster{
+		nodes:  nodes,
+		q:      newQueue(len(nodes)),
+		slots:  make(chan struct{}, queueDepth),
+		steals: make([]atomic.Int64, len(nodes)),
+		pulled: make([]atomic.Int64, len(nodes)),
+		start:  time.Now(),
+		hist:   obs.NewLatencyHistogram(),
+	}
+	for _, n := range nodes {
+		for w := 0; w < n.Workers(); w++ {
+			c.wg.Add(1)
+			go c.puller(n)
+		}
+	}
+	return c
+}
+
+// puller is one node execution slot: pop (home first, then steal), run on
+// the owning node, deliver.
+func (c *Cluster) puller(n Node) {
+	defer c.wg.Done()
+	for {
+		it, from, ok := c.q.pop(n.ID())
+		if !ok {
+			return
+		}
+		<-c.slots
+		c.queued.Add(-1)
+		if from != n.ID() {
+			c.steals[n.ID()].Add(1)
+		}
+		c.pulled[n.ID()].Add(1)
+		if it.started != nil {
+			it.started()
+		}
+		c.running.Add(1)
+		res := n.Run(it.ctx, it.job)
+		c.busy.Add(int64(res.Latency))
+		c.hist.Observe(res.Latency.Seconds())
+		c.running.Add(-1)
+		if res.Err != nil {
+			c.failed.Add(1)
+		} else {
+			c.done.Add(1)
+		}
+		if it.deliver != nil {
+			it.deliver(res)
+		}
+	}
+}
+
+// Start implements fleet.Runner: enqueue one job, blocking while the
+// cluster-wide queue is full, aborting on ctx. deliver is called exactly
+// once from a puller goroutine.
+func (c *Cluster) Start(ctx context.Context, job fleet.Job, started func(), deliver func(fleet.Result)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fleet.ErrClosed
+	}
+	select {
+	case c.slots <- struct{}{}:
+	default:
+		// Full: wait outside the close lock so Close can't deadlock on us.
+		c.mu.Unlock()
+		select {
+		case c.slots <- struct{}{}:
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				<-c.slots
+				return fleet.ErrClosed
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	part := int(c.seq.Add(1)-1) % len(c.nodes)
+	c.queued.Add(1)
+	c.q.push(part, item{job: job, ctx: ctx, started: started, deliver: deliver})
+	c.mu.Unlock()
+	return nil
+}
+
+// Workers reports the cluster's total execution slots.
+func (c *Cluster) Workers() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.Workers()
+	}
+	return total
+}
+
+// Nodes reports the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Steals reports how many jobs node id has stolen from sibling partitions.
+func (c *Cluster) Steals(id int) int64 { return c.steals[id].Load() }
+
+// Close stops intake, drains queued jobs, waits for the pullers, and shuts
+// the nodes down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.q.close()
+	c.wg.Wait()
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}
+
+// Stats implements fleet.Runner: cluster-level counters plus the retry and
+// quarantine tallies aggregated from the nodes.
+func (c *Cluster) Stats() fleet.Stats {
+	var retried, quarantined int64
+	for _, n := range c.nodes {
+		ns := n.Stats()
+		retried += ns.Retried
+		quarantined += ns.Quarantined
+	}
+	elapsed := time.Since(c.start)
+	util := 0.0
+	if w := c.Workers(); w > 0 && elapsed > 0 {
+		util = float64(c.busy.Load()) / (float64(elapsed) * float64(w))
+	}
+	queued := c.queued.Load()
+	if queued < 0 {
+		queued = 0
+	}
+	return fleet.Stats{
+		Workers:     c.Workers(),
+		Queued:      queued,
+		Running:     c.running.Load(),
+		Done:        c.done.Load(),
+		Failed:      c.failed.Load(),
+		Retried:     retried,
+		Quarantined: quarantined,
+		Utilization: util,
+		Latency:     c.hist.Snapshot(),
+	}
+}
+
+// RegisterMetrics implements fleet.Runner: the greenweb_fleet_* family the
+// single-pool server exposes (same names, so dashboards survive the
+// topology change) plus the shard-layer extras — per-node steal and job
+// counters, per-partition queue depths.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("greenweb_fleet_workers",
+		"Total execution slots across all nodes", func() float64 { return float64(c.Workers()) })
+	reg.GaugeFunc("greenweb_fleet_queue_depth",
+		"Jobs waiting across all partitions", func() float64 { return float64(c.Stats().Queued) })
+	reg.GaugeFunc("greenweb_fleet_running_jobs",
+		"Jobs executing right now", func() float64 { return float64(c.running.Load()) })
+	reg.CounterFunc("greenweb_fleet_jobs_done_total",
+		"Jobs finished successfully", func() float64 { return float64(c.done.Load()) })
+	reg.CounterFunc("greenweb_fleet_jobs_failed_total",
+		"Jobs that ended in failure (including cancellation)", func() float64 { return float64(c.failed.Load()) })
+	reg.CounterFunc("greenweb_fleet_retries_total",
+		"Job attempts beyond each job's first", func() float64 { return float64(c.Stats().Retried) })
+	reg.CounterFunc("greenweb_fleet_quarantines_total",
+		"Jobs that exhausted every allowed attempt", func() float64 { return float64(c.Stats().Quarantined) })
+	reg.GaugeFunc("greenweb_fleet_utilization",
+		"Busy worker-time over available worker-time since start", func() float64 { return c.Stats().Utilization })
+	reg.AttachHistogram("greenweb_fleet_job_latency_seconds",
+		"Wall-clock job latency in seconds (all attempts incl. backoff)", c.hist)
+
+	reg.GaugeFunc("greenweb_shard_nodes", "Nodes in the cluster",
+		func() float64 { return float64(len(c.nodes)) })
+	stealVec := reg.CounterVec("greenweb_shard_steals_total",
+		"Jobs a node stole from sibling partitions", "node")
+	jobsVec := reg.CounterVec("greenweb_shard_node_jobs_total",
+		"Jobs executed per node (home pops + steals)", "node")
+	depthVec := reg.GaugeVec("greenweb_shard_partition_depth",
+		"Jobs waiting in each partition", "partition")
+	for i := range c.nodes {
+		i := i
+		label := strconv.Itoa(i)
+		stealVec.Func(func() float64 { return float64(c.steals[i].Load()) }, label)
+		jobsVec.Func(func() float64 { return float64(c.pulled[i].Load()) }, label)
+		depthVec.Func(func() float64 { return float64(c.q.depth(i)) }, label)
+	}
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+// writeSweep persists one complete n-row sweep.
+func writeSweep(t *testing.T, s *Store, id string, n int) {
+	t.Helper()
+	meta := json.RawMessage(fmt.Sprintf(`{"jobs":%d}`, n))
+	if err := s.Begin(id, t0, meta); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := json.RawMessage(fmt.Sprintf(`{"index":%d,"app":"Todo","state":"done"}`, i))
+		if err := s.AppendRow(id, i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.End(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSweep(t, s, "s-000001", 3)
+	writeSweep(t, s, "s-000002", 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.IDs(); len(got) != 2 || got[0] != "s-000001" || got[1] != "s-000002" {
+		t.Fatalf("IDs = %v, want [s-000001 s-000002]", got)
+	}
+	rec, ok := s2.Get("s-000001")
+	if !ok {
+		t.Fatal("s-000001 not recovered")
+	}
+	if len(rec.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rec.Rows))
+	}
+	if !rec.Created.Equal(t0) {
+		t.Fatalf("created = %v, want %v", rec.Created, t0)
+	}
+	if want := `{"index":2,"app":"Todo","state":"done"}`; string(rec.Rows[2]) != want {
+		t.Fatalf("row 2 = %s, want %s", rec.Rows[2], want)
+	}
+	if s2.Torn() != 0 || s2.Dropped() != 0 {
+		t.Fatalf("clean recovery reported torn=%d dropped=%d", s2.Torn(), s2.Dropped())
+	}
+}
+
+// TestIncompleteSweepDroppedOnRecovery: a begin without an end (process died
+// mid-sweep) is discarded, not served half-finished.
+func TestIncompleteSweepDroppedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSweep(t, s, "s-000001", 2)
+	if err := s.Begin("s-000002", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow("s-000002", 0, json.RawMessage(`{"index":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // flushes; no end record for s-000002
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("s-000002"); ok {
+		t.Fatal("incomplete sweep served after recovery")
+	}
+	if _, ok := s2.Get("s-000001"); !ok {
+		t.Fatal("complete sweep lost")
+	}
+	if s2.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", s2.Dropped())
+	}
+}
+
+// TestTornFinalRecordEveryOffset is the crash-mid-write regression: the WAL
+// truncated at EVERY byte offset of its final record must recover all prior
+// records, discard the torn tail, and count it — never poison replay.
+func TestTornFinalRecordEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSweep(t, s, "s-000001", 2)
+	writeSweep(t, s, "s-000002", 1)
+	s.Close()
+
+	wal, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final record is s-000002's "end" line.
+	trimmed := bytes.TrimSuffix(wal, []byte("\n"))
+	lastStart := bytes.LastIndexByte(trimmed, '\n') + 1
+	if lastStart <= 0 {
+		t.Fatalf("could not locate last record in %d-byte WAL", len(wal))
+	}
+	if !bytes.Contains(wal[lastStart:], []byte(`"end"`)) {
+		t.Fatalf("last record %q is not the end record", wal[lastStart:])
+	}
+
+	for off := lastStart; off < len(wal); off++ {
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, walName), wal[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Open(tdir)
+		if err != nil {
+			t.Fatalf("offset %d: Open failed: %v", off, err)
+		}
+		if _, ok := rs.Get("s-000001"); !ok {
+			t.Fatalf("offset %d: intact sweep s-000001 lost", off)
+		}
+		// s-000002's end record is torn → the sweep is incomplete → dropped.
+		if _, ok := rs.Get("s-000002"); ok {
+			t.Fatalf("offset %d: sweep with torn end record served", off)
+		}
+		// Truncating at exactly the record boundary leaves a clean tail
+		// (nothing of the last record remains); any later offset leaves a
+		// detectable torn record.
+		wantTorn := int64(1)
+		if off == lastStart {
+			wantTorn = 0
+		}
+		if rs.Torn() != wantTorn {
+			t.Fatalf("offset %d: torn = %d, want %d", off, rs.Torn(), wantTorn)
+		}
+		// The recovered store must accept appends: the torn tail is gone,
+		// not fatal.
+		writeSweep(t, rs, "s-000099", 1)
+		rs.Close()
+	}
+}
+
+// TestTornRowRecord: tearing a mid-sweep row record (not just the end
+// record) also degrades cleanly.
+func TestTornRowRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSweep(t, s, "s-000001", 1)
+	if err := s.Begin("s-000002", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow("s-000002", 0, json.RawMessage(`{"index":0,"app":"Todo"}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	wal, _ := os.ReadFile(filepath.Join(dir, walName))
+	for cut := 1; cut < 20; cut++ {
+		tdir := t.TempDir()
+		os.WriteFile(filepath.Join(tdir, walName), wal[:len(wal)-cut], 0o644)
+		rs, err := Open(tdir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if _, ok := rs.Get("s-000001"); !ok {
+			t.Fatalf("cut %d: intact sweep lost", cut)
+		}
+		rs.Close()
+	}
+}
+
+func TestCompactionPreservesSweepsAndShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		writeSweep(t, s, fmt.Sprintf("s-%06d", i), 2)
+	}
+	// An in-flight sweep must survive compaction and complete afterwards.
+	if err := s.Begin("s-000100", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow("s-000100", 0, json.RawMessage(`{"index":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow("s-000100", 1, json.RawMessage(`{"index":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.End("s-000100"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The WAL now holds only the carried-over records, not the 5 sweeps.
+	wal, _ := os.ReadFile(filepath.Join(dir, walName))
+	if bytes.Contains(wal, []byte("s-000005")) {
+		t.Fatal("compacted WAL still holds completed-sweep records")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 1; i <= 5; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("s-%06d", i)); !ok {
+			t.Fatalf("sweep %d lost across compaction", i)
+		}
+	}
+	rec, ok := s2.Get("s-000100")
+	if !ok || len(rec.Rows) != 2 {
+		t.Fatalf("in-flight sweep across compaction: ok=%v rows=%d, want 2", ok, len(rec.Rows))
+	}
+}
+
+// TestSnapshotPlusStaleWALDedupes models the compaction crash window: the
+// snapshot was renamed in but the old WAL was not yet truncated, so both
+// hold the same sweeps. Replay must dedupe, not duplicate.
+func TestSnapshotPlusStaleWALDedupes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSweep(t, s, "s-000001", 2)
+	s.Close()
+	wal, _ := os.ReadFile(filepath.Join(dir, walName))
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Resurrect the pre-compaction WAL next to the fresh snapshot.
+	if err := os.WriteFile(filepath.Join(dir, walName), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.IDs(); len(got) != 1 {
+		t.Fatalf("IDs = %v, want exactly one s-000001", got)
+	}
+	rec, _ := s2.Get("s-000001")
+	if len(rec.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (duplicated rows not deduped)", len(rec.Rows))
+	}
+}
+
+func TestAutoCompactionThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetCompactThreshold(1) // every End triggers compaction
+	writeSweep(t, s, "s-000001", 1)
+	writeSweep(t, s, "s-000002", 1)
+	if s.compactions.Load() < 2 {
+		t.Fatalf("compactions = %d, want >= 2", s.compactions.Load())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatal("no snapshot written by auto-compaction")
+	}
+}
+
+func TestAppendRowOrderEnforced(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Begin("s-000001", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRow("s-000001", 1, json.RawMessage(`{}`)); err == nil ||
+		!strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("out-of-order append err = %v", err)
+	}
+	if err := s.End("s-000404"); err == nil {
+		t.Fatal("End on unknown sweep succeeded")
+	}
+}

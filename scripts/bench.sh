@@ -1,20 +1,95 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR4.json: re-runs the PR 4 headline benchmarks and
-# records them against the pre-PR baselines measured on the seed tree
-# (commit f26a6a2, same machine class). Run from the repository root:
+# Regenerates BENCH_PR4.json and BENCH_PR6.json. Run from the repository
+# root:
 #
-#   ./scripts/bench.sh
+#   ./scripts/bench.sh            # both
+#   ./scripts/bench.sh pr4        # micro-benchmarks only
+#   ./scripts/bench.sh pr6        # greenload throughput only
 #
-# The "before" numbers are frozen — they were measured once on the tree
-# immediately before the hot-path overhaul and cannot be regenerated from a
-# checkout that contains it. The "after" numbers come from the run below.
+# PR 4: re-runs the headline micro-benchmarks and records them against the
+# frozen pre-PR baselines (measured once on the seed tree, commit f26a6a2,
+# same machine class — they cannot be regenerated from a checkout containing
+# the overhaul).
+#
+# PR 6: boots a live greensrv at 1 node and at 4 nodes, drives each with
+# cmd/greenload, and records sweeps/sec plus p99 end-to-end latency.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+WHAT="${1:-all}"
+
 BENCHTIME="${BENCHTIME:-3s}"
 OUT="${OUT:-BENCH_PR4.json}"
+OUT6="${OUT6:-BENCH_PR6.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+# -------------------------------------------------------------------------
+# PR 6: greenload throughput at 1 vs 4 nodes.
+# -------------------------------------------------------------------------
+run_pr6() {
+  local bin_srv bin_load sdir pid addr=127.0.0.1:18099
+  bin_srv="$(mktemp -u)" bin_load="$(mktemp -u)"
+  go build -o "$bin_srv" ./cmd/greensrv
+  go build -o "$bin_load" ./cmd/greenload
+
+  # One load run against a fresh server at the given node count; emits the
+  # greenload JSON report path.
+  load_at() {
+    local nodes=$1 report=$2
+    sdir="$(mktemp -d)"
+    "$bin_srv" -addr "$addr" -nodes "$nodes" -workers 2 -store "$sdir" \
+      -admit-queue 1024 >/dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 50); do
+      curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+      sleep 0.1
+    done
+    "$bin_load" -addr "http://$addr" \
+      -sweeps "${LOAD_SWEEPS:-120}" -concurrency "${LOAD_CONC:-12}" \
+      -apps Todo,MSN -kinds Perf,GreenWeb-I -phase micro \
+      -client-id bench -wait-persisted -json "$report" >&2
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    rm -rf "$sdir"
+  }
+
+  local r1 r4
+  r1="$(mktemp)" r4="$(mktemp)"
+  echo "greenload vs 1-node greensrv..." >&2
+  load_at 1 "$r1"
+  echo "greenload vs 4-node greensrv..." >&2
+  load_at 4 "$r4"
+
+  python3 - "$r1" "$r4" > "$OUT6" <<'PY'
+import json, sys
+one, four = (json.load(open(p)) for p in sys.argv[1:3])
+def row(nodes, r):
+    return {
+        "nodes": nodes, "workers_per_node": 2,
+        "sweeps": r["sweeps"], "concurrency": 12,
+        "sweeps_per_sec": r["sweeps_per_sec"],
+        "jobs_per_sec": r["jobs_per_sec"],
+        "e2e_p50_ms": r["e2e_ms"]["p50"],
+        "e2e_p99_ms": r["e2e_ms"]["p99"],
+        "submit_p99_ms": r["submit_ms"]["p99"],
+        "rejections": r["rejections"],
+    }
+out = {
+    "pr": 6,
+    "title": "sharded multi-node fleet, durable sweep WAL, admission control",
+    "workload": "greenload micro-phase sweeps (Todo,MSN x Perf,GreenWeb-I), -wait-persisted, WAL store on tmpfs-or-disk",
+    "rows": [row(1, one), row(4, four)],
+    "speedup_sweeps_per_sec": round(four["sweeps_per_sec"] / one["sweeps_per_sec"], 2),
+}
+json.dump(out, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+  rm -f "$r1" "$r4" "$bin_srv" "$bin_load"
+  echo "wrote $OUT6" >&2
+}
+
+if [ "$WHAT" = pr6 ]; then run_pr6; exit 0; fi
 
 echo "running benchmarks (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkCascadeLargestApp' -benchmem -benchtime="$BENCHTIME" ./internal/css/ | tee -a "$RAW" >&2
@@ -72,3 +147,5 @@ declare -A BEFORE_ALLOCS=(
 } > "$OUT"
 
 echo "wrote $OUT" >&2
+
+if [ "$WHAT" != pr4 ]; then run_pr6; fi
