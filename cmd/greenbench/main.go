@@ -30,10 +30,14 @@
 //   - -no-obs disables the observability layer (metrics counters and the
 //     per-frame decision recorder). Like the asset cache, it is out-of-band:
 //     report and sweep bytes are identical with obs on or off (CI diffs them).
+//   - -no-vm executes scripts on the tree-walking interpreter instead of the
+//     bytecode VM. The VM charges the identical op sequence, so report and
+//     sweep bytes are identical either way (CI diffs them too) — only
+//     wall-clock time differs.
 //
 // Usage:
 //
-//	greenbench [-o report.txt] [-workers N] [-seq] [-no-asset-cache]
+//	greenbench [-o report.txt] [-workers N] [-seq] [-no-asset-cache] [-no-vm]
 //	greenbench [-cpuprofile cpu.pb] [-memprofile mem.pb] ...
 //	greenbench -faults default|JSON|@file [-fault-seed S] [-o rows.ndjson]
 //	greenbench -trace out.json [-trace-app NAME] [-trace-kind KIND]
@@ -55,6 +59,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/obs"
 )
@@ -78,6 +83,7 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to a file (go tool pprof)")
 	noAssetCache := flag.Bool("no-asset-cache", false, "disable the parse-once page asset cache (re-parse every cell; output must be identical)")
 	noObs := flag.Bool("no-obs", false, "disable metrics and decision recording (output must be identical)")
+	noVM := flag.Bool("no-vm", false, "execute scripts on the tree-walking interpreter instead of the bytecode VM (output must be identical)")
 	flag.Parse()
 
 	if *noAssetCache {
@@ -85,6 +91,9 @@ func run() int {
 	}
 	if *noObs {
 		obs.SetEnabled(false)
+	}
+	if *noVM {
+		js.SetVM(false)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

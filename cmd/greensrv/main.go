@@ -12,7 +12,7 @@
 //	         [-max-attempts N] [-retry-base 50ms] [-retry-max 2s] [-retry-seed S]
 //	         [-store DIR] [-store-compact BYTES]
 //	         [-admit-queue N] [-admit-rate R] [-admit-burst B]
-//	         [-no-obs] [-drain-timeout 30s] [-obs-dump FILE]
+//	         [-no-obs] [-no-vm] [-drain-timeout 30s] [-obs-dump FILE]
 //
 // API:
 //
@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/obs"
 	"github.com/wattwiseweb/greenweb/internal/shard"
 	"github.com/wattwiseweb/greenweb/internal/store"
@@ -66,6 +67,7 @@ func main() {
 	admitRate := flag.Float64("admit-rate", 0, "per-client sweep submissions per second (0 = off)")
 	admitBurst := flag.Int("admit-burst", 10, "per-client token-bucket burst")
 	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
+	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight sweeps on SIGINT/SIGTERM before cancellation")
 	obsDump := flag.String("obs-dump", "", "file for the final metrics snapshot on shutdown (default stderr)")
 	flag.Parse()
@@ -78,6 +80,9 @@ func main() {
 	if *noObs {
 		obs.SetEnabled(false)
 		baseCtx = obs.ContextWithObs(baseCtx, false)
+	}
+	if *noVM {
+		js.SetVM(false)
 	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -8,7 +8,14 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/dom"
 	"github.com/wattwiseweb/greenweb/internal/html"
 	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
+
+// obsScriptCompiles counts bytecode compiles performed while building page
+// assets. With the cache on this stays at one per distinct script; a climbing
+// rate means the cache is disabled or pages are being churned.
+var obsScriptCompiles = obs.Default().Counter("greenweb_assets_script_compiles_total",
+	"Scripts compiled to bytecode while building page assets")
 
 // pageAssets is the parse-once product of one page source: the HTML document
 // as an immutable template, the parsed stylesheets, and the parsed script
@@ -33,6 +40,12 @@ type pageAssets struct {
 	scripts   []string
 	programs  []*js.Program // parallel to scripts; nil where parsing failed
 	parseErrs []error       // parallel to scripts; the error where nil above
+
+	// compiled is the bytecode form of each program, built once alongside the
+	// parse. Compilation is pure (no interpreter state), so a shared compile
+	// is as safe as the shared AST; the engine falls back to the AST when the
+	// VM is disabled. nil where the parse failed.
+	compiled []*js.CompiledProgram
 }
 
 var (
@@ -72,8 +85,13 @@ func buildAssets(src string) *pageAssets {
 	a.scripts = html.ScriptSources(a.tmpl)
 	a.programs = make([]*js.Program, len(a.scripts))
 	a.parseErrs = make([]error, len(a.scripts))
+	a.compiled = make([]*js.CompiledProgram, len(a.scripts))
 	for i, s := range a.scripts {
 		a.programs[i], a.parseErrs[i] = js.Parse(s)
+		if a.programs[i] != nil && js.VMEnabled() {
+			a.compiled[i] = js.Compile(a.programs[i])
+			obsScriptCompiles.Inc()
+		}
 	}
 	return a
 }

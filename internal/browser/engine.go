@@ -27,6 +27,10 @@ var (
 		"Page loads that built assets fresh (cold cache or cache disabled)")
 	obsDroppedCSS = obs.Default().Counter("greenweb_engine_dropped_css_rules_total",
 		"Malformed CSS rules skipped by the tolerant parser across page loads")
+	obsVMScripts = obs.Default().Counter("greenweb_engine_vm_scripts_total",
+		"Startup scripts executed on the bytecode VM")
+	obsTreeScripts = obs.Default().Counter("greenweb_engine_treewalk_scripts_total",
+		"Startup scripts executed by the tree-walking interpreter")
 )
 
 // Governor decides execution configurations. The baselines (Perf,
@@ -194,6 +198,12 @@ type LoadStats struct {
 	// AssetCacheHit reports whether the page's parses were served from the
 	// process-wide asset cache.
 	AssetCacheHit bool
+	// VMScripts and TreeWalkScripts count how many startup scripts ran on
+	// the bytecode VM versus the tree-walking interpreter. The split is pure
+	// observability — both engines charge identical ops — but makes a
+	// misconfigured -no-vm ablation visible in one glance.
+	VMScripts       int
+	TreeWalkScripts int
 }
 
 // LoadStats returns the page-load statistics. Valid after LoadPage.
@@ -393,16 +403,27 @@ func (e *Engine) LoadPage(src string) (UID, error) {
 			run: func() acmp.Work {
 				e.curDispatch = &DispatchResult{}
 				var ops int64
-				// Run the cached ASTs. RunSource is Parse + Run, and the
-				// interpreter counts ops only during evaluation, so this
-				// yields the same ops and the same errors (a script that
-				// failed to parse reports its recorded parse error).
+				// Run the cached parses. The VM executes the compiled unit
+				// cached next to the AST; the tree-walker (or a unit that
+				// was built while the VM was off) takes the AST path. Both
+				// charge the identical op sequence, so reported work does
+				// not depend on the engine choice — only wall-clock does.
 				for i := range assets.scripts {
 					e.interp.ResetOps()
 					if prog := assets.programs[i]; prog == nil {
 						e.scriptErrs = append(e.scriptErrs, assets.parseErrs[i])
-					} else if err := e.interp.Run(prog); err != nil {
-						e.scriptErrs = append(e.scriptErrs, err)
+					} else if cp := assets.compiled[i]; cp != nil && js.VMEnabled() {
+						e.loadStats.VMScripts++
+						obsVMScripts.Inc()
+						if err := e.interp.RunCompiled(cp); err != nil {
+							e.scriptErrs = append(e.scriptErrs, err)
+						}
+					} else {
+						e.loadStats.TreeWalkScripts++
+						obsTreeScripts.Inc()
+						if err := e.interp.Run(prog); err != nil {
+							e.scriptErrs = append(e.scriptErrs, err)
+						}
 					}
 					ops += e.interp.ResetOps()
 				}
@@ -450,24 +471,38 @@ func (e *Engine) installPrelude() {
 		}
 		return js.Undefined, nil
 	}))
-	prelude := `
-		function animate(el, prop, from, to, durationMs) {
-			__markAnimate();
-			var start = performance.now();
-			function step() {
-				var t = (performance.now() - start) / durationMs;
-				if (t > 1) { t = 1; }
-				el.style[prop] = (from + (to - from) * t) + "px";
-				if (t < 1) { requestAnimationFrame(step); }
-			}
-			requestAnimationFrame(step);
-		}
-	`
-	if err := e.interp.RunSource(prelude); err != nil {
+	var err error
+	if js.VMEnabled() {
+		err = e.interp.RunCompiled(preludeCompiled)
+	} else {
+		err = e.interp.Run(preludeProg)
+	}
+	if err != nil {
 		panic("browser: prelude failed: " + err.Error())
 	}
 	e.interp.ResetOps()
 }
+
+const preludeSrc = `
+	function animate(el, prop, from, to, durationMs) {
+		__markAnimate();
+		var start = performance.now();
+		function step() {
+			var t = (performance.now() - start) / durationMs;
+			if (t > 1) { t = 1; }
+			el.style[prop] = (from + (to - from) * t) + "px";
+			if (t < 1) { requestAnimationFrame(step); }
+		}
+		requestAnimationFrame(step);
+	}
+`
+
+// The prelude is identical for every engine, so it is parsed and compiled
+// exactly once per process instead of once per page load.
+var (
+	preludeProg     = js.MustParse(preludeSrc)
+	preludeCompiled = js.Compile(preludeProg)
+)
 
 // ---- input injection ----
 

@@ -6,6 +6,10 @@ import (
 
 	"github.com/wattwiseweb/greenweb/internal/apps"
 	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/replay"
+	"github.com/wattwiseweb/greenweb/internal/sim"
 )
 
 // benchCell is the heaviest full-suite cell: the largest catalog app (BBC)
@@ -38,6 +42,92 @@ func BenchmarkExecuteCellWarmFull(b *testing.B) {
 		}
 	}
 }
+
+// scriptHeavyApp models a page whose tap handler is real JavaScript — a
+// hashing kernel in plain loops — rather than the catalog's work() native
+// stand-in (which charges ops without interpreting anything). This is the
+// workload the bytecode VM targets: interpreter time dominates the cell, so
+// the VM vs -no-vm ablation below measures engine speed rather than DOM
+// clone or cascade overhead. BENCH_PR7.json tracks the pair.
+var scriptHeavyApp = func() *apps.App {
+	const script = `
+		var kernel = (function () {
+			var table = [];
+			for (var i = 0; i < 64; i++) { table[i] = (i * 2654435761) % 97; }
+			function mix(h, v) { return (h * 31 + v) % 1000003; }
+			return function (rounds) {
+				var h = 17;
+				for (var r = 0; r < rounds; r++) {
+					for (var i = 0; i < 64; i++) { h = (h * 31 + table[i]) % 1000003; }
+					h = mix(h, r);
+				}
+				return h;
+			};
+		})();
+		var digest = kernel(200);
+		var taps = 0;
+		document.getElementById("go").addEventListener("click", function (e) {
+			taps++;
+			digest = kernel(700);
+			document.getElementById("out").textContent = "digest " + digest + " after " + taps;
+		});
+	`
+	const html = `<html><head><style></style></head><body>
+<h1>ScriptHeavy</h1>
+<div id="go">hash</div>
+<div id="out">idle</div>
+<script>
+` + script + `
+</script></body></html>`
+	trace := &replay.Trace{Name: "script-heavy-taps"}
+	at := sim.Second
+	for i := 0; i < 10; i++ {
+		trace.Append(replay.Tap(at, "go")...)
+		at += 2 * sim.Second
+	}
+	return &apps.App{
+		Name:        "ScriptHeavy",
+		Domain:      "benchmark",
+		Interaction: apps.Tapping,
+		QoSType:     qos.Single,
+		QoSTarget:   qos.SingleLongTarget,
+		BaseHTML:    html,
+		AnnotationCSS: `
+			body:QoS { onload-qos: single, long; }
+			div#go:QoS { onclick-qos: single, long; }
+		`,
+		Micro: trace,
+		Full:  trace,
+	}
+}()
+
+func benchVMAblation(b *testing.B, vm bool) {
+	js.SetVM(vm)
+	defer js.SetVM(true)
+	// Drop assets built under the other engine setting: compiled units are
+	// only attached while the VM is on, and the cache key is page source.
+	browser.ResetAssetCache()
+	cell := Cell{App: scriptHeavyApp, Kind: GreenWebU, Full: true}
+	if _, err := ExecuteCell(context.Background(), cell); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteCell(context.Background(), cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	browser.ResetAssetCache()
+}
+
+// BenchmarkExecuteCellWarmScriptVM / ...NoVM are the PR 7 ablation pair: the
+// same script-dominated cell on the bytecode VM and on the tree-walking
+// interpreter. Their outputs are byte-identical (CI diffs the full report
+// both ways); only wall-clock differs.
+func BenchmarkExecuteCellWarmScriptVM(b *testing.B)   { benchVMAblation(b, true) }
+func BenchmarkExecuteCellWarmScriptNoVM(b *testing.B) { benchVMAblation(b, false) }
 
 // BenchmarkExecuteCellColdFull measures the same cell with the asset cache
 // emptied before every execution — the first-cell-of-a-sweep path, and a

@@ -173,12 +173,21 @@ func arrayMethod(o *Object, name string) (Value, bool) {
 		}), true
 	case "sort":
 		return NativeFunc("sort", func(in *Interp, this Value, args []Value) (Value, error) {
+			// Charge the comparisons actually performed (a flat 4*len guess
+			// under-charged large sorts and over-charged tiny ones), and on a
+			// comparator error restore the pre-sort order: a half-permuted
+			// array must not leak out of a failed sort.
 			var sortErr error
-			in.ChargeOps(int64(len(o.Elems)) * 4)
+			var cmps int64
+			var orig []Value
+			if len(args) > 0 {
+				orig = append([]Value(nil), o.Elems...)
+			}
 			sort.SliceStable(o.Elems, func(i, j int) bool {
 				if sortErr != nil {
 					return false
 				}
+				cmps++
 				if len(args) > 0 {
 					v, err := in.CallFunction(args[0], Undefined, []Value{o.Elems[i], o.Elems[j]})
 					if err != nil {
@@ -189,7 +198,9 @@ func arrayMethod(o *Object, name string) (Value, bool) {
 				}
 				return o.Elems[i].Text() < o.Elems[j].Text()
 			})
+			in.ChargeOps(cmps)
 			if sortErr != nil {
+				copy(o.Elems, orig)
 				return Undefined, sortErr
 			}
 			return ObjVal(o), nil
@@ -437,12 +448,14 @@ func (in *Interp) InstallStdlib(logf func(string)) {
 		if len(args) == 0 {
 			return Undefined, nil
 		}
-		data, err := json.Marshal(toGo(args[0], 0))
-		if err != nil {
-			return Undefined, &RuntimeError{Msg: "JSON.stringify: " + err.Error()}
+		var b strings.Builder
+		if !stringifyJSON(args[0], 0, &b) {
+			// Top-level undefined or function: JSON.stringify returns
+			// undefined, as in JavaScript.
+			return Undefined, nil
 		}
-		in.ChargeOps(int64(len(data)) / 2)
-		return Str(string(data)), nil
+		in.ChargeOps(int64(b.Len()) / 2)
+		return Str(b.String()), nil
 	}))
 	jsonObj.Set("parse", NativeFunc("parse", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
@@ -463,40 +476,95 @@ func thrownStr(s string) *Value {
 	return &v
 }
 
-// toGo converts a script value to a Go value for JSON encoding. Functions
-// and over-deep structures become null (JSON.stringify drops functions;
-// the depth cap guards cyclic objects).
-func toGo(v Value, depth int) any {
+// stringifyJSON encodes a script value as JSON in property insertion order
+// (real JavaScript enumeration order — the old path lowered objects to
+// map[string]any and let encoding/json sort the keys). It reports false for
+// values JSON.stringify omits entirely (undefined and functions): omitted
+// object members drop their key, omitted array elements encode as null.
+// Over-deep structures (the depth cap guards cycles) encode as null.
+func stringifyJSON(v Value, depth int, b *strings.Builder) bool {
 	if depth > 64 {
-		return nil
+		b.WriteString("null")
+		return true
 	}
 	switch v.Kind() {
-	case KindUndefined, KindNull:
-		return nil
+	case KindUndefined:
+		return false
+	case KindNull:
+		b.WriteString("null")
 	case KindBool:
-		return v.Truthy()
+		if v.Truthy() {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
 	case KindNumber:
-		return v.Number()
+		writeJSONNumber(b, v.Number())
 	case KindString:
-		return v.Text()
+		writeJSONString(b, v.Text())
 	default:
 		o := v.Object()
 		if o.Fn != nil {
-			return nil
+			return false
 		}
 		if o.IsArray {
-			out := make([]any, len(o.Elems))
+			b.WriteByte('[')
 			for i, e := range o.Elems {
-				out[i] = toGo(e, depth+1)
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				if !stringifyJSON(e, depth+1, b) {
+					b.WriteString("null")
+				}
 			}
-			return out
+			b.WriteByte(']')
+			return true
 		}
-		out := make(map[string]any, len(o.Props))
-		for k, e := range o.Props {
-			out[k] = toGo(e, depth+1)
+		b.WriteByte('{')
+		first := true
+		for _, k := range o.order {
+			var member strings.Builder
+			if !stringifyJSON(o.Props[k], depth+1, &member) {
+				continue
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			writeJSONString(b, k)
+			b.WriteByte(':')
+			b.WriteString(member.String())
 		}
-		return out
+		b.WriteByte('}')
 	}
+	return true
+}
+
+// writeJSONString appends a JSON-escaped string using encoding/json's
+// escaping rules, so string bytes match the pre-rewrite encoder exactly.
+func writeJSONString(b *strings.Builder, s string) {
+	data, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(data)
+}
+
+// writeJSONNumber appends a number with encoding/json's formatting;
+// non-finite numbers encode as null (as JSON.stringify does in JavaScript,
+// where encoding/json would instead fail the whole document).
+func writeJSONNumber(b *strings.Builder, f float64) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		b.WriteString("null")
+		return
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		b.WriteString("null")
+		return
+	}
+	b.Write(data)
 }
 
 // fromGo converts a decoded JSON value into a script value.
@@ -517,9 +585,17 @@ func fromGo(v any) Value {
 		}
 		return ObjVal(arr)
 	case map[string]any:
+		// encoding/json loses document order, and Go map iteration is
+		// randomized; sort so a parsed object's enumeration order (and any
+		// re-stringify) is deterministic across runs and workers.
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		o := NewObject()
-		for k, e := range x {
-			o.Set(k, fromGo(e))
+		for _, k := range keys {
+			o.Set(k, fromGo(x[k]))
 		}
 		return ObjVal(o)
 	default:

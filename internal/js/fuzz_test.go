@@ -32,21 +32,25 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// runFuzzSeeds seeds both FuzzRun and the differential FuzzVMvsInterp, so
+// any program the run fuzzer has ever found interesting also becomes a
+// two-engine parity probe.
+var runFuzzSeeds = []string{
+	"var x = 1; x += 2;",
+	"var a = []; a.push(1); a[5] = 2; a.length = 1;",
+	"function f(n) { return n <= 0 ? 0 : f(n - 1); } f(3);",
+	"var s = \"ab\".toUpperCase() + [1,2].join(\"-\");",
+	"for (var k in {a:1}) { var v = k; }",
+	"try { throw 1; } catch (e) { var c = e; }",
+	"JSON.parse(JSON.stringify({a: [1, null, true]}));",
+	"while (x) { }",
+	"undefinedVar();",
+}
+
 // FuzzRun executes arbitrary programs under a tight operation budget: the
 // interpreter must never panic and must stop runaway scripts.
 func FuzzRun(f *testing.F) {
-	seeds := []string{
-		"var x = 1; x += 2;",
-		"var a = []; a.push(1); a[5] = 2; a.length = 1;",
-		"function f(n) { return n <= 0 ? 0 : f(n - 1); } f(3);",
-		"var s = \"ab\".toUpperCase() + [1,2].join(\"-\");",
-		"for (var k in {a:1}) { var v = k; }",
-		"try { throw 1; } catch (e) { var c = e; }",
-		"JSON.parse(JSON.stringify({a: [1, null, true]}));",
-		"while (x) { }",
-		"undefinedVar();",
-	}
-	for _, s := range seeds {
+	for _, s := range runFuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

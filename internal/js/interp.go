@@ -40,6 +40,10 @@ type Interp struct {
 
 	depth    int
 	maxDepth int
+
+	// vstack is the bytecode VM's shared value stack (see vm.go). Kept on
+	// the interpreter so nested invocations reuse one backing array.
+	vstack []Value
 }
 
 // DefaultOpLimit bounds a single Run/CallFunction to catch runaway scripts.
@@ -92,8 +96,13 @@ func rtErr(n Node, format string, args ...any) error {
 	return &RuntimeError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Run executes a program in the global scope.
+// Run executes a program in the global scope. When the VM is enabled the
+// program is compiled to bytecode first; op accounting is identical either
+// way.
 func (in *Interp) Run(prog *Program) error {
+	if VMEnabled() {
+		return in.RunCompiled(Compile(prog))
+	}
 	_, _, err := in.execBlock(prog.Body, in.Globals)
 	return err
 }
@@ -129,13 +138,35 @@ func (in *Interp) invoke(f *Function, this Value, args []Value, at Node) (Value,
 		}
 		return Undefined, rtErr(at, "call stack overflow (%d frames)", in.maxDepth)
 	}
-	env := NewEnv(f.Env)
+	var env *Env
+	if f.Code != nil {
+		env = NewEnvCap(f.Env, f.Code.locals)
+	} else {
+		env = NewEnv(f.Env)
+	}
 	for i, p := range f.Params {
 		if i < len(args) {
 			env.Define(p, args[i])
 		} else {
 			env.Define(p, Undefined)
 		}
+	}
+	if f.Code != nil {
+		// Bytecode path: same frame setup, segment execution instead of a
+		// tree walk. The arguments array is skipped when the body provably
+		// never mentions it — a pure allocation saving, ops are unaffected.
+		if f.Code.needArgs {
+			env.Define("arguments", ObjVal(NewArray(args...)))
+		}
+		env.Define("this", this)
+		v, c, err := in.runSeg(f.Code.body, f.Code.u, env)
+		if err != nil {
+			return Undefined, err
+		}
+		if c == ctrlReturn {
+			return v, nil
+		}
+		return Undefined, nil
 	}
 	env.Define("arguments", ObjVal(NewArray(args...)))
 	env.Define("this", this)
@@ -680,7 +711,7 @@ func (in *Interp) evalUnary(x *Unary, env *Env) (Value, error) {
 				return Undefined, err
 			}
 			if o := recv.Object(); o != nil {
-				delete(o.Props, tg.Name)
+				o.Delete(tg.Name)
 			}
 			return True, nil
 		case *Index:
@@ -693,7 +724,7 @@ func (in *Interp) evalUnary(x *Unary, env *Env) (Value, error) {
 				return Undefined, err
 			}
 			if o := recv.Object(); o != nil {
-				delete(o.Props, idx.Text())
+				o.Delete(idx.Text())
 			}
 			return True, nil
 		default:
@@ -815,12 +846,8 @@ func (in *Interp) assignTo(target Expr, v Value, env *Env) error {
 		if err != nil {
 			return err
 		}
-		o := recv.Object()
-		if o == nil {
-			return rtErr(tg, "cannot set property %q of %s", tg.Name, recv.Kind())
-		}
-		o.Set(tg.Name, v)
-		return nil
+		line, col := tg.Pos()
+		return in.storeProp(recv, tg.Name, v, line, col)
 	case *Index:
 		recv, err := in.eval(tg.X, env)
 		if err != nil {
@@ -830,15 +857,46 @@ func (in *Interp) assignTo(target Expr, v Value, env *Env) error {
 		if err != nil {
 			return err
 		}
-		o := recv.Object()
-		if o == nil {
-			return rtErr(tg, "cannot set index of %s", recv.Kind())
-		}
-		o.Set(idx.Text(), v)
-		return nil
+		line, col := tg.Pos()
+		return in.storeIndex(recv, idx, v, line, col)
 	default:
 		return rtErr(target, "invalid assignment target %T", target)
 	}
+}
+
+// storeProp writes recv.name = v with script metering, pinning the error
+// position. Shared by the tree-walking assignTo and the VM's store ops so
+// both engines fail (and charge) identically.
+func (in *Interp) storeProp(recv Value, name string, v Value, line, col int) error {
+	o := recv.Object()
+	if o == nil {
+		return &RuntimeError{Line: line, Col: col, Msg: fmt.Sprintf("cannot set property %q of %s", name, recv.Kind())}
+	}
+	if err := o.SetMetered(in, name, v); err != nil {
+		return positioned(err, line, col)
+	}
+	return nil
+}
+
+// storeIndex writes recv[idx] = v with script metering.
+func (in *Interp) storeIndex(recv, idx, v Value, line, col int) error {
+	o := recv.Object()
+	if o == nil {
+		return &RuntimeError{Line: line, Col: col, Msg: fmt.Sprintf("cannot set index of %s", recv.Kind())}
+	}
+	if err := o.SetMetered(in, idx.Text(), v); err != nil {
+		return positioned(err, line, col)
+	}
+	return nil
+}
+
+// positioned fills in the source position of a RuntimeError raised by
+// position-blind code (value-layer range checks).
+func positioned(err error, line, col int) error {
+	if re, ok := err.(*RuntimeError); ok && re.Line == 0 && re.Col == 0 {
+		re.Line, re.Col = line, col
+	}
+	return err
 }
 
 func (in *Interp) evalArgs(args []Expr, env *Env) ([]Value, error) {

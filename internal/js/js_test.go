@@ -637,7 +637,7 @@ func TestGoStringFormatting(t *testing.T) {
 	obj := NewObject()
 	obj.Set("b", Num(2))
 	obj.Set("a", Num(1))
-	if GoString(ObjVal(obj)) != "{a: 1, b: 2}" {
+	if GoString(ObjVal(obj)) != "{b: 2, a: 1}" {
 		t.Fatalf("object formatting = %s", GoString(ObjVal(obj)))
 	}
 }
@@ -662,11 +662,14 @@ func TestMissingArgsAreUndefined(t *testing.T) {
 	}
 }
 
+// The Interp benchmarks pin the tree-walking path (execBlock) so they stay
+// comparable against BenchmarkVMFib/BenchmarkVMLoop in vm_test.go; Run
+// would otherwise route through the VM.
 func BenchmarkInterpFib(b *testing.B) {
 	prog := MustParse(`var f = function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); }; f(15);`)
 	for i := 0; i < b.N; i++ {
 		in := NewInterp()
-		if err := in.Run(prog); err != nil {
+		if _, _, err := in.execBlock(prog.Body, in.Globals); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -676,7 +679,7 @@ func BenchmarkInterpLoop(b *testing.B) {
 	prog := MustParse(`var s = 0; for (var i = 0; i < 10000; i++) { s += i; }`)
 	for i := 0; i < b.N; i++ {
 		in := NewInterp()
-		if err := in.Run(prog); err != nil {
+		if _, _, err := in.execBlock(prog.Body, in.Globals); err != nil {
 			b.Fatal(err)
 		}
 	}

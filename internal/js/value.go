@@ -3,7 +3,6 @@ package js
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -246,6 +245,11 @@ type Object struct {
 	IsArray bool
 	Fn      *Function
 	Host    HostObject
+
+	// order tracks Props keys in insertion order, the enumeration order
+	// real JavaScript uses for for-in, Object.keys, and JSON.stringify.
+	// Maintained by Set/Delete; re-setting an existing key keeps its slot.
+	order []string
 }
 
 // NewObject returns an empty plain object.
@@ -286,38 +290,106 @@ func (o *Object) Get(name string) Value {
 	return Undefined
 }
 
-// Set writes a property, consulting the host first.
+// MaxArrayGrowth bounds how many elements a single array store may fill in.
+// Scripts that try to grow an array further (a.length = 1e9, a[1e9] = 1) get
+// a catchable RuntimeError instead of OOMing the process: the simulated op
+// budget could never afford touching that many elements anyway.
+const MaxArrayGrowth = 1 << 20
+
+// Set writes a property, consulting the host first. Host Go code uses this
+// unmetered entry point; script assignments go through SetMetered so array
+// growth is charged and bounded. Out-of-range array writes are dropped here
+// rather than allowed to allocate unboundedly.
 func (o *Object) Set(name string, v Value) {
+	o.SetMetered(nil, name, v) //nolint:errcheck // host writes drop range errors
+}
+
+// SetMetered writes a property on behalf of a script: array growth charges
+// interpreter ops proportional to the elements filled and is bounded by
+// MaxArrayGrowth, and invalid array lengths (NaN, ±Infinity, negative,
+// fractional) are rejected like JavaScript's RangeError instead of being
+// truncated through an implementation-defined int(float64) conversion.
+// A nil interpreter skips the charging (host writes).
+func (o *Object) SetMetered(in *Interp, name string, v Value) error {
 	if o.Host != nil && o.Host.HostSet(name, v) {
-		return
+		return nil
 	}
 	if o.IsArray {
 		if name == "length" {
-			n := int(v.Number())
-			if n < 0 {
-				n = 0
-			}
-			for len(o.Elems) < n {
-				o.Elems = append(o.Elems, Undefined)
-			}
-			o.Elems = o.Elems[:n]
-			return
+			return o.setLength(in, v)
 		}
 		if i, err := strconv.Atoi(name); err == nil && i >= 0 {
-			for len(o.Elems) <= i {
-				o.Elems = append(o.Elems, Undefined)
+			if i >= len(o.Elems) {
+				fill := i + 1 - len(o.Elems)
+				if fill > MaxArrayGrowth {
+					return &RuntimeError{Msg: fmt.Sprintf("array index %d grows array by %d elements (limit %d)", i, fill, MaxArrayGrowth)}
+				}
+				if in != nil {
+					in.ChargeOps(int64(fill))
+				}
+				for len(o.Elems) <= i {
+					o.Elems = append(o.Elems, Undefined)
+				}
 			}
 			o.Elems[i] = v
-			return
+			return nil
 		}
 	}
 	if o.Props == nil {
 		o.Props = map[string]Value{}
 	}
+	if _, exists := o.Props[name]; !exists {
+		o.order = append(o.order, name)
+	}
 	o.Props[name] = v
+	return nil
 }
 
-// Keys returns the object's own property names, sorted, plus array indexes.
+// setLength implements assignment to an array's length property with
+// JavaScript's validation: the value must be a non-negative integer number
+// (ToNumber first), growth is charged per element filled and bounded.
+func (o *Object) setLength(in *Interp, v Value) error {
+	f := v.Number()
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f != math.Trunc(f) {
+		return &RuntimeError{Msg: "invalid array length: " + v.Text()}
+	}
+	cur := len(o.Elems)
+	if f > float64(cur) {
+		grow := f - float64(cur)
+		if grow > MaxArrayGrowth {
+			return &RuntimeError{Msg: fmt.Sprintf("array length %s grows array by %s elements (limit %d)", formatNumber(f), formatNumber(grow), MaxArrayGrowth)}
+		}
+		if in != nil {
+			in.ChargeOps(int64(grow))
+		}
+		for len(o.Elems) < int(f) {
+			o.Elems = append(o.Elems, Undefined)
+		}
+		return nil
+	}
+	o.Elems = o.Elems[:int(f)]
+	return nil
+}
+
+// Delete removes a property, keeping the insertion-order index consistent.
+// Array element storage is untouched (delete a[i] leaves a hole in Props
+// semantics only), matching the previous interpreter behaviour.
+func (o *Object) Delete(name string) {
+	if _, ok := o.Props[name]; !ok {
+		return
+	}
+	delete(o.Props, name)
+	for i, k := range o.order {
+		if k == name {
+			o.order = append(o.order[:i], o.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Keys returns the object's own enumerable property names: array indexes
+// first, then named properties in insertion order (real JavaScript
+// enumeration order, which for-in, Object.keys, and JSON.stringify share).
 func (o *Object) Keys() []string {
 	var ks []string
 	if o.IsArray {
@@ -325,21 +397,20 @@ func (o *Object) Keys() []string {
 			ks = append(ks, strconv.Itoa(i))
 		}
 	}
-	var props []string
-	for k := range o.Props {
-		props = append(props, k)
-	}
-	sort.Strings(props)
-	return append(ks, props...)
+	return append(ks, o.order...)
 }
 
-// Function is a callable: either interpreted (Params/Body/Env) or native.
+// Function is a callable: native (Native), compiled bytecode (Code), or
+// tree-walked (Body). Code and Body coexist on functions produced under the
+// VM; Code wins at invoke time so a function value compiled once keeps
+// running on the VM wherever it flows.
 type Function struct {
 	Name   string
 	Params []string
 	Body   []Stmt
 	Env    *Env
 	Native func(in *Interp, this Value, args []Value) (Value, error)
+	Code   *compiledFn
 }
 
 // NativeFunc wraps a Go function as a callable value.
@@ -347,21 +418,77 @@ func NativeFunc(name string, fn func(in *Interp, this Value, args []Value) (Valu
 	return ObjVal(&Object{Props: map[string]Value{}, Fn: &Function{Name: name, Native: fn}})
 }
 
-// Env is a lexical scope frame.
+// envSmallMax is the inline-storage capacity of a scope frame. Most frames
+// (function invokes, block scopes) hold a handful of variables; keeping them
+// in parallel slices avoids a map allocation per frame on the interpreter's
+// hottest path. Frames that outgrow it (the globals) promote to a map.
+const envSmallMax = 16
+
+// Env is a lexical scope frame. Storage starts as small parallel slices and
+// promotes to a map past envSmallMax entries; lookup semantics are identical
+// either way (variable shadowing is by frame, never by position).
 type Env struct {
-	vars   map[string]Value
+	names  []string
+	vals   []Value
+	vars   map[string]Value // non-nil once promoted
 	parent *Env
 }
 
 // NewEnv returns a scope nested in parent (which may be nil for globals).
+// The frame allocates no storage until its first Define.
 func NewEnv(parent *Env) *Env {
-	return &Env{vars: map[string]Value{}, parent: parent}
+	return &Env{parent: parent}
+}
+
+// NewEnvCap is NewEnv with a compiler-supplied binding-count hint: the
+// parallel slices are sized once up front instead of growing per Define.
+func NewEnvCap(parent *Env, n int) *Env {
+	if n <= 0 {
+		return &Env{parent: parent}
+	}
+	if n > envSmallMax {
+		n = envSmallMax // frame will promote to a map anyway
+	}
+	return &Env{parent: parent, names: make([]string, 0, n), vals: make([]Value, 0, n)}
+}
+
+// getLocal reads a variable from this frame only.
+func (e *Env) getLocal(name string) (Value, bool) {
+	if e.vars != nil {
+		v, ok := e.vars[name]
+		return v, ok
+	}
+	for i, n := range e.names {
+		if n == name {
+			return e.vals[i], true
+		}
+	}
+	return Undefined, false
+}
+
+// setLocal overwrites a variable that exists in this frame. It reports
+// whether the variable was present.
+func (e *Env) setLocal(name string, v Value) bool {
+	if e.vars != nil {
+		if _, ok := e.vars[name]; ok {
+			e.vars[name] = v
+			return true
+		}
+		return false
+	}
+	for i, n := range e.names {
+		if n == name {
+			e.vals[i] = v
+			return true
+		}
+	}
+	return false
 }
 
 // Lookup finds a variable, walking outward.
 func (e *Env) Lookup(name string) (Value, bool) {
 	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
+		if v, ok := s.getLocal(name); ok {
 			return v, true
 		}
 	}
@@ -369,18 +496,36 @@ func (e *Env) Lookup(name string) (Value, bool) {
 }
 
 // Define creates or overwrites a variable in this scope.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	if e.setLocal(name, v) {
+		return
+	}
+	if e.vars != nil {
+		e.vars[name] = v
+		return
+	}
+	if len(e.names) >= envSmallMax {
+		e.vars = make(map[string]Value, len(e.names)+1)
+		for i, n := range e.names {
+			e.vars[n] = e.vals[i]
+		}
+		e.names, e.vals = nil, nil
+		e.vars[name] = v
+		return
+	}
+	e.names = append(e.names, name)
+	e.vals = append(e.vals, v)
+}
 
 // Assign sets an existing variable in the nearest scope defining it; if none
 // does, it defines a global (sloppy-mode JavaScript behaviour).
 func (e *Env) Assign(name string, v Value) {
 	for s := e; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
-			s.vars[name] = v
+		if s.setLocal(name, v) {
 			return
 		}
 		if s.parent == nil {
-			s.vars[name] = v // implicit global
+			s.Define(name, v) // implicit global
 			return
 		}
 	}

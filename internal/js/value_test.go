@@ -2,6 +2,7 @@ package js
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -81,8 +82,8 @@ func TestArrayLengthTruncationAndGrowth(t *testing.T) {
 		var afterTrunc = a.join(",");
 		a.length = 4;
 		var third = typeof a[2];
-		a.length = -1; // clamped to zero
-		var empty = a.length;
+		var caught = "";
+		try { a.length = -1; } catch (e) { caught = e; }
 	`)
 	if global(t, in, "afterTrunc").Text() != "1,2" {
 		t.Fatal("length truncation failed")
@@ -90,8 +91,8 @@ func TestArrayLengthTruncationAndGrowth(t *testing.T) {
 	if global(t, in, "third").Text() != "undefined" {
 		t.Fatal("growth must pad with undefined")
 	}
-	if global(t, in, "empty").Number() != 0 {
-		t.Fatal("negative length not clamped")
+	if got := global(t, in, "caught").Text(); !strings.Contains(got, "invalid array length") {
+		t.Fatalf("negative length must throw, caught = %q", got)
 	}
 }
 
