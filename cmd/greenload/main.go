@@ -7,8 +7,8 @@
 //
 //	greenload [-addr http://127.0.0.1:8080] [-sweeps N] [-concurrency C]
 //	          [-apps csv] [-kinds csv] [-phase micro|full] [-repeats N]
-//	          [-client-id ID] [-poll 25ms] [-timeout 2m] [-max-retries 50]
-//	          [-wait-persisted] [-json FILE]
+//	          [-faults JSON] [-client-id ID] [-poll 25ms] [-timeout 2m]
+//	          [-max-retries 50] [-wait-persisted] [-json FILE]
 //
 // greenload is an honest client: a 429/503 rejection is parsed for its
 // retry_after_ms (falling back to the Retry-After header) and the
@@ -107,6 +107,7 @@ func main() {
 	kinds := flag.String("kinds", "Perf,GreenWeb-U", "comma-separated governor kinds (empty = server default)")
 	phase := flag.String("phase", "micro", "trace phase: micro or full")
 	repeats := flag.Int("repeats", 0, "per-job repeats (0 = phase default)")
+	faults := flag.String("faults", "", `fault-injection spec merged into each sweep request, e.g. '{"seed":3,"dvfs":{"deny_prob":0.2}}'`)
 	clientID := flag.String("client-id", "", "X-Client-ID header (admission token-bucket key)")
 	poll := flag.Duration("poll", 25*time.Millisecond, "status poll interval")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-sweep completion deadline")
@@ -115,7 +116,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable report to this file")
 	flag.Parse()
 
-	body, err := json.Marshal(sweepRequest(*apps, *kinds, *phase, *repeats))
+	body, err := json.Marshal(sweepRequest(*apps, *kinds, *phase, *repeats, *faults))
 	if err != nil {
 		fatal(err)
 	}
@@ -201,7 +202,7 @@ func main() {
 	}
 }
 
-func sweepRequest(apps, kinds, phase string, repeats int) map[string]any {
+func sweepRequest(apps, kinds, phase string, repeats int, faults string) map[string]any {
 	req := map[string]any{"phase": phase}
 	if apps != "" {
 		req["apps"] = strings.Split(apps, ",")
@@ -211,6 +212,16 @@ func sweepRequest(apps, kinds, phase string, repeats int) map[string]any {
 	}
 	if repeats > 0 {
 		req["repeats"] = repeats
+	}
+	if faults != "" {
+		// Passed through raw so greenload needs no knowledge of the fault
+		// schema; the server validates it (a bad spec fails every submission
+		// with a 400, loudly).
+		var spec json.RawMessage
+		if err := json.Unmarshal([]byte(faults), &spec); err != nil {
+			fatal(fmt.Errorf("-faults is not valid JSON: %w", err))
+		}
+		req["faults"] = spec
 	}
 	return req
 }

@@ -1,0 +1,97 @@
+// Command greennode is a remote shard worker: it listens for greensrv
+// connections speaking the length-prefixed frame protocol and executes
+// shipped jobs on a local fleet pool — the full retry/quarantine ladder runs
+// here, so a remote job's terminal result is indistinguishable from a local
+// one. Several greensrv sessions may share one greennode; each connection is
+// handshaken and multiplexed independently.
+//
+// Usage:
+//
+//	greennode [-addr :9090] [-workers N] [-name NAME] [-job-timeout 2m]
+//	          [-max-attempts N] [-retry-base 50ms] [-retry-max 2s]
+//	          [-retry-seed S] [-no-obs] [-no-vm]
+//
+// On SIGINT/SIGTERM the worker stops accepting, closes its connections
+// (cancelling their in-flight jobs; the server re-homes them), and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/js"
+	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	workers := flag.Int("workers", 0, "execution slots (0 = GOMAXPROCS)")
+	name := flag.String("name", "", "name advertised in the handshake (default listen address)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt execution cap (0 = none)")
+	maxAttempts := flag.Int("max-attempts", 3, "executions per failing job before quarantine (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
+	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
+	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
+	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "greennode: -workers must be >= 0 (0 = GOMAXPROCS)")
+		os.Exit(1)
+	}
+	if *maxAttempts < 1 {
+		fmt.Fprintln(os.Stderr, "greennode: -max-attempts must be >= 1")
+		os.Exit(1)
+	}
+	if *noObs {
+		obs.SetEnabled(false)
+	}
+	if *noVM {
+		js.SetVM(false)
+	}
+
+	n := *workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	w := shard.NewWorker(shard.WorkerOptions{
+		Name: *name,
+		Pool: fleet.Options{
+			Workers: n, JobTimeout: *jobTimeout, MaxAttempts: *maxAttempts,
+			RetryBaseDelay: *retryBase, RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
+		},
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greennode:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "greennode: listening on %s with %d workers\n",
+		l.Addr(), w.Workers())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(l) }()
+
+	select {
+	case <-sigc:
+		fmt.Fprintln(os.Stderr, "greennode: signal received, shutting down")
+		w.Close()
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greennode:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -10,9 +10,17 @@
 //
 //	greensrv [-addr :8080] [-nodes N] [-workers N] [-queue DEPTH] [-job-timeout 2m]
 //	         [-max-attempts N] [-retry-base 50ms] [-retry-max 2s] [-retry-seed S]
+//	         [-remote-nodes host:port,host:port,...]
 //	         [-store DIR] [-store-compact BYTES]
 //	         [-admit-queue N] [-admit-rate R] [-admit-burst B]
+//	         [-read-header-timeout 10s]
 //	         [-no-obs] [-no-vm] [-drain-timeout 30s] [-obs-dump FILE]
+//
+// With -remote-nodes the execution substrate is a cluster of greennode
+// worker processes reached over TCP instead of in-process pools: jobs ship
+// as length-prefixed JSON frames, heartbeats watch each link, and a node
+// that dies mid-sweep is evicted with its jobs re-homed onto the survivors
+// — sweep bytes are identical either way.
 //
 // API:
 //
@@ -41,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,16 +70,45 @@ func main() {
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
+	remoteNodes := flag.String("remote-nodes", "", "comma-separated greennode addresses; jobs run on these remote workers instead of in-process pools")
 	storeDir := flag.String("store", "", "durable sweep store directory (empty = in-memory only)")
 	storeCompact := flag.Int64("store-compact", 64<<20, "auto-compact the WAL past this many bytes (0 = manual)")
 	admitQueue := flag.Int("admit-queue", 0, "reject new sweeps (429) while this many jobs are queued (0 = off)")
 	admitRate := flag.Float64("admit-rate", 0, "per-client sweep submissions per second (0 = off)")
 	admitBurst := flag.Int("admit-burst", 10, "per-client token-bucket burst")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "cap on reading a request's headers (slowloris guard)")
 	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
 	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight sweeps on SIGINT/SIGTERM before cancellation")
 	obsDump := flag.String("obs-dump", "", "file for the final metrics snapshot on shutdown (default stderr)")
 	flag.Parse()
+
+	// Catch configuration mistakes at startup with a one-line error instead
+	// of surfacing them later as confusing runtime behavior. Zero stays legal
+	// where it is a documented default (-workers, -queue, -admit-queue,
+	// -admit-rate mean "auto"/"off" at 0).
+	fail := func(msg string) {
+		fmt.Fprintln(os.Stderr, "greensrv:", msg)
+		os.Exit(1)
+	}
+	switch {
+	case *nodes < 1:
+		fail("-nodes must be >= 1")
+	case *workers < 0:
+		fail("-workers must be >= 0 (0 = GOMAXPROCS)")
+	case *queue < 0:
+		fail("-queue must be >= 0 (0 = 4×workers)")
+	case *maxAttempts < 1:
+		fail("-max-attempts must be >= 1")
+	case *admitQueue < 0:
+		fail("-admit-queue must be >= 0 (0 = off)")
+	case *admitRate < 0:
+		fail("-admit-rate must be >= 0 (0 = off)")
+	case *admitBurst < 1:
+		fail("-admit-burst must be >= 1")
+	case *remoteNodes != "" && *nodes > 1:
+		fail("-remote-nodes and -nodes > 1 are mutually exclusive (the remote list fixes the node count)")
+	}
 
 	// The sweep context is deliberately NOT the signal context: a signal
 	// must stop intake and start the drain, not kill every running sweep on
@@ -93,7 +131,22 @@ func main() {
 		RetryBaseDelay: *retryBase, RetryMaxDelay: *retryMax, RetrySeed: *retrySeed,
 	}
 	var runner fleet.Runner
-	if *nodes > 1 {
+	if *remoteNodes != "" {
+		addrs := strings.Split(*remoteNodes, ",")
+		ns := make([]shard.Node, 0, len(addrs))
+		for i, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				fail("-remote-nodes: empty address in list")
+			}
+			n, err := shard.NewRemoteNode(i, shard.RemoteOptions{Addr: a, Seed: *retrySeed})
+			if err != nil {
+				fail(err.Error())
+			}
+			ns = append(ns, n)
+		}
+		runner = shard.NewWithNodes(ns, *queue)
+	} else if *nodes > 1 {
 		per := *workers
 		if per <= 0 {
 			if per = runtime.GOMAXPROCS(0) / *nodes; per < 1 {
@@ -130,12 +183,23 @@ func main() {
 			MaxQueueDepth: *admitQueue, RatePerSec: *admitRate, Burst: *admitBurst,
 		})
 	}
-	srv := &http.Server{Addr: *addr, Handler: api}
+	// ReadHeaderTimeout bounds header parsing so an idle half-open client
+	// (slowloris) cannot pin a connection; no ReadTimeout because sweep
+	// submissions are small and results stream for as long as they stream.
+	srv := &http.Server{
+		Addr: *addr, Handler: api,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
+	nodeCount := *nodes
+	if c, ok := runner.(*shard.Cluster); ok {
+		nodeCount = c.Nodes()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers (%d node(s))\n",
-		*addr, runner.Workers(), *nodes)
+		*addr, runner.Workers(), nodeCount)
 
 	select {
 	case <-sigCtx.Done():

@@ -190,6 +190,8 @@ const maxSweepRequestBytes = 1 << 20
 //	POST /v1/sweeps              enqueue a sweep (202 + id; 503 while draining)
 //	GET  /v1/sweeps/{id}         status snapshot
 //	GET  /v1/sweeps/{id}/results NDJSON rows, streamed as jobs finish
+//	                             (?deterministic=1 zeroes latency_ms for
+//	                             byte-comparable streams across topologies)
 //	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log, streamed per job
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON of the whole sweep
 //	GET  /healthz                liveness (503 while draining)
@@ -350,15 +352,36 @@ func NewServer(m *Manager) *Server {
 
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		id := SweepID(r.PathValue("id"))
+		// ?deterministic=1 zeroes the wall-clock latency column — the only
+		// nondeterministic byte in a row — so streams from different
+		// topologies (node counts, remote workers, mid-sweep failures) can be
+		// compared byte-for-byte. The CI chaos smoke diffs exactly this.
+		deterministic := r.URL.Query().Get("deterministic") == "1"
 		s, ok := m.Get(id)
 		if !ok {
 			// Replay the persisted NDJSON byte-for-byte from the store.
 			if rows, stored := m.StoredRows(id); stored {
 				w.Header().Set("Content-Type", "application/x-ndjson")
 				w.WriteHeader(http.StatusOK)
-				for _, row := range rows {
-					w.Write(row)
-					io.WriteString(w, "\n")
+				if !deterministic {
+					for _, row := range rows {
+						w.Write(row)
+						io.WriteString(w, "\n")
+					}
+					return
+				}
+				// Persisted rows were encoded from ResultRow, so decode,
+				// zero, re-encode reproduces the live deterministic bytes.
+				enc := json.NewEncoder(w)
+				for _, raw := range rows {
+					var row ResultRow
+					if err := json.Unmarshal(raw, &row); err != nil {
+						return
+					}
+					row.LatencyMS = 0
+					if err := enc.Encode(row); err != nil {
+						return
+					}
 				}
 				return
 			}
@@ -376,7 +399,11 @@ func NewServer(m *Manager) *Server {
 			if err != nil {
 				return // client went away
 			}
-			if err := enc.Encode(rowOf(i, res)); err != nil {
+			row := rowOf(i, res)
+			if deterministic {
+				row.LatencyMS = 0
+			}
+			if err := enc.Encode(row); err != nil {
 				return
 			}
 			if flusher != nil {

@@ -149,3 +149,43 @@ func TestStoreSurvivesManagerWithoutStore(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestDeterministicResultsParam: ?deterministic=1 zeroes the latency_ms
+// column on both the live stream and the store replay, so streams from
+// different topologies (or across a restart) compare byte-for-byte. The CI
+// remote-chaos smoke diffs exactly this.
+func TestDeterministicResultsParam(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, shutdown := storeServer(t, dir)
+	ack := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf","GreenWeb-U"],"phase":"micro"}`)
+	id := ack["id"].(string)
+	waitPersisted(t, srv, id)
+
+	code, live := getBody(t, srv.URL+"/v1/sweeps/"+id+"/results?deterministic=1")
+	if code != http.StatusOK {
+		t.Fatalf("live deterministic results = %d", code)
+	}
+	if !strings.Contains(live, `"latency_ms":0,`) || strings.Contains(live, `"latency_ms":0.`) {
+		t.Fatalf("latency not zeroed in deterministic stream:\n%s", live)
+	}
+	code, raw := getBody(t, srv.URL+"/v1/sweeps/"+id+"/results")
+	if code != http.StatusOK {
+		t.Fatalf("live results = %d", code)
+	}
+	if live == raw {
+		t.Fatal("deterministic stream identical to raw stream; latency was never nonzero")
+	}
+	shutdown()
+
+	// Fresh process over the same store: the replayed deterministic stream
+	// must be the live deterministic bytes.
+	srv2, _, shutdown2 := storeServer(t, dir)
+	defer shutdown2()
+	code, replay := getBody(t, srv2.URL+"/v1/sweeps/"+id+"/results?deterministic=1")
+	if code != http.StatusOK {
+		t.Fatalf("replayed deterministic results = %d", code)
+	}
+	if replay != live {
+		t.Fatalf("store replay with deterministic=1 diverged from live stream:\n--- replay\n%s--- live\n%s", replay, live)
+	}
+}

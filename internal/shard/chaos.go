@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosSpec is the deterministic transport-fault injector used by the
+// remote-node tests: it wraps a net.Conn and decides, for each frame
+// written through it, whether to deliver it cleanly, stall before sending,
+// tear it (forward only a prefix, then kill the connection), or drop the
+// connection outright. Read-side delays model a slow/delaying peer
+// (delayed-ACK analogue).
+//
+// Every decision is a pure function of (Seed, direction, frame index) — an
+// FNV-1a hash mapped into [0,1) and compared against the cumulative
+// probability thresholds — so a chaos run is exactly reproducible from its
+// seed: same faults, at the same frames, on every execution. Each frame's
+// draw is independent; probabilities are evaluated in the order drop, tear,
+// stall.
+//
+// The injector lives in the production package (not a _test file) so the
+// CLI smoke tooling and future jepsen-style harnesses can reuse it, but it
+// has no hooks into production code paths: nothing constructs one outside
+// tests.
+type ChaosSpec struct {
+	Seed int64
+
+	// DropProb closes the connection instead of writing the frame.
+	DropProb float64
+	// TearProb writes only half the frame's bytes, then closes — the
+	// canonical torn-frame crash the reader must surface and survive.
+	TearProb float64
+	// StallProb sleeps Stall before writing the frame (a network or GC
+	// pause; heartbeat timeouts must tolerate or detect it).
+	StallProb float64
+	Stall     time.Duration
+
+	// ReadDelayProb sleeps ReadDelay before a Read returns data.
+	ReadDelayProb float64
+	ReadDelay     time.Duration
+}
+
+// draw maps (seed, dir, index) onto [0,1).
+func (s ChaosSpec) draw(dir string, index uint64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(s.Seed))
+	h.Write(buf[:])
+	io.WriteString(h, dir)
+	binary.LittleEndian.PutUint64(buf[:], index)
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// chaosConn wraps a conn with fault injection on frame writes and read
+// returns. Frame index = Write call index, which holds because writeFrame
+// issues exactly one Write per frame.
+type chaosConn struct {
+	net.Conn
+	spec   ChaosSpec
+	dir    string
+	writes atomic.Uint64
+	reads  atomic.Uint64
+}
+
+// Wrap dresses a connection in the chaos spec. dir disambiguates multiple
+// wrapped connections under one seed (use the dial attempt number).
+func (s ChaosSpec) Wrap(conn net.Conn, dir string) net.Conn {
+	return &chaosConn{Conn: conn, spec: s, dir: dir}
+}
+
+// Dialer returns a dial function for RemoteOptions.Dial that dials through
+// dial and wraps each connection with the spec, mixing the attempt counter
+// into the fault stream so reconnects draw fresh — but still deterministic
+// — faults.
+func (s ChaosSpec) Dialer(dial func(ctx context.Context) (net.Conn, error)) func(ctx context.Context) (net.Conn, error) {
+	var attempts atomic.Uint64
+	return func(ctx context.Context) (net.Conn, error) {
+		conn, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return s.Wrap(conn, fmt.Sprintf("dial-%d", attempts.Add(1))), nil
+	}
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	idx := c.writes.Add(1) - 1
+	r := c.spec.draw(c.dir+"/w", idx)
+	switch {
+	case r < c.spec.DropProb:
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: connection dropped before frame %d", idx)
+	case r < c.spec.DropProb+c.spec.TearProb:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("chaos: frame %d torn after %d/%d bytes", idx, n, len(p))
+	case r < c.spec.DropProb+c.spec.TearProb+c.spec.StallProb:
+		time.Sleep(c.spec.Stall)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	idx := c.reads.Add(1) - 1
+	if c.spec.ReadDelayProb > 0 && c.spec.draw(c.dir+"/r", idx) < c.spec.ReadDelayProb {
+		time.Sleep(c.spec.ReadDelay)
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,107 @@
+// Remote node wire protocol: length-prefixed JSON frames over a byte
+// stream (TCP in production, net.Pipe or a chaos-wrapped conn in tests).
+//
+// Every frame is
+//
+//	<4-byte big-endian payload length> <payload JSON>
+//
+// and every frame is written with a single Write call, so frame boundaries
+// are observable to transport wrappers (the chaos injector keys its faults
+// on the write-side frame index). Frame types:
+//
+//	client → worker   {"t":"hello","proto":1}
+//	worker → client   {"t":"welcome","proto":1,"workers":N,"name":"..."}
+//	client → worker   {"t":"job","id":SEQ,"job":{...fleet.Job}}
+//	worker → client   {"t":"result","id":SEQ,"result":{...wireResult}}
+//	client → worker   {"t":"ping","id":SEQ}
+//	worker → client   {"t":"pong","id":SEQ}
+//	client → worker   {"t":"cancel","id":SEQ}       best-effort job abort
+//
+// Job and result frames are multiplexed by id; pings flow on the same
+// connection while jobs execute, so heartbeat RTT measures the transport,
+// not the work queue.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+)
+
+// protoVersion is the handshake version; a worker refuses a mismatched
+// client so a silent semantic skew cannot masquerade as a flaky network.
+const protoVersion = 1
+
+// maxFramePayload bounds one frame. The largest legitimate payload — a
+// result carrying a full-trace run's ledger spans and decision log — is a
+// few megabytes; 64 MiB keeps a corrupt length prefix from allocating the
+// heap away.
+const maxFramePayload = 64 << 20
+
+// Frame type tags.
+const (
+	frameHello   = "hello"
+	frameWelcome = "welcome"
+	frameJob     = "job"
+	frameResult  = "result"
+	framePing    = "ping"
+	framePong    = "pong"
+	frameCancel  = "cancel"
+)
+
+// frame is the wire envelope. Unused fields are omitted per type.
+type frame struct {
+	T       string      `json:"t"`
+	ID      uint64      `json:"id,omitempty"`
+	Proto   int         `json:"proto,omitempty"`   // hello/welcome
+	Workers int         `json:"workers,omitempty"` // welcome
+	Name    string      `json:"name,omitempty"`    // welcome: worker identity
+	Job     *fleet.Job  `json:"job,omitempty"`
+	Result  *wireResult `json:"result,omitempty"`
+	Err     string      `json:"err,omitempty"` // welcome refusal
+}
+
+// writeFrame marshals and writes one frame with a single Write call.
+func writeFrame(w io.Writer, f frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("shard: encoding %s frame: %w", f.T, err)
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("shard: %s frame payload %d bytes exceeds %d", f.T, len(payload), maxFramePayload)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads and decodes one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFramePayload {
+		return frame{}, fmt.Errorf("shard: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		// A short payload is a torn frame: surface it distinctly so chaos
+		// tests can assert the failure mode.
+		if err == io.ErrUnexpectedEOF {
+			return frame{}, fmt.Errorf("shard: torn frame: %w", err)
+		}
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return frame{}, fmt.Errorf("shard: decoding frame: %w", err)
+	}
+	return f, nil
+}

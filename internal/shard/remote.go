@@ -1,0 +1,557 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+)
+
+// ErrNodeDown marks a result whose job never reached a terminal state
+// because the node's transport failed (connection broke, heartbeat
+// suspicion, node declared dead). The cluster treats it as re-homeable: the
+// job re-enters a live partition instead of being delivered as a failure.
+// Re-execution is safe because every cell is a deterministic function of
+// its job, and the store absorbs any replayed row idempotently keyed on
+// (sweep, index).
+var ErrNodeDown = errors.New("shard: node down")
+
+// ErrNoNodes is delivered when a job cannot be re-homed because every node
+// in the cluster has been evicted.
+var ErrNoNodes = errors.New("shard: no live nodes")
+
+// RemoteOptions configures a RemoteNode.
+type RemoteOptions struct {
+	// Addr is the worker's TCP address (host:port). Ignored when Dial is set.
+	Addr string
+	// Dial overrides the transport (tests wrap connections in the chaos
+	// injector). nil → net.Dialer to Addr.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// DialTimeout caps one dial + handshake attempt. 0 → 5s.
+	DialTimeout time.Duration
+	// WriteTimeout caps one frame write so a dead peer cannot wedge the
+	// writer forever. 0 → 10s.
+	WriteTimeout time.Duration
+
+	// HeartbeatInterval is the ping cadence. 0 → 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long an outstanding ping may go unanswered
+	// before it counts as a miss. 0 → 3×HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+	// SuspectAfter is the consecutive-miss count that breaks the session
+	// (suspicion): the connection is torn down and redialed. 0 → 2.
+	SuspectAfter int
+
+	// MaxReconnects bounds consecutive failed reconnect attempts before the
+	// node is declared dead and the cluster evicts it. 0 → 5.
+	MaxReconnects int
+	// ReconnectBase/ReconnectMax shape the capped exponential backoff
+	// between reconnect attempts. 0 → 100ms / 5s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Seed drives the deterministic backoff jitter (±25%, hashed from
+	// seed × node × attempt), mirroring the fleet retry ladder.
+	Seed int64
+}
+
+func (o *RemoteOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 3 * o.HeartbeatInterval
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2
+	}
+	if o.MaxReconnects <= 0 {
+		o.MaxReconnects = 5
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = 100 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 5 * time.Second
+	}
+}
+
+// session is one live connection: the conn, the in-flight call table, and a
+// write lock serializing frames.
+type session struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	wt      time.Duration
+
+	mu     sync.Mutex
+	calls  map[uint64]chan fleet.Result
+	jobs   map[uint64]fleet.Job
+	broken bool
+}
+
+func (s *session) write(f frame) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.wt > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.wt))
+	}
+	return writeFrame(s.conn, f)
+}
+
+// register parks a call; fail-all on session teardown answers it if the
+// result frame never arrives.
+func (s *session) register(id uint64, job fleet.Job, ch chan fleet.Result) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return false
+	}
+	s.calls[id] = ch
+	s.jobs[id] = job
+	return true
+}
+
+func (s *session) unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.calls, id)
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// deliver answers a parked call; unknown ids (cancelled calls, a prior
+// session's stragglers) are dropped.
+func (s *session) deliver(id uint64, w *wireResult) {
+	s.mu.Lock()
+	ch, ok := s.calls[id]
+	job := s.jobs[id]
+	if ok {
+		delete(s.calls, id)
+		delete(s.jobs, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- decodeResult(w, job)
+	}
+}
+
+// fail tears the call table down: every in-flight call gets ErrNodeDown and
+// will be re-homed by its cluster puller.
+func (s *session) fail(reason error) {
+	s.mu.Lock()
+	s.broken = true
+	calls, jobs := s.calls, s.jobs
+	s.calls, s.jobs = map[uint64]chan fleet.Result{}, map[uint64]fleet.Job{}
+	s.mu.Unlock()
+	for id, ch := range calls {
+		ch <- fleet.Result{Job: jobs[id], Worker: -1,
+			Err: fmt.Errorf("%w: %v", ErrNodeDown, reason)}
+	}
+}
+
+// HealthSnapshot is a remote node's transport health, exported per node by
+// Cluster.RegisterMetrics.
+type HealthSnapshot struct {
+	Connected bool          `json:"connected"`
+	Dead      bool          `json:"dead"`
+	LastRTT   time.Duration `json:"last_rtt"` // most recent heartbeat round trip
+	Reconnects int64        `json:"reconnects"`
+	HeartbeatMisses int64   `json:"heartbeat_misses"`
+}
+
+// healthReporter is the optional Node facet the cluster polls for health
+// metrics.
+type healthReporter interface {
+	Health() HealthSnapshot
+}
+
+// deathNotifier is the optional Node facet the cluster subscribes to for
+// eviction: fn runs (once, on its own goroutine) when the node gives up.
+type deathNotifier interface {
+	OnDead(fn func())
+}
+
+// RemoteNode is a shard.Node whose execution backend is a greennode worker
+// process reached over the frame protocol. It satisfies the same contract
+// as LocalNode — Run executes one job to a terminal result — with the
+// transport failure modes mapped onto ErrNodeDown so the cluster re-homes
+// rather than fails affected jobs.
+//
+// Health model: a heartbeat ping flows every HeartbeatInterval. An
+// unanswered ping past HeartbeatTimeout is a miss; SuspectAfter consecutive
+// misses (or any read/write error) breaks the session, failing in-flight
+// calls with ErrNodeDown and entering the reconnect loop — bounded attempts
+// with seeded, jittered exponential backoff. MaxReconnects consecutive
+// failures declare the node dead: OnDead subscribers fire (the cluster
+// evicts the partition) and every future Run fails fast.
+type RemoteNode struct {
+	id      int
+	opts    RemoteOptions
+	workers int
+	name    string
+
+	mu      sync.Mutex
+	sess    *session
+	change  chan struct{} // closed and replaced on every connect/disconnect/death
+	dead    bool
+	closed  bool
+	onDead  []func()
+
+	seq        atomic.Uint64
+	rttNS      atomic.Int64
+	reconnects atomic.Int64 // completed re-dial attempts (successful or not) after the first session
+	misses     atomic.Int64
+
+	loopDone chan struct{}
+}
+
+// NewRemoteNode dials the worker, performs the handshake, and starts the
+// connection manager. The initial dial is synchronous so a cluster over
+// unreachable workers fails fast at startup instead of at first job.
+func NewRemoteNode(id int, opts RemoteOptions) (*RemoteNode, error) {
+	opts.fill()
+	n := &RemoteNode{
+		id:       id,
+		opts:     opts,
+		change:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	sess, workers, name, err := n.dialAndShake()
+	if err != nil {
+		return nil, fmt.Errorf("shard: node %d (%s): %w", id, opts.Addr, err)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n.workers, n.name = workers, name
+	n.setSession(sess)
+	go n.loop(sess)
+	return n, nil
+}
+
+// ID reports the node index.
+func (n *RemoteNode) ID() int { return n.id }
+
+// Workers reports the worker's advertised execution slots (from the
+// handshake), which is how many cluster pullers drive this node.
+func (n *RemoteNode) Workers() int { return n.workers }
+
+// Stats: the remote protocol does not stream pool counters; the cluster's
+// own accounting covers the fleet stats surface.
+func (n *RemoteNode) Stats() fleet.Stats { return fleet.Stats{Workers: n.workers} }
+
+// Health snapshots the transport state.
+func (n *RemoteNode) Health() HealthSnapshot {
+	n.mu.Lock()
+	connected, dead := n.sess != nil, n.dead
+	n.mu.Unlock()
+	return HealthSnapshot{
+		Connected:       connected,
+		Dead:            dead,
+		LastRTT:         time.Duration(n.rttNS.Load()),
+		Reconnects:      n.reconnects.Load(),
+		HeartbeatMisses: n.misses.Load(),
+	}
+}
+
+// OnDead registers fn to run (once, on its own goroutine) when the node is
+// declared dead. If the node is already dead, fn fires immediately.
+func (n *RemoteNode) OnDead(fn func()) {
+	n.mu.Lock()
+	dead := n.dead
+	if !dead {
+		n.onDead = append(n.onDead, fn)
+	}
+	n.mu.Unlock()
+	if dead {
+		go fn()
+	}
+}
+
+// Close stops the connection manager and closes the connection. In-flight
+// Run calls return ErrNodeDown. Idempotent.
+func (n *RemoteNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	sess := n.sess
+	n.mu.Unlock()
+	if sess != nil {
+		sess.conn.Close()
+	}
+	n.bump() // wake Run waiters
+	<-n.loopDone
+}
+
+// bump closes and replaces the state-change channel, waking every waiter.
+func (n *RemoteNode) bump() {
+	n.mu.Lock()
+	close(n.change)
+	n.change = make(chan struct{})
+	n.mu.Unlock()
+}
+
+func (n *RemoteNode) setSession(s *session) {
+	n.mu.Lock()
+	n.sess = s
+	close(n.change)
+	n.change = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// die declares the node dead and fires the eviction subscribers.
+func (n *RemoteNode) die() {
+	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		return
+	}
+	n.dead = true
+	subs := n.onDead
+	n.onDead = nil
+	close(n.change)
+	n.change = make(chan struct{})
+	n.mu.Unlock()
+	for _, fn := range subs {
+		go fn()
+	}
+}
+
+func (n *RemoteNode) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+// dialAndShake establishes one connection: dial, hello, welcome.
+func (n *RemoteNode) dialAndShake() (*session, int, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.DialTimeout)
+	defer cancel()
+	dial := n.opts.Dial
+	if dial == nil {
+		dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", n.opts.Addr)
+		}
+	}
+	conn, err := dial(ctx)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	deadline := time.Now().Add(n.opts.DialTimeout)
+	conn.SetDeadline(deadline)
+	if err := writeFrame(conn, frame{T: frameHello, Proto: protoVersion}); err != nil {
+		conn.Close()
+		return nil, 0, "", fmt.Errorf("handshake: %w", err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, "", fmt.Errorf("handshake: %w", err)
+	}
+	if f.T != frameWelcome || f.Err != "" {
+		conn.Close()
+		if f.Err != "" {
+			return nil, 0, "", fmt.Errorf("worker refused: %s", f.Err)
+		}
+		return nil, 0, "", fmt.Errorf("handshake: unexpected %q frame", f.T)
+	}
+	conn.SetDeadline(time.Time{})
+	return &session{
+		conn:  conn,
+		wt:    n.opts.WriteTimeout,
+		calls: map[uint64]chan fleet.Result{},
+		jobs:  map[uint64]fleet.Job{},
+	}, f.Workers, f.Name, nil
+}
+
+// loop is the connection manager: it runs the current session until it
+// breaks, then reconnects with bounded seeded backoff, declaring the node
+// dead when the budget is exhausted.
+func (n *RemoteNode) loop(sess *session) {
+	defer close(n.loopDone)
+	for {
+		reason := n.runSession(sess)
+		sess.conn.Close()
+		sess.fail(reason)
+		if n.isClosed() {
+			return
+		}
+		n.mu.Lock()
+		n.sess = nil
+		close(n.change)
+		n.change = make(chan struct{})
+		n.mu.Unlock()
+
+		ok := false
+		for attempt := 1; attempt <= n.opts.MaxReconnects; attempt++ {
+			time.Sleep(n.backoff(attempt))
+			if n.isClosed() {
+				return
+			}
+			s, _, _, err := n.dialAndShake()
+			n.reconnects.Add(1)
+			if err == nil {
+				sess, ok = s, true
+				break
+			}
+		}
+		if !ok {
+			n.die()
+			return
+		}
+		n.setSession(sess)
+	}
+}
+
+// runSession reads frames and drives the heartbeat until the session
+// breaks; the returned error is the cause.
+func (n *RemoteNode) runSession(sess *session) error {
+	readErr := make(chan error, 1)
+	pongs := make(chan uint64, 8)
+	go func() {
+		for {
+			f, err := readFrame(sess.conn)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			switch f.T {
+			case frameResult:
+				if f.Result != nil {
+					sess.deliver(f.ID, f.Result)
+				}
+			case framePong:
+				select {
+				case pongs <- f.ID:
+				default:
+				}
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(n.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	var (
+		pingID      uint64
+		pingSent    time.Time
+		outstanding bool
+		misses      int
+	)
+	for {
+		select {
+		case err := <-readErr:
+			return err
+		case id := <-pongs:
+			if outstanding && id == pingID {
+				n.rttNS.Store(int64(time.Since(pingSent)))
+				outstanding = false
+				misses = 0
+			}
+		case <-ticker.C:
+			if outstanding && time.Since(pingSent) > n.opts.HeartbeatTimeout {
+				misses++
+				n.misses.Add(1)
+				outstanding = false
+				if misses >= n.opts.SuspectAfter {
+					return fmt.Errorf("heartbeat: %d consecutive misses", misses)
+				}
+			}
+			if !outstanding {
+				pingID = n.seq.Add(1)
+				pingSent = time.Now()
+				outstanding = true
+				if err := sess.write(frame{T: framePing, ID: pingID}); err != nil {
+					return fmt.Errorf("heartbeat write: %w", err)
+				}
+			}
+		}
+	}
+}
+
+// backoff is the reconnect sleep before the attempt-th re-dial: capped
+// exponential, deterministically jittered from (seed, node, attempt).
+func (n *RemoteNode) backoff(attempt int) time.Duration {
+	d := n.opts.ReconnectBase
+	for i := 1; i < attempt && d < n.opts.ReconnectMax; i++ {
+		d *= 2
+	}
+	if d > n.opts.ReconnectMax {
+		d = n.opts.ReconnectMax
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n.opts.Seed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(n.id))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	io.WriteString(h, "reconnect")
+	frac := float64(h.Sum64()>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// Run implements Node: ship the job, wait for its result. While the node is
+// disconnected but not yet dead, Run parks until the reconnect resolves —
+// so a transient blip stalls rather than fails the puller. A broken session
+// mid-call returns ErrNodeDown, which the cluster re-homes.
+func (n *RemoteNode) Run(ctx context.Context, job fleet.Job) fleet.Result {
+	for {
+		n.mu.Lock()
+		sess, change, dead, closed := n.sess, n.change, n.dead, n.closed
+		n.mu.Unlock()
+		if dead || closed {
+			return fleet.Result{Job: job, Worker: -1,
+				Err: fmt.Errorf("%w: node %d dead", ErrNodeDown, n.id)}
+		}
+		if sess == nil {
+			select {
+			case <-change:
+				continue
+			case <-ctx.Done():
+				return fleet.Result{Job: job, Worker: -1, Err: ctx.Err()}
+			}
+		}
+		id := n.seq.Add(1)
+		ch := make(chan fleet.Result, 1)
+		if !sess.register(id, job, ch) {
+			continue // session broke between lookup and register
+		}
+		if err := sess.write(frame{T: frameJob, ID: id, Job: &job}); err != nil {
+			sess.unregister(id)
+			sess.conn.Close() // wake the reader; the loop handles teardown
+			return fleet.Result{Job: job, Worker: -1,
+				Err: fmt.Errorf("%w: %v", ErrNodeDown, err)}
+		}
+		select {
+		case r := <-ch:
+			if r.Worker >= 0 {
+				// Remap into the cluster-global worker space, mirroring
+				// LocalNode.
+				r.Worker = n.id*n.workers + r.Worker
+			}
+			return r
+		case <-ctx.Done():
+			sess.unregister(id)
+			sess.write(frame{T: frameCancel, ID: id}) // best-effort
+			return fleet.Result{Job: job, Worker: -1, Err: ctx.Err()}
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/obs"
+)
+
+// fastRemote is the test timing profile: suspicion and reconnection resolve
+// in milliseconds so failure paths run inside the test budget.
+func fastRemote(addr string) RemoteOptions {
+	return RemoteOptions{
+		Addr:              addr,
+		DialTimeout:       2 * time.Second,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatTimeout:  50 * time.Millisecond,
+		SuspectAfter:      2,
+		MaxReconnects:     3,
+		ReconnectBase:     5 * time.Millisecond,
+		ReconnectMax:      20 * time.Millisecond,
+		Seed:              1,
+	}
+}
+
+// startWorker serves a Worker on a loopback listener and returns its address.
+func startWorker(t *testing.T, opts WorkerOptions) (*Worker, string) {
+	t.Helper()
+	w := NewWorker(opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(l)
+	t.Cleanup(w.Close)
+	return w, l.Addr().String()
+}
+
+// TestRemoteSweepMatchesLocal pins the wire codec against real harness
+// execution: a full faulted sweep through a greennode-style worker renders
+// byte-identically to the sequential in-process path — including retry and
+// quarantine provenance, which round-trips the wire too.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-trace sweep ×2 paths")
+	}
+	jobs := topologyJobs()
+	poolOpts := fleet.Options{MaxAttempts: 2, RetryBaseDelay: time.Millisecond}
+
+	seqOpts := poolOpts
+	seqOpts.Workers = 1
+	want := render(t, fleet.New(seqOpts), jobs)
+
+	workerPool := poolOpts
+	workerPool.Workers = 4
+	_, addr := startWorker(t, WorkerOptions{Pool: workerPool})
+	// Lenient heartbeat: full-trace cells saturate the CPU (drastically so
+	// under -race), and this test pins codec parity, not failure timing — a
+	// starved heartbeat loop must not break the session and force re-homes.
+	opts := fastRemote(addr)
+	opts.HeartbeatInterval = 200 * time.Millisecond
+	opts.HeartbeatTimeout = 5 * time.Second
+	opts.SuspectAfter = 10
+	n, err := NewRemoteNode(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(t, NewWithNodes([]Node{n}, 0), jobs)
+	if got != want {
+		t.Fatalf("remote sweep diverged from sequential output:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestKillMidSweepDeterminism is the acceptance pin: a two-node cluster
+// whose worker is killed mid-sweep (the in-process analogue of kill -9)
+// still streams bytes identical to the pristine single-node run. Jobs
+// in flight on the dying node come back as ErrNodeDown and re-home; queued
+// jobs move at eviction; both re-execute deterministically elsewhere.
+func TestKillMidSweepDeterminism(t *testing.T) {
+	exec := func(ctx context.Context, j fleet.Job) (*harness.Run, error) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &harness.Run{Frames: len(j.App), Energy: acmp.Joules(0.25 * float64(len(j.App)))}, nil
+	}
+	jobs := make([]fleet.Job, 30)
+	for i := range jobs {
+		jobs[i] = fleet.Job{App: fmt.Sprintf("app-%d", i), Kind: harness.Perf, Phase: fleet.Full}
+	}
+
+	want := render(t, fleet.New(fleet.Options{Workers: 1, Execute: exec}), jobs)
+
+	// Worker 0 kills itself while executing its fifth job, so that job (and
+	// any sibling in flight) can never write a result frame back.
+	var doomed *Worker
+	var executed atomic.Int64
+	killExec := func(ctx context.Context, j fleet.Job) (*harness.Run, error) {
+		if executed.Add(1) == 5 {
+			doomed.Kill()
+		}
+		return exec(ctx, j)
+	}
+	w0 := NewWorker(WorkerOptions{Pool: fleet.Options{Workers: 2, Execute: killExec}})
+	doomed = w0
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w0.Serve(l0)
+	t.Cleanup(w0.Close)
+	_, addr1 := startWorker(t, WorkerOptions{Pool: fleet.Options{Workers: 2, Execute: exec}})
+
+	n0, err := NewRemoteNode(0, fastRemote(l0.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := NewRemoteNode(1, fastRemote(addr1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWithNodes([]Node{n0, n1}, 0)
+	got := render(t, c, jobs)
+	if got != want {
+		t.Fatalf("kill-mid-sweep output diverged from pristine single-node run:\n--- got\n%s--- want\n%s", got, want)
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	if c.Rehomed(0) == 0 {
+		t.Fatal("no jobs were re-homed off the killed node")
+	}
+}
+
+// TestHeartbeatSuspicionAndDeath: a worker that handshakes, then goes
+// mute — swallowing pings and jobs — is suspected after consecutive
+// heartbeat misses; with its listener gone, the reconnect budget exhausts
+// and the node is declared dead, firing OnDead and failing in-flight Runs
+// with ErrNodeDown.
+func TestHeartbeatSuspicionAndDeath(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := readFrame(conn); err != nil { // hello
+			return
+		}
+		writeFrame(conn, frame{T: frameWelcome, Proto: protoVersion, Workers: 1})
+		l.Close() // one connection only: reconnects must fail
+		for {     // swallow frames, answer nothing
+			if _, err := readFrame(conn); err != nil {
+				return
+			}
+		}
+	}()
+
+	opts := fastRemote(l.Addr().String())
+	opts.HeartbeatInterval = 5 * time.Millisecond
+	opts.HeartbeatTimeout = 10 * time.Millisecond
+	n, err := NewRemoteNode(0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	dead := make(chan struct{})
+	n.OnDead(func() { close(dead) })
+
+	resc := make(chan fleet.Result, 1)
+	go func() { resc <- n.Run(context.Background(), fleet.Job{App: "mute"}) }()
+
+	select {
+	case <-dead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("node never declared dead")
+	}
+	res := <-resc
+	if !errors.Is(res.Err, ErrNodeDown) {
+		t.Fatalf("in-flight Run err = %v, want ErrNodeDown", res.Err)
+	}
+	h := n.Health()
+	if !h.Dead || h.Connected {
+		t.Fatalf("health = %+v, want dead and disconnected", h)
+	}
+	if h.HeartbeatMisses < int64(opts.SuspectAfter) {
+		t.Fatalf("heartbeat misses = %d, want >= %d", h.HeartbeatMisses, opts.SuspectAfter)
+	}
+	if h.Reconnects != int64(opts.MaxReconnects) {
+		t.Fatalf("reconnect attempts = %d, want %d", h.Reconnects, opts.MaxReconnects)
+	}
+}
+
+// TestRemoteHealthMetricsExposition: a cluster over remote nodes exposes
+// the transport-health family — node_up, heartbeat RTT, reconnects, misses —
+// alongside the eviction and re-home counters.
+func TestRemoteHealthMetricsExposition(t *testing.T) {
+	exec := func(ctx context.Context, j fleet.Job) (*harness.Run, error) { return &harness.Run{}, nil }
+	_, addr := startWorker(t, WorkerOptions{Pool: fleet.Options{Workers: 1, Execute: exec}})
+	n, err := NewRemoteNode(0, fastRemote(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWithNodes([]Node{n}, 0)
+	defer c.Close()
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`greenweb_shard_node_up{node="0"} 1`,
+		`greenweb_shard_heartbeat_rtt_seconds{node="0"}`,
+		`greenweb_shard_reconnects_total{node="0"} 0`,
+		`greenweb_shard_heartbeat_misses_total{node="0"} 0`,
+		`greenweb_shard_rehomed_jobs_total{node="0"} 0`,
+		"greenweb_shard_evictions_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWorkerRefusesProtocolMismatch: a hello with the wrong protocol version
+// is answered with a refusal welcome, and NewRemoteNode surfaces it.
+func TestWorkerRefusesProtocolMismatch(t *testing.T) {
+	_, addr := startWorker(t, WorkerOptions{Pool: fleet.Options{Workers: 1,
+		Execute: func(ctx context.Context, j fleet.Job) (*harness.Run, error) { return &harness.Run{}, nil }}})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frame{T: frameHello, Proto: protoVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.T != frameWelcome || f.Err == "" {
+		t.Fatalf("mismatched hello answered %+v, want refusal welcome", f)
+	}
+	if !strings.Contains(f.Err, "proto") {
+		t.Fatalf("refusal %q does not name the protocol", f.Err)
+	}
+}
+
+// TestRemoteNodeCancelPropagates: cancelling the job context mid-run returns
+// promptly with ctx.Err and ships a best-effort cancel frame that aborts the
+// worker-side execution.
+func TestRemoteNodeCancelPropagates(t *testing.T) {
+	started := make(chan struct{}, 1)
+	aborted := make(chan struct{}, 1)
+	exec := func(ctx context.Context, j fleet.Job) (*harness.Run, error) {
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			aborted <- struct{}{}
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return &harness.Run{}, nil
+		}
+	}
+	_, addr := startWorker(t, WorkerOptions{Pool: fleet.Options{Workers: 1, Execute: exec}})
+	n, err := NewRemoteNode(0, fastRemote(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resc := make(chan fleet.Result, 1)
+	go func() { resc <- n.Run(ctx, fleet.Job{App: "slow"}) }()
+	<-started
+	cancel()
+	select {
+	case res := <-resc:
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("cancelled Run err = %v, want context.Canceled", res.Err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	select {
+	case <-aborted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker-side execution never saw the cancellation")
+	}
+}

@@ -8,18 +8,32 @@
 // node×worker topology.
 //
 // Nodes are goroutine-backed in-process by default (LocalNode wraps a
-// fleet.Pool), so CI and tests need no network; the Node interface is the
-// seam where a remote/process-per-node backend would plug in.
+// fleet.Pool), so CI and tests need no network; RemoteNode plugs a
+// greennode worker process in behind the same Node interface, speaking
+// length-prefixed JSON frames over TCP (see proto.go, remote.go,
+// worker.go).
 //
 // The queue has one partition per node. A submission lands on a partition
 // round-robin; each node's pullers pop their home partition FIFO and, when
 // it runs dry, steal from the back of the busiest sibling — classic
 // work-stealing, so a node stuck on a slow cell does not strand queued work
 // behind it. Steals and per-partition depths are exported through obs.
+//
+// Failure handling: a Run result wrapping ErrNodeDown means the transport
+// failed under the job, not the job under the node — the puller re-homes
+// the item into a live partition instead of delivering a failure, and the
+// deterministic cell re-executes elsewhere with an identical result. A node
+// declared dead (heartbeat suspicion through the full reconnect budget) is
+// evicted: its partition stops accepting placements, its queued jobs move
+// to sibling partitions, and its pullers exit. Sweep bytes therefore do not
+// depend on which nodes survived — the determinism contract holds through
+// node death.
 package shard
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -95,6 +109,10 @@ type item struct {
 	ctx     context.Context
 	started func()
 	deliver func(fleet.Result)
+	// rehomed marks an item re-entering the queue after its node died
+	// mid-flight. Its admission token was released on the first pop, so the
+	// next pop must not release another.
+	rehomed bool
 }
 
 // queue is the partitioned job queue: one FIFO deque per node, guarded by a
@@ -102,32 +120,44 @@ type item struct {
 // a whole simulated device). Home pops take the front; steals take the
 // back, so a thief grabs the work its victim would reach last.
 type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	parts  [][]item
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parts   [][]item
+	evicted []bool
+	closed  bool
 }
 
 func newQueue(partitions int) *queue {
-	q := &queue{parts: make([][]item, partitions)}
+	q := &queue{parts: make([][]item, partitions), evicted: make([]bool, partitions)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-func (q *queue) push(part int, it item) {
+// push enqueues onto a partition; false if the partition has been evicted
+// (the caller picks another).
+func (q *queue) push(part int, it item) bool {
 	q.mu.Lock()
+	if q.evicted[part] {
+		q.mu.Unlock()
+		return false
+	}
 	q.parts[part] = append(q.parts[part], it)
 	q.mu.Unlock()
 	q.cond.Signal()
+	return true
 }
 
 // pop blocks until an item is available for the given home partition (own
-// front, else the back of the fullest sibling) or the queue is closed and
-// empty. It reports the partition the item came from.
+// front, else the back of the fullest sibling), the home partition is
+// evicted, or the queue is closed and empty. It reports the partition the
+// item came from.
 func (q *queue) pop(home int) (item, int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		if q.evicted[home] {
+			return item{}, -1, false
+		}
 		if len(q.parts[home]) > 0 {
 			it := q.parts[home][0]
 			q.parts[home] = q.parts[home][1:]
@@ -152,6 +182,37 @@ func (q *queue) pop(home int) (item, int, bool) {
 		}
 		q.cond.Wait()
 	}
+}
+
+// evictPartition marks part dead and re-homes its queued items onto live
+// partitions round-robin. Items that cannot be placed because no live
+// partition remains are returned stranded, for failure delivery. moved is
+// -1 when the partition was already evicted.
+func (q *queue) evictPartition(part int) (moved int, stranded []item) {
+	q.mu.Lock()
+	defer func() {
+		q.mu.Unlock()
+		q.cond.Broadcast() // wake the dead node's pullers and the new homes
+	}()
+	if q.evicted[part] {
+		return -1, nil
+	}
+	q.evicted[part] = true
+	items := q.parts[part]
+	q.parts[part] = nil
+	var live []int
+	for p := range q.parts {
+		if p != part && !q.evicted[p] {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return 0, items
+	}
+	for i, it := range items {
+		q.parts[live[i%len(live)]] = append(q.parts[live[i%len(live)]], it)
+	}
+	return len(items), nil
 }
 
 func (q *queue) close() {
@@ -193,16 +254,18 @@ type Cluster struct {
 	mu     sync.Mutex
 	closed bool
 
-	seq     atomic.Uint64 // round-robin partition cursor
-	queued  atomic.Int64
-	running atomic.Int64
-	done    atomic.Int64
-	failed  atomic.Int64
-	steals  []atomic.Int64 // per stealing node
-	pulled  []atomic.Int64 // jobs executed per node
-	start   time.Time
-	busy    atomic.Int64
-	hist    *obs.Histogram
+	seq       atomic.Uint64 // round-robin partition cursor
+	queued    atomic.Int64
+	running   atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	steals    []atomic.Int64 // per stealing node
+	pulled    []atomic.Int64 // jobs executed per node
+	rehomed   []atomic.Int64 // jobs re-homed off each node (queued + in-flight)
+	evictions atomic.Int64
+	start     time.Time
+	busy      atomic.Int64
+	hist      *obs.Histogram
 }
 
 // New builds a cluster of LocalNodes and starts its pullers.
@@ -234,13 +297,14 @@ func NewWithNodes(nodes []Node, queueDepth int) *Cluster {
 		queueDepth = 4 * total
 	}
 	c := &Cluster{
-		nodes:  nodes,
-		q:      newQueue(len(nodes)),
-		slots:  make(chan struct{}, queueDepth),
-		steals: make([]atomic.Int64, len(nodes)),
-		pulled: make([]atomic.Int64, len(nodes)),
-		start:  time.Now(),
-		hist:   obs.NewLatencyHistogram(),
+		nodes:   nodes,
+		q:       newQueue(len(nodes)),
+		slots:   make(chan struct{}, queueDepth),
+		steals:  make([]atomic.Int64, len(nodes)),
+		pulled:  make([]atomic.Int64, len(nodes)),
+		rehomed: make([]atomic.Int64, len(nodes)),
+		start:   time.Now(),
+		hist:    obs.NewLatencyHistogram(),
 	}
 	for _, n := range nodes {
 		for w := 0; w < n.Workers(); w++ {
@@ -248,11 +312,58 @@ func NewWithNodes(nodes []Node, queueDepth int) *Cluster {
 			go c.puller(n)
 		}
 	}
+	// Nodes that can report their own death (RemoteNode after heartbeat
+	// suspicion exhausts the reconnect budget) trigger eviction.
+	for i, n := range nodes {
+		if dn, ok := n.(deathNotifier); ok {
+			id := i
+			dn.OnDead(func() { c.Evict(id) })
+		}
+	}
 	return c
 }
 
+// Evict removes node id from live service: its partition stops accepting
+// placements, its queued jobs re-enter sibling partitions, and its pullers
+// exit once their in-flight calls resolve (a dead remote node resolves them
+// with ErrNodeDown, which re-homes the jobs too). With no live sibling the
+// queued jobs are delivered as ErrNoNodes failures. Idempotent; normally
+// driven by a remote node's death notification, but callable directly to
+// drain a node administratively.
+func (c *Cluster) Evict(id int) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	moved, stranded := c.q.evictPartition(id)
+	if moved < 0 {
+		return // already evicted
+	}
+	c.evictions.Add(1)
+	c.rehomed[id].Add(int64(moved))
+	// Stranded failures surface before the node close, which may block
+	// draining the dead node's in-flight work.
+	for _, it := range stranded {
+		c.queued.Add(-1)
+		if !it.rehomed {
+			<-c.slots
+		}
+		c.failed.Add(1)
+		if it.deliver != nil {
+			it.deliver(fleet.Result{Job: it.job, Worker: -1,
+				Err: fmt.Errorf("%w: node %d evicted last", ErrNoNodes, id)})
+		}
+	}
+	c.nodes[id].Close()
+}
+
+// Evictions reports how many nodes have been evicted.
+func (c *Cluster) Evictions() int64 { return c.evictions.Load() }
+
+// Rehomed reports how many jobs have been re-homed off node id.
+func (c *Cluster) Rehomed(id int) int64 { return c.rehomed[id].Load() }
+
 // puller is one node execution slot: pop (home first, then steal), run on
-// the owning node, deliver.
+// the owning node, deliver — or re-home when the node died under the job.
 func (c *Cluster) puller(n Node) {
 	defer c.wg.Done()
 	for {
@@ -260,7 +371,9 @@ func (c *Cluster) puller(n Node) {
 		if !ok {
 			return
 		}
-		<-c.slots
+		if !it.rehomed {
+			<-c.slots
+		}
 		c.queued.Add(-1)
 		if from != n.ID() {
 			c.steals[n.ID()].Add(1)
@@ -268,12 +381,26 @@ func (c *Cluster) puller(n Node) {
 		c.pulled[n.ID()].Add(1)
 		if it.started != nil {
 			it.started()
+			it.started = nil // fires once, even across re-homes
 		}
 		c.running.Add(1)
 		res := n.Run(it.ctx, it.job)
+		c.running.Add(-1)
+		if errors.Is(res.Err, ErrNodeDown) && it.ctx.Err() == nil {
+			// The transport died under the job, not the job under the node.
+			// Re-home instead of delivering a failure: the cell is a
+			// deterministic function of the job, so re-execution elsewhere
+			// produces the identical result, and the WAL absorbs any
+			// replayed row idempotently keyed on (sweep, index).
+			it.rehomed = true
+			if c.requeue(it) {
+				c.rehomed[n.ID()].Add(1)
+				continue
+			}
+			res.Err = fmt.Errorf("%w: %v", ErrNoNodes, res.Err)
+		}
 		c.busy.Add(int64(res.Latency))
 		c.hist.Observe(res.Latency.Seconds())
-		c.running.Add(-1)
 		if res.Err != nil {
 			c.failed.Add(1)
 		} else {
@@ -283,6 +410,23 @@ func (c *Cluster) puller(n Node) {
 			it.deliver(res)
 		}
 	}
+}
+
+// requeue places a re-homed item onto a live partition round-robin; false
+// when every partition has been evicted. The cursor is drawn once and the
+// scan offsets from it locally — drawing per iteration would let concurrent
+// placements advance the shared cursor between draws, revisiting an evicted
+// partition while never trying a live one.
+func (c *Cluster) requeue(it item) bool {
+	base := int(c.seq.Add(1) - 1)
+	for i := 0; i < len(c.nodes); i++ {
+		part := (base + i) % len(c.nodes)
+		if c.q.push(part, it) {
+			c.queued.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // Start implements fleet.Runner: enqueue one job, blocking while the
@@ -314,9 +458,25 @@ func (c *Cluster) Start(ctx context.Context, job fleet.Job, started func(), deli
 			return ctx.Err()
 		}
 	}
-	part := int(c.seq.Add(1)-1) % len(c.nodes)
+	// Round-robin over live partitions: push refuses evicted ones, so scan
+	// from a single cursor draw until a placement sticks (one draw per scan,
+	// same reasoning as requeue). Every partition evicted means the cluster
+	// has no execution substrate left.
+	placed := false
+	base := int(c.seq.Add(1) - 1)
+	for i := 0; i < len(c.nodes); i++ {
+		part := (base + i) % len(c.nodes)
+		if c.q.push(part, item{job: job, ctx: ctx, started: started, deliver: deliver}) {
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		c.mu.Unlock()
+		<-c.slots // release the admission token
+		return ErrNoNodes
+	}
 	c.queued.Add(1)
-	c.q.push(part, item{job: job, ctx: ctx, started: started, deliver: deliver})
 	c.mu.Unlock()
 	return nil
 }
@@ -416,11 +576,47 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 		"Jobs executed per node (home pops + steals)", "node")
 	depthVec := reg.GaugeVec("greenweb_shard_partition_depth",
 		"Jobs waiting in each partition", "partition")
+	rehomeVec := reg.CounterVec("greenweb_shard_rehomed_jobs_total",
+		"Jobs re-homed off each node (queued at eviction plus in-flight at death)", "node")
 	for i := range c.nodes {
 		i := i
 		label := strconv.Itoa(i)
 		stealVec.Func(func() float64 { return float64(c.steals[i].Load()) }, label)
 		jobsVec.Func(func() float64 { return float64(c.pulled[i].Load()) }, label)
 		depthVec.Func(func() float64 { return float64(c.q.depth(i)) }, label)
+		rehomeVec.Func(func() float64 { return float64(c.rehomed[i].Load()) }, label)
+	}
+	reg.CounterFunc("greenweb_shard_evictions_total",
+		"Nodes evicted after being declared dead",
+		func() float64 { return float64(c.evictions.Load()) })
+
+	// Remote nodes expose transport health; local nodes have none to report.
+	var upVec, rttVec *obs.GaugeVec
+	var reconnVec, missVec *obs.CounterVec
+	for i, n := range c.nodes {
+		hr, ok := n.(healthReporter)
+		if !ok {
+			continue
+		}
+		if upVec == nil {
+			upVec = reg.GaugeVec("greenweb_shard_node_up",
+				"1 while the node's transport session is connected", "node")
+			rttVec = reg.GaugeVec("greenweb_shard_heartbeat_rtt_seconds",
+				"Most recent heartbeat round-trip time per node", "node")
+			reconnVec = reg.CounterVec("greenweb_shard_reconnects_total",
+				"Transport re-dial attempts per node", "node")
+			missVec = reg.CounterVec("greenweb_shard_heartbeat_misses_total",
+				"Heartbeats that went unanswered past the timeout", "node")
+		}
+		label := strconv.Itoa(i)
+		upVec.Func(func() float64 {
+			if h := hr.Health(); h.Connected {
+				return 1
+			}
+			return 0
+		}, label)
+		rttVec.Func(func() float64 { return hr.Health().LastRTT.Seconds() }, label)
+		reconnVec.Func(func() float64 { return float64(hr.Health().Reconnects) }, label)
+		missVec.Func(func() float64 { return float64(hr.Health().HeartbeatMisses) }, label)
 	}
 }

@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/apps"
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/ledger"
+	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// wireResult is fleet.Result in JSON-serializable form. The job itself is
+// not carried: the client keyed the call by frame id and reattaches its own
+// copy, so the wire never round-trips what both sides already know.
+type wireResult struct {
+	Run         *wireRun `json:"run,omitempty"`
+	Err         string   `json:"err,omitempty"`
+	Worker      int      `json:"worker"`
+	LatencyNS   int64    `json:"latency_ns"`
+	Attempts    int      `json:"attempts,omitempty"`
+	History     []string `json:"history,omitempty"`
+	Quarantined bool     `json:"quarantined,omitempty"`
+}
+
+// wireResidency is one entry of the per-configuration residency map,
+// flattened because acmp.Config is a struct key JSON cannot express.
+type wireResidency struct {
+	Config int          `json:"config"` // acmp config index
+	Dur    sim.Duration `json:"dur_us"`
+}
+
+// wireConfigMark mirrors ledger.ConfigMark, whose From/To fields are
+// deliberately excluded from its own JSON form.
+type wireConfigMark struct {
+	At           sim.Time `json:"at_us"`
+	FromCluster  int      `json:"fc"`
+	FromMHz      int      `json:"fm"`
+	ToCluster    int      `json:"tc"`
+	ToMHz        int      `json:"tm"`
+}
+
+// wireRun carries every harness.Run field greensrv's result, event, and
+// trace endpoints read — the ResultRow scalars, the decision log, and the
+// ledger spans — plus the residency histogram. FrameResults (the raw
+// per-frame timeline) is deliberately not shipped: nothing behind the
+// fleet.Runner seam reads it, and it dominates payload size.
+type wireRun struct {
+	Kind harness.Kind `json:"kind"`
+
+	Energy     acmp.Joules      `json:"energy_j"`
+	Frames     int              `json:"frames"`
+	Switches   acmp.SwitchStats `json:"switches"`
+	Residency  []wireResidency  `json:"residency,omitempty"`
+	ViolationI float64          `json:"violation_i"`
+	ViolationU float64          `json:"violation_u"`
+
+	TotalEnergy acmp.Joules  `json:"total_energy_j"`
+	LoadLatency sim.Duration `json:"load_latency_us"`
+
+	FrameEnergy acmp.Joules      `json:"frame_energy_j"`
+	IdleEnergy  acmp.Joules      `json:"idle_energy_j"`
+	EventEnergy acmp.Joules      `json:"event_energy_j"`
+	Spans       []ledger.Span    `json:"spans,omitempty"`
+	ConfigMarks []wireConfigMark `json:"config_marks,omitempty"`
+	Decisions   []obs.Decision   `json:"decisions,omitempty"`
+
+	ThermalTrips  int         `json:"thermal_trips,omitempty"`
+	DVFSDenied    int         `json:"dvfs_denied,omitempty"`
+	DVFSDelayed   int         `json:"dvfs_delayed,omitempty"`
+	DAQSamples    int         `json:"daq_samples,omitempty"`
+	DAQDropped    int         `json:"daq_dropped,omitempty"`
+	MeteredEnergy acmp.Joules `json:"metered_energy_j,omitempty"`
+	CapClamps     int         `json:"cap_clamps,omitempty"`
+	Degradations  int         `json:"degradations,omitempty"`
+	Recoveries    int         `json:"recoveries,omitempty"`
+}
+
+// encodeResult projects a fleet.Result onto the wire.
+func encodeResult(r fleet.Result) *wireResult {
+	w := &wireResult{
+		Worker:      r.Worker,
+		LatencyNS:   int64(r.Latency),
+		Attempts:    r.Attempts,
+		History:     r.History,
+		Quarantined: r.Quarantined,
+	}
+	if r.Err != nil {
+		w.Err = r.Err.Error()
+	}
+	if r.Run != nil {
+		w.Run = encodeRun(r.Run)
+	}
+	return w
+}
+
+// decodeResult reconstructs a fleet.Result, reattaching the client's copy
+// of the job.
+func decodeResult(w *wireResult, job fleet.Job) fleet.Result {
+	r := fleet.Result{
+		Job:         job,
+		Worker:      w.Worker,
+		Latency:     time.Duration(w.LatencyNS),
+		Attempts:    w.Attempts,
+		History:     w.History,
+		Quarantined: w.Quarantined,
+	}
+	if w.Err != "" {
+		r.Err = errors.New(w.Err)
+	}
+	if w.Run != nil {
+		r.Run = decodeRun(w.Run, job)
+	}
+	return r
+}
+
+func encodeRun(run *harness.Run) *wireRun {
+	w := &wireRun{
+		Kind:          run.Kind,
+		Energy:        run.Energy,
+		Frames:        run.Frames,
+		Switches:      run.Switches,
+		ViolationI:    run.ViolationI,
+		ViolationU:    run.ViolationU,
+		TotalEnergy:   run.TotalEnergy,
+		LoadLatency:   run.LoadLatency,
+		FrameEnergy:   run.FrameEnergy,
+		IdleEnergy:    run.IdleEnergy,
+		EventEnergy:   run.EventEnergy,
+		Spans:         run.Spans,
+		Decisions:     run.Decisions,
+		ThermalTrips:  run.ThermalTrips,
+		DVFSDenied:    run.DVFSDenied,
+		DVFSDelayed:   run.DVFSDelayed,
+		DAQSamples:    run.DAQSamples,
+		DAQDropped:    run.DAQDropped,
+		MeteredEnergy: run.MeteredEnergy,
+		CapClamps:     run.CapClamps,
+		Degradations:  run.Degradations,
+		Recoveries:    run.Recoveries,
+	}
+	for _, m := range run.ConfigMarks {
+		w.ConfigMarks = append(w.ConfigMarks, wireConfigMark{
+			At:          m.At,
+			FromCluster: int(m.From.Cluster), FromMHz: m.From.MHz,
+			ToCluster: int(m.To.Cluster), ToMHz: m.To.MHz,
+		})
+	}
+	// Residency flattens to (config index, duration) pairs sorted by index,
+	// so the wire form of one run is itself deterministic.
+	for cfg, d := range run.Residency {
+		w.Residency = append(w.Residency, wireResidency{Config: cfg.Index(), Dur: d})
+	}
+	sort.Slice(w.Residency, func(i, j int) bool { return w.Residency[i].Config < w.Residency[j].Config })
+	return w
+}
+
+func decodeRun(w *wireRun, job fleet.Job) *harness.Run {
+	run := &harness.Run{
+		Kind:          w.Kind,
+		Energy:        w.Energy,
+		Frames:        w.Frames,
+		Switches:      w.Switches,
+		ViolationI:    w.ViolationI,
+		ViolationU:    w.ViolationU,
+		TotalEnergy:   w.TotalEnergy,
+		LoadLatency:   w.LoadLatency,
+		FrameEnergy:   w.FrameEnergy,
+		IdleEnergy:    w.IdleEnergy,
+		EventEnergy:   w.EventEnergy,
+		Spans:         w.Spans,
+		Decisions:     w.Decisions,
+		ThermalTrips:  w.ThermalTrips,
+		DVFSDenied:    w.DVFSDenied,
+		DVFSDelayed:   w.DVFSDelayed,
+		DAQSamples:    w.DAQSamples,
+		DAQDropped:    w.DAQDropped,
+		MeteredEnergy: w.MeteredEnergy,
+		CapClamps:     w.CapClamps,
+		Degradations:  w.Degradations,
+		Recoveries:    w.Recoveries,
+	}
+	if app, ok := apps.ByName(job.App); ok {
+		run.App = app
+	}
+	for _, m := range w.ConfigMarks {
+		run.ConfigMarks = append(run.ConfigMarks, ledger.ConfigMark{
+			At:   m.At,
+			From: acmp.Config{Cluster: acmp.Cluster(m.FromCluster), MHz: m.FromMHz},
+			To:   acmp.Config{Cluster: acmp.Cluster(m.ToCluster), MHz: m.ToMHz},
+		})
+	}
+	if len(w.Residency) > 0 {
+		run.Residency = make(map[acmp.Config]sim.Duration, len(w.Residency))
+		for _, r := range w.Residency {
+			run.Residency[acmp.ConfigAt(r.Config)] = r.Dur
+		}
+	}
+	return run
+}

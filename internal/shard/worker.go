@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/fleet"
+)
+
+// WorkerOptions configures a Worker process (the greennode side of the
+// remote protocol).
+type WorkerOptions struct {
+	// Name identifies the worker in its welcome frame (host:port by default).
+	Name string
+	// Pool is the execution pool template: worker count, retry ladder,
+	// timeouts, and — in tests — the Execute override.
+	Pool fleet.Options
+	// WriteTimeout caps one result/pong frame write. 0 → 10s.
+	WriteTimeout time.Duration
+}
+
+// Worker executes jobs shipped over the frame protocol on a local
+// fleet.Pool: the full retry/quarantine ladder runs worker-side, so a
+// remote job's terminal result is indistinguishable from a local one.
+//
+// Each accepted connection is handshaken (hello/welcome with a protocol
+// version check), then serves a multiplexed stream: job frames start pool
+// executions whose results are written back keyed by frame id, ping frames
+// are answered immediately (heartbeats measure the transport even while
+// every pool slot is busy), and cancel frames abort the matching job's
+// context. A broken connection cancels that connection's in-flight jobs.
+type Worker struct {
+	opts WorkerOptions
+	pool *fleet.Pool
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]context.CancelFunc
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWorker builds the worker and its pool.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	return &Worker{
+		opts:  opts,
+		pool:  fleet.New(opts.Pool),
+		conns: map[net.Conn]context.CancelFunc{},
+	}
+}
+
+// Workers reports the pool's execution slots (advertised in welcome frames).
+func (w *Worker) Workers() int { return w.pool.Workers() }
+
+// Serve accepts connections on l until Close (or Kill). It returns the
+// listener's terminal error, nil after an orderly Close.
+func (w *Worker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		l.Close()
+		return errors.New("shard: worker closed")
+	}
+	w.ln = l
+	name := w.opts.Name
+	w.mu.Unlock()
+	if name == "" {
+		name = l.Addr().String()
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		w.conns[conn] = cancel
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go func() {
+			defer w.wg.Done()
+			w.serveConn(ctx, conn, name)
+			cancel()
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection (cancelling its in-flight
+// jobs), waits for the connection handlers, and shuts the pool down.
+func (w *Worker) Close() {
+	w.kill()
+	w.wg.Wait()
+	w.pool.Close()
+}
+
+// Kill is the abrupt variant: listener and connections are closed without
+// waiting for handlers or draining the pool — the in-process analogue of a
+// SIGKILL, used by chaos tests to die mid-frame.
+func (w *Worker) Kill() { w.kill() }
+
+func (w *Worker) kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	for conn, cancel := range w.conns {
+		cancel()
+		conn.Close()
+	}
+}
+
+// serveConn handshakes and serves one client connection.
+func (w *Worker) serveConn(ctx context.Context, conn net.Conn, name string) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	hello, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	var writeMu sync.Mutex
+	write := func(f frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(w.opts.WriteTimeout))
+		return writeFrame(conn, f)
+	}
+	if hello.T != frameHello || hello.Proto != protoVersion {
+		write(frame{T: frameWelcome, Err: fmt.Sprintf(
+			"unsupported handshake (%s proto %d; want %s proto %d)",
+			hello.T, hello.Proto, frameHello, protoVersion)})
+		return
+	}
+	if err := write(frame{T: frameWelcome, Proto: protoVersion,
+		Workers: w.pool.Workers(), Name: name}); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	var jobMu sync.Mutex
+	cancels := map[uint64]context.CancelFunc{}
+	defer func() {
+		jobMu.Lock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		jobMu.Unlock()
+	}()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.T {
+		case framePing:
+			if write(frame{T: framePong, ID: f.ID}) != nil {
+				return
+			}
+		case frameCancel:
+			jobMu.Lock()
+			if cancel, ok := cancels[f.ID]; ok {
+				cancel()
+			}
+			jobMu.Unlock()
+		case frameJob:
+			if f.Job == nil {
+				continue
+			}
+			id, job := f.ID, *f.Job
+			jobCtx, cancel := context.WithCancel(ctx)
+			jobMu.Lock()
+			cancels[id] = cancel
+			jobMu.Unlock()
+			// Start from a goroutine so a saturated pool exerts
+			// backpressure on this job alone, never on the read loop —
+			// pings must keep flowing while every slot is busy.
+			go func() {
+				err := w.pool.Start(jobCtx, job, nil, func(r fleet.Result) {
+					jobMu.Lock()
+					delete(cancels, id)
+					jobMu.Unlock()
+					cancel()
+					write(frame{T: frameResult, ID: id, Result: encodeResult(r)})
+				})
+				if err != nil {
+					jobMu.Lock()
+					delete(cancels, id)
+					jobMu.Unlock()
+					cancel()
+					write(frame{T: frameResult, ID: id, Result: encodeResult(
+						fleet.Result{Job: job, Worker: -1, Err: err})})
+				}
+			}()
+		}
+	}
+}

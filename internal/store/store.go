@@ -42,6 +42,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -106,6 +107,7 @@ type Store struct {
 	persisted   atomic.Int64
 	compactions atomic.Int64
 	dropped     atomic.Int64 // incomplete sweeps discarded at recovery
+	errs        atomic.Int64 // WAL/snapshot write and fsync failures
 }
 
 // Open recovers the store from dir (creating it if needed) and opens the
@@ -234,6 +236,15 @@ func (s *Store) apply(rec record) {
 	}
 }
 
+// ioErr counts a WAL/snapshot write or fsync failure (the
+// greenweb_store_errors_total counter) and passes the error through.
+func (s *Store) ioErr(err error) error {
+	if err != nil {
+		s.errs.Add(1)
+	}
+	return err
+}
+
 // append marshals and writes one record to the WAL buffer (no fsync).
 // Caller holds mu.
 func (s *Store) append(rec record) error {
@@ -243,19 +254,19 @@ func (s *Store) append(rec record) error {
 	}
 	n, err := fmt.Fprintf(s.bw, "%d %s\n", len(payload), payload)
 	s.walBytes += int64(n)
-	return err
+	return s.ioErr(err)
 }
 
 // sync flushes the buffer and fsyncs the WAL, timing the fsync. Caller
 // holds mu.
 func (s *Store) sync() error {
 	if err := s.bw.Flush(); err != nil {
-		return err
+		return s.ioErr(err)
 	}
 	start := time.Now()
 	err := s.wal.Sync()
 	s.fsyncHist.Observe(time.Since(start).Seconds())
-	return err
+	return s.ioErr(err)
 }
 
 // Begin registers a sweep for persistence. meta is opaque to the store and
@@ -271,13 +282,23 @@ func (s *Store) Begin(id string, created time.Time, meta json.RawMessage) error 
 }
 
 // AppendRow persists the next result row (the exact NDJSON line, no
-// trailing newline). Rows must arrive in submission order.
+// trailing newline). Rows must arrive in submission order. Re-appending an
+// index already persisted with identical bytes is a no-op — defense in
+// depth for replayed deliveries (a job re-executed after its node died is
+// deterministic, so its row is byte-identical); divergent bytes at a known
+// index are an error, because they would break the replay contract.
 func (s *Store) AppendRow(id string, index int, row json.RawMessage) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sr := s.open[id]
 	if sr == nil {
 		return fmt.Errorf("store: sweep %q not open", id)
+	}
+	if index < len(sr.Rows) {
+		if bytes.Equal(sr.Rows[index], row) {
+			return nil
+		}
+		return fmt.Errorf("store: sweep %q row %d rewritten with different bytes", id, index)
 	}
 	if index != len(sr.Rows) {
 		return fmt.Errorf("store: sweep %q row %d out of order (want %d)", id, index, len(sr.Rows))
@@ -334,6 +355,9 @@ func (s *Store) Torn() int64 { return s.torn.Load() }
 // Dropped reports how many incomplete sweeps recovery has discarded.
 func (s *Store) Dropped() int64 { return s.dropped.Load() }
 
+// Errors reports how many WAL/snapshot write or fsync failures have occurred.
+func (s *Store) Errors() int64 { return s.errs.Load() }
+
 // Compact rewrites every completed sweep into a fresh snapshot and resets
 // the WAL, carrying the records of still-open sweeps forward so their
 // persistence continues uninterrupted.
@@ -388,7 +412,7 @@ func (s *Store) compactLocked() error {
 	s.fsyncHist.Observe(time.Since(start).Seconds())
 	if err != nil {
 		f.Close()
-		return fmt.Errorf("store: %w", err)
+		return s.ioErr(fmt.Errorf("store: %w", err))
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -466,4 +490,6 @@ func (s *Store) RegisterMetrics(reg *obs.Registry) {
 		"Snapshot compactions performed", func() float64 { return float64(s.compactions.Load()) })
 	reg.CounterFunc("greenweb_store_dropped_sweeps_total",
 		"Incomplete sweeps discarded during recovery", func() float64 { return float64(s.dropped.Load()) })
+	reg.CounterFunc("greenweb_store_errors_total",
+		"WAL/snapshot write and fsync failures", func() float64 { return float64(s.errs.Load()) })
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
@@ -316,5 +318,83 @@ func TestAppendRowOrderEnforced(t *testing.T) {
 	}
 	if err := s.End("s-000404"); err == nil {
 		t.Fatal("End on unknown sweep succeeded")
+	}
+}
+
+// TestAppendRowIdempotentReplay: re-appending an already-persisted index
+// with identical bytes is absorbed silently — the defense-in-depth path for
+// a job re-executed after its node died — while divergent bytes at a known
+// index are refused.
+func TestAppendRowIdempotentReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Begin("s-000001", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	row := json.RawMessage(`{"index":0,"app":"Todo","state":"done"}`)
+	if err := s.AppendRow("s-000001", 0, row); err != nil {
+		t.Fatal(err)
+	}
+	before := s.walSize(t)
+	if err := s.AppendRow("s-000001", 0, row); err != nil {
+		t.Fatalf("identical replay = %v, want nil", err)
+	}
+	if after := s.walSize(t); after != before {
+		t.Fatalf("identical replay grew the WAL: %d -> %d bytes", before, after)
+	}
+	if err := s.AppendRow("s-000001", 0, json.RawMessage(`{"index":0,"divergent":true}`)); err == nil {
+		t.Fatal("divergent rewrite of a persisted row was accepted")
+	}
+	if err := s.AppendRow("s-000001", 1, json.RawMessage(`{"index":1}`)); err != nil {
+		t.Fatalf("append after replay = %v", err)
+	}
+	if err := s.End("s-000001"); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Get("s-000001")
+	if len(rec.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (replay must not duplicate)", len(rec.Rows))
+	}
+}
+
+// walSize reads the WAL's current buffered length for growth assertions.
+func (s *Store) walSize(t *testing.T) int64 {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// TestStoreErrorsCounter: a write against a closed WAL surfaces both the
+// error and the greenweb_store_errors_total increment.
+func TestStoreErrorsCounter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("s-000001", t0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the WAL fd underneath the store: the next fsync must fail.
+	s.wal.Close()
+	if err := s.End("s-000001"); err == nil {
+		t.Fatal("End over a closed WAL reported success")
+	}
+	if s.Errors() == 0 {
+		t.Fatal("WAL failure not counted in Errors()")
+	}
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "greenweb_store_errors_total") {
+		t.Fatalf("exposition missing greenweb_store_errors_total:\n%s", buf.String())
 	}
 }
