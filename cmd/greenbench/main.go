@@ -84,6 +84,8 @@ func run() int {
 	noAssetCache := flag.Bool("no-asset-cache", false, "disable the parse-once page asset cache (re-parse every cell; output must be identical)")
 	noObs := flag.Bool("no-obs", false, "disable metrics and decision recording (output must be identical)")
 	noVM := flag.Bool("no-vm", false, "execute scripts on the tree-walking interpreter instead of the bytecode VM (output must be identical)")
+	stageWorkers := flag.Int("stage-workers", 0, "render-pipeline stage threads per engine (0 or 1 = serial frame production)")
+	noParallelRender := flag.Bool("no-parallel-render", false, "force serial frame production (output must be identical to the default serial pipeline)")
 	flag.Parse()
 
 	if *noAssetCache {
@@ -94,6 +96,19 @@ func run() int {
 	}
 	if *noVM {
 		js.SetVM(false)
+	}
+	if !harness.ValidStageWorkers(*stageWorkers) {
+		fmt.Fprintf(os.Stderr, "greenbench: -stage-workers %d out of range [0, %d]\n", *stageWorkers, browser.MaxStageWorkers)
+		return 1
+	}
+	if *noParallelRender && *stageWorkers > 1 {
+		fmt.Fprintln(os.Stderr, "greenbench: -no-parallel-render conflicts with -stage-workers > 1")
+		return 1
+	}
+	if *noParallelRender {
+		browser.SetDefaultStageWorkers(1)
+	} else {
+		browser.SetDefaultStageWorkers(*stageWorkers)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

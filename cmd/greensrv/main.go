@@ -53,7 +53,9 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/wattwiseweb/greenweb/internal/browser"
 	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/obs"
 	"github.com/wattwiseweb/greenweb/internal/shard"
@@ -79,6 +81,8 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "cap on reading a request's headers (slowloris guard)")
 	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
 	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
+	stageWorkers := flag.Int("stage-workers", 0, "default render-pipeline stage threads per engine (0 or 1 = serial; sweeps may override per job)")
+	noParallelRender := flag.Bool("no-parallel-render", false, "force serial frame production by default (outputs must be byte-identical to the default serial pipeline)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight sweeps on SIGINT/SIGTERM before cancellation")
 	obsDump := flag.String("obs-dump", "", "file for the final metrics snapshot on shutdown (default stderr)")
 	flag.Parse()
@@ -108,6 +112,10 @@ func main() {
 		fail("-admit-burst must be >= 1")
 	case *remoteNodes != "" && *nodes > 1:
 		fail("-remote-nodes and -nodes > 1 are mutually exclusive (the remote list fixes the node count)")
+	case !harness.ValidStageWorkers(*stageWorkers):
+		fail(fmt.Sprintf("-stage-workers must be in [0, %d]", browser.MaxStageWorkers))
+	case *noParallelRender && *stageWorkers > 1:
+		fail("-no-parallel-render conflicts with -stage-workers > 1")
 	}
 
 	// The sweep context is deliberately NOT the signal context: a signal
@@ -121,6 +129,11 @@ func main() {
 	}
 	if *noVM {
 		js.SetVM(false)
+	}
+	if *noParallelRender {
+		browser.SetDefaultStageWorkers(1)
+	} else {
+		browser.SetDefaultStageWorkers(*stageWorkers)
 	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

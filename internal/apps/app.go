@@ -115,14 +115,15 @@ func All() []*App {
 	return out
 }
 
-// ByName finds an application by name (case-insensitive).
+// ByName finds an application by name (case-insensitive), searching the
+// Table 3 catalog first and then the SPA family (spa.go).
 func ByName(name string) (*App, bool) {
 	for _, a := range registry {
 		if strings.EqualFold(a.Name, name) {
 			return a, true
 		}
 	}
-	return nil, false
+	return spaByName(name)
 }
 
 // Names lists the catalog names in order.

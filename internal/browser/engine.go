@@ -86,6 +86,11 @@ type Engine struct {
 	browserThread    *acmp.Thread
 	mainThread       *acmp.Thread
 	compositorThread *acmp.Thread
+	// stageThreads, when non-empty, switch frame production to the staged
+	// pipeline (see stage.go). Serial engines never create them: the thread
+	// count feeds the idle-power model, so their mere existence would change
+	// energy outputs.
+	stageThreads []*acmp.Thread
 
 	gov Governor
 
@@ -234,7 +239,7 @@ func (e *Engine) SetTracer(r *obs.Recorder) { e.tracer = r }
 func (e *Engine) Quiescent() bool {
 	return !e.mainBusy && len(e.mainQ) == 0 && !e.producing && !e.dirty &&
 		len(e.rafQueue) == 0 && len(e.transitions) == 0 && len(e.msgQueue) == 0 &&
-		e.browserThread.Idle() && e.compositorThread.Idle()
+		e.browserThread.Idle() && e.compositorThread.Idle() && e.stageThreadsIdle()
 }
 
 // InputRecords returns all injected inputs by UID.
@@ -804,6 +809,14 @@ func (e *Engine) produceFrame(begin sim.Time, _ Provenance) {
 		return
 	}
 
+	// Staged pipeline: shard style/layout/paint across dedicated stage
+	// threads with phase barriers (stage.go). The serial path below stays
+	// byte-identical to the pre-staging engine.
+	if len(e.stageThreads) > 0 {
+		e.produceFrameStaged(begin)
+		return
+	}
+
 	// Capture and clear the dirty state: later mutations belong to the
 	// next frame.
 	msgs := e.msgQueue
@@ -843,14 +856,14 @@ func (e *Engine) produceFrame(begin sim.Time, _ Provenance) {
 				CyclesLittle: int64(float64(e.cost.CompositeCycles) * e.cost.MicroArchRatio),
 				Indep:        e.cost.CompositeGPUTime,
 			}, func() {
-				e.frameComplete(seq, begin, cfg, prov, dirtied, msgs, mainWork+e.cost.PaintBaseCycles+nodes*e.cost.PaintCyclesPerNode)
+				e.frameComplete(seq, begin, cfg, prov, dirtied, msgs, mainWork+e.cost.PaintBaseCycles+nodes*e.cost.PaintCyclesPerNode, nil)
 			})
 		},
 	})
 	mainWork += e.cost.PaintBaseCycles + nodes*e.cost.PaintCyclesPerNode
 }
 
-func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, dirtied Provenance, msgs []InputRecord, mainWork int64) {
+func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, dirtied Provenance, msgs []InputRecord, mainWork int64, stages []StageTiming) {
 	end := e.simu.Now()
 	fr := FrameResult{
 		Seq:               seq,
@@ -860,6 +873,7 @@ func (e *Engine) frameComplete(seq int, begin sim.Time, cfg acmp.Config, prov, d
 		Provenance:        prov,
 		Config:            cfg,
 		MainWork:          mainWork,
+		Stages:            stages,
 	}
 	for _, m := range msgs {
 		fr.Inputs = append(fr.Inputs, InputLatency{Input: m, Latency: end.Sub(m.Start)})

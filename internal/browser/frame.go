@@ -98,6 +98,11 @@ type FrameResult struct {
 	// MainWork is the big-core cycle total the renderer main thread spent
 	// on this frame (callback/rAF + style + layout + paint).
 	MainWork int64
+	// Stages records the per-stage timings of a staged frame production
+	// (nil when the engine rendered serially). The sum of CritCycles over
+	// stages is the frame's render critical path; the sum of TotalCycles is
+	// what the serial cascade would have paid.
+	Stages []StageTiming
 }
 
 // DispatchResult summarizes what one event dispatch did — AUTOGREEN's

@@ -91,6 +91,16 @@ type Model struct {
 	// from Feedback. The memoized sweep below is keyed on it.
 	version int
 	sel     selMemo
+
+	// Per-stage critical-path and total cycle observations from staged
+	// frame production (stage.go). stageVersion counts their mutations so
+	// the stage-vector memo can key on them without invalidating the
+	// uniform sweep memo above.
+	stageValid   bool
+	stageCrit    [NumStages]float64
+	stageTotal   [NumStages]float64
+	stageVersion int
+	stageSel     stageSelMemo
 }
 
 // selMemo caches the last SelectWithin result. The runtime issues the same

@@ -58,6 +58,12 @@ type Options struct {
 	// unannotated activity arriving much later runs at the low-power
 	// default rather than the parked big floor.
 	DeepIdleAfter sim.Duration
+	// StageAware enables the per-stage configuration dimension (stage.go):
+	// when the browser produces frames through the staged pipeline, the
+	// runtime prepares a StageVector per frame and re-asserts it at each
+	// phase barrier via OnRenderStage. Off, the runtime behaves exactly as
+	// before — OnRenderStage becomes a no-op even on a staged engine.
+	StageAware bool
 	// DegradeAfter is the consecutive-violation count at which a class
 	// stops trusting its model and falls back to the best configuration
 	// the hardware currently allows (Perf-within-cap) — the last rung of
@@ -128,6 +134,12 @@ type Runtime struct {
 	// triggers reprofiling even when no deadline is missed.
 	capDiverge map[string]int
 
+	// Per-stage vector for the frame in flight (StageAware only): computed
+	// at OnFrameStart, applied at each OnRenderStage barrier. curStageOK
+	// gates application so unannotated and profiling frames stay untouched.
+	curStageVec StageVector
+	curStageOK  bool
+
 	stats Stats
 
 	// Cached obs counter children for this runtime's governor label,
@@ -162,10 +174,14 @@ func New(opts Options) *Runtime {
 
 // Name implements browser.Governor.
 func (r *Runtime) Name() string {
+	name := "GreenWeb-I"
 	if r.opts.Scenario == qos.Usable {
-		return "GreenWeb-U"
+		name = "GreenWeb-U"
 	}
-	return "GreenWeb-I"
+	if r.opts.StageAware {
+		name += "-staged"
+	}
+	return name
 }
 
 // Stats returns runtime activity counters.
@@ -392,6 +408,7 @@ func (r *Runtime) OnFrameStart(seq int, prov browser.Provenance) {
 		r.reschedule()
 	}
 	r.annotateFrameStart(m)
+	r.prepareStageVector(m)
 }
 
 // annotateFrameStart records the scheduling decision on the frame's energy
@@ -439,6 +456,9 @@ func (r *Runtime) OnFrameEnd(fr *browser.FrameResult) {
 	m := r.driving(fr.Provenance)
 	if m == nil {
 		return
+	}
+	if r.opts.StageAware && len(fr.Stages) > 0 {
+		m.RecordStages(fr.Stages)
 	}
 	measured := r.measuredLatency(m, fr)
 	if measured < 0 {

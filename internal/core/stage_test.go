@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/wattwiseweb/greenweb/internal/acmp"
+	"github.com/wattwiseweb/greenweb/internal/browser"
+	"github.com/wattwiseweb/greenweb/internal/qos"
+	"github.com/wattwiseweb/greenweb/internal/sim"
+)
+
+// readyStageModel identifies a model from two synthetic profiling samples
+// and feeds it one staged frame observation with the given per-stage
+// critical-path cycles (totals are workers× the critical path, as an even
+// shard split produces).
+func readyStageModel(t *testing.T, crit [NumStages]int64, workers int64) *Model {
+	t.Helper()
+	m := NewModel("test", qos.Annotation{Type: qos.Continuous, Target: qos.ContinuousTarget})
+	var nBig int64
+	for _, c := range crit {
+		nBig += c
+	}
+	peak, low := acmp.PeakConfig(), acmp.LowestConfig()
+	lat := func(cfg acmp.Config) sim.Duration {
+		return sim.Duration(float64(nBig)*m.kOf(cfg)*1e6 + 0.5)
+	}
+	m.RecordProfile(lat(peak), peak)
+	m.RecordProfile(lat(low), low)
+	if !m.Ready() {
+		t.Fatal("model not ready after two profiles")
+	}
+	var stages []browser.StageTiming
+	for s := 0; s < NumStages; s++ {
+		stages = append(stages, browser.StageTiming{
+			Stage:       browser.RenderStage(s),
+			TotalCycles: crit[s] * workers,
+			CritCycles:  crit[s],
+		})
+	}
+	m.RecordStages(stages)
+	return m
+}
+
+func TestSelectStageVectorUniformWithoutStageData(t *testing.T) {
+	m := NewModel("test", qos.Annotation{Type: qos.Continuous, Target: qos.ContinuousTarget})
+	if _, ok := m.SelectStageVector(16600, acmp.DefaultPower(), 0.9, acmp.PeakConfig()); ok {
+		t.Fatal("unidentified model must not produce a vector")
+	}
+	peak, low := acmp.PeakConfig(), acmp.LowestConfig()
+	m.RecordProfile(10*sim.Millisecond, peak)
+	m.RecordProfile(40*sim.Millisecond, low)
+	pm := acmp.DefaultPower()
+	deadline := sim.Duration(16600)
+	vec, ok := m.SelectStageVector(deadline, pm, 0.9, acmp.PeakConfig())
+	if !ok {
+		t.Fatal("ready model must produce a vector")
+	}
+	if !vec.Uniform() {
+		t.Fatalf("no stage observations yet: vector must be uniform, got %v", vec)
+	}
+	if base := m.SelectWithin(deadline, pm, 0.9, acmp.PeakConfig()); vec[0] != base {
+		t.Fatalf("uniform vector %v != SelectWithin base %v", vec[0], base)
+	}
+}
+
+func TestSelectStageVectorFeasibleAndNoWorse(t *testing.T) {
+	// ~22.4 M critical-path cycles: tight against the 16.6 ms deadline at
+	// high rungs, so the uniform answer lands near the top of the ladder
+	// with sub-rung slack for single-stage step-downs to spend.
+	m := readyStageModel(t, [NumStages]int64{6_600_000, 9_900_000, 5_900_000}, 4)
+	pm := acmp.DefaultPower()
+	deadline := 16600 * sim.Microsecond
+	ceiling := acmp.PeakConfig()
+
+	base := m.SelectWithin(deadline, pm, 0.9, ceiling)
+	vec, ok := m.SelectStageVector(deadline, pm, 0.9, ceiling)
+	if !ok {
+		t.Fatal("ready model must produce a vector")
+	}
+	var uniform StageVector
+	for s := range uniform {
+		uniform[s] = base
+	}
+	bound := sim.Duration(float64(deadline) * 0.9).Seconds()
+	if got := m.stagePredictSeconds(base, vec); got > bound {
+		t.Fatalf("selected vector predicted %.6fs over bound %.6fs", got, bound)
+	}
+	eVec := m.stageEnergyScore(base, vec, pm, deadline)
+	eUni := m.stageEnergyScore(base, uniform, pm, deadline)
+	if eVec > eUni {
+		t.Fatalf("vector energy %.9f worse than uniform %.9f", eVec, eUni)
+	}
+	// Every stage stays within the ceiling and at-or-below the base: the
+	// descent only steps down.
+	for s, cfg := range vec {
+		if cfg.Index() > base.Index() {
+			t.Fatalf("stage %d config %v above base %v", s, cfg, base)
+		}
+	}
+
+	// Determinism + memo: an identical query returns the identical vector.
+	again, _ := m.SelectStageVector(deadline, pm, 0.9, ceiling)
+	if again != vec {
+		t.Fatalf("repeat query diverged: %v vs %v", vec, again)
+	}
+}
+
+func TestSelectStageVectorRespectsBiasAndDegradedCeiling(t *testing.T) {
+	m := readyStageModel(t, [NumStages]int64{6_600_000, 9_900_000, 5_900_000}, 4)
+	pm := acmp.DefaultPower()
+	deadline := 16600 * sim.Microsecond
+
+	// Feedback bias up (a violation) forces the uniform vector: slack
+	// spending is reserved for healthy classes.
+	m.bias = 1
+	m.Invalidate()
+	vec, ok := m.SelectStageVector(deadline, pm, 0.9, acmp.PeakConfig())
+	if !ok || !vec.Uniform() {
+		t.Fatalf("biased class must schedule uniformly, got %v (ok=%v)", vec, ok)
+	}
+	m.bias = 0
+	m.Invalidate()
+
+	// A thermal ceiling clamps every stage of the vector.
+	ceiling := acmp.Config{Cluster: acmp.Big, MHz: 1000}
+	vec, ok = m.SelectStageVector(deadline, pm, 0.9, ceiling)
+	if !ok {
+		t.Fatal("no vector under ceiling")
+	}
+	for s, cfg := range vec {
+		if cfg.Index() > ceiling.Index() {
+			t.Fatalf("stage %d config %v above ceiling %v", s, cfg, ceiling)
+		}
+	}
+}
+
+func TestRecordStagesVersioning(t *testing.T) {
+	m := readyStageModel(t, [NumStages]int64{1_000_000, 2_000_000, 3_000_000}, 2)
+	crit, total, ok := m.StageParams()
+	if !ok {
+		t.Fatal("stage params not recorded")
+	}
+	if crit[1] != 2_000_000 || total[1] != 4_000_000 {
+		t.Fatalf("unexpected stage params: crit=%v total=%v", crit, total)
+	}
+	v0 := m.stageVersion
+	// Re-recording identical observations must not invalidate anything.
+	var stages []browser.StageTiming
+	for s := 0; s < NumStages; s++ {
+		stages = append(stages, browser.StageTiming{
+			Stage:       browser.RenderStage(s),
+			TotalCycles: int64(total[s]),
+			CritCycles:  int64(crit[s]),
+		})
+	}
+	m.RecordStages(stages)
+	if m.stageVersion != v0 {
+		t.Fatal("identical re-record bumped stageVersion")
+	}
+	// A changed observation bumps the stage version but not the sweep memo's.
+	selV := m.version
+	stages[0].CritCycles *= 2
+	stages[0].TotalCycles *= 2
+	m.RecordStages(stages)
+	if m.stageVersion == v0 {
+		t.Fatal("changed record did not bump stageVersion")
+	}
+	if m.version != selV {
+		t.Fatal("stage record must not invalidate the uniform sweep memo")
+	}
+	// Incomplete or out-of-range observations are ignored.
+	m2 := readyStageModel(t, [NumStages]int64{1, 2, 3}, 1)
+	v0 = m2.stageVersion
+	m2.RecordStages([]browser.StageTiming{{Stage: browser.StageStyle, CritCycles: 9, TotalCycles: 9}})
+	m2.RecordStages([]browser.StageTiming{{Stage: browser.RenderStage(99)}})
+	if m2.stageVersion != v0 {
+		t.Fatal("partial observation mutated the model")
+	}
+}

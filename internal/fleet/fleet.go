@@ -60,6 +60,10 @@ type Job struct {
 	// Faults optionally runs the cell on a faulted device (thermal caps,
 	// DVFS transition failures, DAQ dropout). nil → pristine hardware.
 	Faults *faults.Spec `json:"faults,omitempty"`
+	// StageWorkers overrides the render pipeline's stage-thread count for
+	// this cell: 0 → the process default, 1 → force serial frame
+	// production, 2..browser.MaxStageWorkers → staged with that many cores.
+	StageWorkers int `json:"stage_workers,omitempty"`
 }
 
 func (j Job) String() string { return fmt.Sprintf("%s/%s/%s", j.App, j.Kind, j.Phase) }
@@ -82,6 +86,9 @@ func (j Job) Validate() error {
 	if j.Repeats < 0 {
 		return fmt.Errorf("fleet: negative repeats %d", j.Repeats)
 	}
+	if !harness.ValidStageWorkers(j.StageWorkers) {
+		return fmt.Errorf("fleet: stage workers %d out of range", j.StageWorkers)
+	}
 	if err := j.Faults.Validate(); err != nil {
 		return err
 	}
@@ -102,6 +109,9 @@ func (j Job) execute(ctx context.Context) (*harness.Run, error) {
 	}
 	if j.Repeats > 0 {
 		repeats = j.Repeats
+	}
+	if j.StageWorkers > 0 {
+		ctx = harness.WithStageWorkers(ctx, j.StageWorkers)
 	}
 	return harness.ExecuteFaultedRepeatedContext(ctx, app, j.Kind, trace, repeats, j.Faults)
 }

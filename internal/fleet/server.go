@@ -29,6 +29,11 @@ type SweepRequest struct {
 	// Faults optionally runs every cell of the sweep on a faulted device
 	// (see faults.Spec). Invalid specs answer 400 before any job runs.
 	Faults *faults.Spec `json:"faults,omitempty"`
+	// StageWorkers adds a render-pipeline dimension to the grid: the sweep
+	// runs every (app, kind) cell once per listed stage-worker count
+	// (0 = process default, 1 = serial, 2.. = staged). Empty keeps the grid
+	// two-dimensional, exactly as before the dimension existed.
+	StageWorkers []int `json:"stage_workers,omitempty"`
 }
 
 // DefaultKinds is the sweep the evaluation section revolves around.
@@ -69,14 +74,26 @@ func (r SweepRequest) Jobs() ([]Job, error) {
 			kinds = append(kinds, kind)
 		}
 	}
+	stageWorkers := r.StageWorkers
+	if len(stageWorkers) == 0 {
+		stageWorkers = []int{0}
+	}
+	for _, n := range stageWorkers {
+		if !harness.ValidStageWorkers(n) {
+			return nil, fmt.Errorf("fleet: stage workers %d out of range", n)
+		}
+	}
 	var jobs []Job
 	for _, name := range names {
 		for _, kind := range kinds {
-			j := Job{App: name, Kind: kind, Phase: phase, Repeats: r.Repeats, Faults: r.Faults}
-			if err := j.Validate(); err != nil {
-				return nil, err
+			for _, n := range stageWorkers {
+				j := Job{App: name, Kind: kind, Phase: phase, Repeats: r.Repeats,
+					Faults: r.Faults, StageWorkers: n}
+				if err := j.Validate(); err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, j)
 			}
-			jobs = append(jobs, j)
 		}
 	}
 	return jobs, nil
@@ -90,6 +107,9 @@ type ResultRow struct {
 	Kind         harness.Kind `json:"kind"`
 	Phase        Phase        `json:"phase"`
 	State        State        `json:"state"`
+	// StageWorkers echoes the job's render-pipeline override; omitted for
+	// default-pipeline jobs so pre-existing sweep output is unchanged.
+	StageWorkers int `json:"stage_workers,omitempty"`
 	LatencyMS    float64      `json:"latency_ms"`
 	EnergyJ      float64      `json:"energy_j,omitempty"`
 	Frames       int          `json:"frames,omitempty"`
@@ -104,6 +124,9 @@ type ResultRow struct {
 	FrameEnergyJ float64 `json:"frame_energy_j,omitempty"`
 	IdleEnergyJ  float64 `json:"idle_energy_j,omitempty"`
 	EventEnergyJ float64 `json:"event_energy_j,omitempty"`
+	// StageEnergyJ sums the per-stage overlay spans of staged frame
+	// production; zero (and omitted) on serial-pipeline jobs.
+	StageEnergyJ float64 `json:"stage_energy_j,omitempty"`
 	// Retry provenance: executions consumed (only when >1) and each failed
 	// attempt's error. A quarantined row is a failure that exhausted every
 	// allowed attempt. All omitted for clean first-try rows, so unfaulted
@@ -131,6 +154,7 @@ func rowOf(index int, r Result) ResultRow {
 		State:     r.State(),
 		LatencyMS: float64(r.Latency) / float64(time.Millisecond),
 	}
+	row.StageWorkers = r.Job.StageWorkers
 	if r.Attempts > 1 {
 		row.Attempts = r.Attempts
 		row.AttemptErrors = r.History
@@ -151,6 +175,7 @@ func rowOf(index int, r Result) ResultRow {
 	row.FrameEnergyJ = float64(run.FrameEnergy)
 	row.IdleEnergyJ = float64(run.IdleEnergy)
 	row.EventEnergyJ = float64(run.EventEnergy)
+	row.StageEnergyJ = float64(run.StageEnergy)
 	row.ThermalTrips = run.ThermalTrips
 	row.DVFSDenied = run.DVFSDenied
 	row.DVFSDelayed = run.DVFSDelayed

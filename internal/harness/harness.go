@@ -46,6 +46,12 @@ const (
 	Powersave   Kind = "Powersave"
 	GreenWebI   Kind = "GreenWeb-I"
 	GreenWebU   Kind = "GreenWeb-U"
+	// GreenWebIStaged is GreenWeb-I with the per-stage configuration
+	// dimension enabled: on a staged engine the runtime assigns each render
+	// phase its own configuration (core.StageVector), spending DVFS-ladder
+	// quantization slack phase by phase. On a serial engine it degenerates
+	// to GreenWeb-I scheduling.
+	GreenWebIStaged Kind = "GreenWeb-I-staged"
 	// Single-cluster ablation variants (paper Sec. 10's alternative).
 	GreenWebUBigOnly    Kind = "GreenWeb-U-bigonly"
 	GreenWebULittleOnly Kind = "GreenWeb-U-littleonly"
@@ -59,7 +65,7 @@ const (
 func Kinds() []Kind {
 	return []Kind{
 		Perf, Interactive, Ondemand, Powersave,
-		GreenWebI, GreenWebU,
+		GreenWebI, GreenWebU, GreenWebIStaged,
 		GreenWebUBigOnly, GreenWebULittleOnly, GreenWebILittleOnly,
 		EBSKind,
 	}
@@ -92,6 +98,10 @@ func newGovernor(kind Kind) browser.Governor {
 		return core.New(core.DefaultOptions(qos.Imperceptible))
 	case GreenWebU:
 		return core.New(core.DefaultOptions(qos.Usable))
+	case GreenWebIStaged:
+		o := core.DefaultOptions(qos.Imperceptible)
+		o.StageAware = true
+		return core.New(o)
 	case GreenWebUBigOnly:
 		o := core.DefaultOptions(qos.Usable)
 		o.BigOnly = true
@@ -145,6 +155,10 @@ type Run struct {
 	FrameEnergy acmp.Joules
 	IdleEnergy  acmp.Joules
 	EventEnergy acmp.Joules
+	// StageEnergy sums the per-stage overlay spans of staged frame
+	// production (zero on a serial run). Stage windows nest inside frame
+	// windows, so StageEnergy ≤ FrameEnergy always.
+	StageEnergy acmp.Joules
 	// Spans is the full attribution timeline, for trace export.
 	Spans []ledger.Span
 	// ConfigMarks is the configuration-change history, for trace export.
@@ -329,6 +343,14 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 		}
 	}
 	e := browser.New(s, cpu, nil)
+	// Stage-worker configuration must precede LoadPage (stage threads feed
+	// the idle-power model): a per-run context override wins, else the
+	// process-wide default (CLI flags). Zero/one leaves the engine serial.
+	if n := StageWorkersIn(ctx); n > 0 {
+		e.SetStageWorkers(n)
+	} else if n := browser.DefaultStageWorkers(); n > 0 {
+		e.SetStageWorkers(n)
+	}
 	led := ledger.New(cpu)
 	e.SetLedger(led)
 	// Decision-level tracing rides the ledger out-of-band: a nil recorder
@@ -427,6 +449,7 @@ func executeHTML(ctx context.Context, app *apps.App, html string, kind Kind, tra
 		return nil, nil, fmt.Errorf("harness: %s/%s: %w", app.Name, kind, err)
 	}
 	run.FrameEnergy, run.IdleEnergy, run.EventEnergy = led.Summary()
+	run.StageEnergy = led.StageEnergy()
 	run.Spans = led.Spans()
 	run.ConfigMarks = led.Marks()
 	run.Decisions = rec.Decisions()

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"context"
+
+	"github.com/wattwiseweb/greenweb/internal/browser"
+)
+
+// Per-run stage-worker override, carried on the context like the obs gate
+// (obs.EnabledIn): fleet workers executing jobs with an explicit stage-worker
+// count wrap their job context, and executeHTML applies it to the engine
+// before LoadPage. Zero means "no override — use the process default".
+
+type stageWorkersKey struct{}
+
+// WithStageWorkers returns a context whose harness executions run with n
+// stage threads (0 = defer to browser.DefaultStageWorkers, 1 = force serial
+// regardless of the process default). n outside [0, browser.MaxStageWorkers]
+// panics — validate external input with ValidStageWorkers first.
+func WithStageWorkers(ctx context.Context, n int) context.Context {
+	if n < 0 || n > browser.MaxStageWorkers {
+		panic("harness: stage workers out of range")
+	}
+	return context.WithValue(ctx, stageWorkersKey{}, n)
+}
+
+// StageWorkersIn reports the context's stage-worker override (0 = none).
+func StageWorkersIn(ctx context.Context) int {
+	if n, ok := ctx.Value(stageWorkersKey{}).(int); ok {
+		return n
+	}
+	return 0
+}
+
+// ValidStageWorkers reports whether n is an acceptable stage-worker count
+// for flag and job validation.
+func ValidStageWorkers(n int) bool { return n >= 0 && n <= browser.MaxStageWorkers }

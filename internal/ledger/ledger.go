@@ -46,6 +46,13 @@ const (
 	// KindEvent covers one input's lifetime, input → event-closure
 	// completion. Event spans overlay the frame/idle partition.
 	KindEvent Kind = "event"
+	// KindStage covers one render stage (style, layout, paint) of a staged
+	// frame production. Stage spans overlay their frame span: the staged
+	// scheduler runs stages under phase barriers, so stage windows are
+	// disjoint and nested inside the frame window, and the stage energies
+	// plus the frame's non-stage residual reconstruct the frame span
+	// exactly. Like events, they do not participate in the conservation sum.
+	KindStage Kind = "stage"
 )
 
 // Span is one attributed interval: what the system was doing, when, under
@@ -104,6 +111,9 @@ type Ledger struct {
 	events     map[uint64]*Span
 	eventBusy0 map[uint64]sim.Duration
 
+	stage      *Span // open render-stage overlay (staged frame production)
+	stageBusy0 sim.Duration
+
 	marks []ConfigMark
 }
 
@@ -134,6 +144,9 @@ func (l *Ledger) onTransition(from, to sim.Time, rail acmp.Cluster, e acmp.Joule
 	l.charge(&l.cur, rail, e)
 	for _, sp := range l.events {
 		l.charge(sp, rail, e)
+	}
+	if l.stage != nil {
+		l.charge(l.stage, rail, e)
 	}
 }
 
@@ -184,6 +197,9 @@ func (l *Ledger) EndFrame(seq int, cfg acmp.Config) Span {
 	if l.cur.Kind != KindFrame {
 		panic("ledger: EndFrame without an open frame span")
 	}
+	if l.stage != nil {
+		panic("ledger: EndFrame while stage " + l.stage.Name + " is open")
+	}
 	l.cur.Seq = seq
 	l.cur.Config = cfg.String()
 	if seq > 0 {
@@ -207,6 +223,44 @@ func (l *Ledger) AnnotateFrame(key, value string) {
 		l.cur.Attrs = make(map[string]string)
 	}
 	l.cur.Attrs[key] = value
+}
+
+// BeginStage opens a render-stage overlay span inside the open frame span.
+// Stages run under phase barriers, so at most one stage is open at a time;
+// opening a stage outside a frame, or while another stage is open, is an
+// accounting bug and panics.
+func (l *Ledger) BeginStage(seq int, name string) {
+	if l.cur.Kind != KindFrame {
+		panic("ledger: BeginStage outside an open frame span")
+	}
+	if l.stage != nil {
+		panic("ledger: BeginStage while stage " + l.stage.Name + " is open")
+	}
+	l.cpu.Meter().Sync()
+	l.nextID++
+	l.stage = &Span{
+		ID:     l.nextID,
+		Kind:   KindStage,
+		Name:   name,
+		Seq:    seq,
+		Start:  l.simu.Now(),
+		Config: l.cpu.Config().String(),
+	}
+	l.stageBusy0 = l.cpu.UnionBusyTime()
+}
+
+// EndStage closes the open stage span and returns a value copy of it.
+func (l *Ledger) EndStage() Span {
+	if l.stage == nil {
+		panic("ledger: EndStage without an open stage span")
+	}
+	l.cpu.Meter().Sync()
+	sp := l.stage
+	sp.End = l.simu.Now()
+	sp.Busy = l.cpu.UnionBusyTime() - l.stageBusy0
+	l.spans = append(l.spans, *sp)
+	l.stage = nil
+	return *sp
 }
 
 // BeginEvent opens an overlay span for one input's lifetime.
@@ -281,6 +335,12 @@ func (l *Ledger) Spans() []Span {
 		snap.Busy = l.cpu.UnionBusyTime() - l.eventBusy0[sp.UID]
 		out = append(out, snap)
 	}
+	if l.stage != nil {
+		snap := *l.stage
+		snap.End = l.simu.Now()
+		snap.Busy = l.cpu.UnionBusyTime() - l.stageBusy0
+		out = append(out, snap)
+	}
 	cur := l.cur
 	cur.End = l.simu.Now()
 	cur.Busy = l.cpu.UnionBusyTime() - l.curBusy0
@@ -312,6 +372,19 @@ func (l *Ledger) Summary() (frame, idle, event acmp.Joules) {
 		}
 	}
 	return frame, idle, event
+}
+
+// StageEnergy reports the total energy attributed to render-stage spans.
+// Stage windows are disjoint and nested inside frame windows, so this never
+// exceeds the frame total of Summary.
+func (l *Ledger) StageEnergy() acmp.Joules {
+	var total acmp.Joules
+	for _, sp := range l.Spans() {
+		if sp.Kind == KindStage {
+			total += sp.Energy
+		}
+	}
+	return total
 }
 
 // Check enforces the conservation invariant: the frame+idle span energies

@@ -67,9 +67,13 @@ func writeFamily(w *bufio.Writer, f *family) {
 
 	switch {
 	case f.hist != nil:
-		writeHistogram(w, f.name, f.hist.Snapshot())
+		writeHistogram(w, f.name, nil, nil, f.hist.Snapshot())
 	case f.labels != nil:
 		for _, ch := range f.sortedChildren() {
+			if ch.hist != nil {
+				writeHistogram(w, f.name, f.labels, ch.values, ch.hist.Snapshot())
+				continue
+			}
 			w.WriteString(f.name + labelSet(f.labels, ch.values, "") + " ")
 			switch {
 			case ch.fn != nil:
@@ -94,8 +98,9 @@ func writeFamily(w *bufio.Writer, f *family) {
 
 // writeHistogram renders the cumulative bucket series, including empty
 // buckets (Prometheus quantile math needs the full ladder), then sum and
-// count.
-func writeHistogram(w *bufio.Writer, name string, s HistogramSnapshot) {
+// count. names/values carry the child's label set for HistogramVec children
+// (nil for the unlabeled case).
+func writeHistogram(w *bufio.Writer, name string, names, values []string, s HistogramSnapshot) {
 	perBucket := make(map[float64]uint64, len(s.Buckets))
 	var overflow uint64
 	for _, b := range s.Buckets {
@@ -105,16 +110,18 @@ func writeHistogram(w *bufio.Writer, name string, s HistogramSnapshot) {
 			perBucket[b.LE] = b.Count
 		}
 	}
+	plain := labelSet(names, values, "")
 	var cum uint64
 	for _, le := range s.Bounds {
 		cum += perBucket[le]
-		w.WriteString(name + `_bucket{le="` + formatValue(le) + `"} ` +
+		w.WriteString(name + "_bucket" + labelSet(names, values, `le="`+formatValue(le)+`"`) + " " +
 			strconv.FormatUint(cum, 10) + "\n")
 	}
 	cum += overflow
-	w.WriteString(name + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
-	w.WriteString(name + "_sum " + formatValue(s.Sum) + "\n")
-	w.WriteString(name + "_count " + strconv.FormatUint(s.Count, 10) + "\n")
+	w.WriteString(name + "_bucket" + labelSet(names, values, `le="+Inf"`) + " " +
+		strconv.FormatUint(cum, 10) + "\n")
+	w.WriteString(name + "_sum" + plain + " " + formatValue(s.Sum) + "\n")
+	w.WriteString(name + "_count" + plain + " " + strconv.FormatUint(s.Count, 10) + "\n")
 }
 
 // WritePrometheus renders the registry in Prometheus text format, families

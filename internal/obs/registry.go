@@ -57,12 +57,14 @@ const DefaultMaxCardinality = 64
 
 // child is one labeled sample of a family. fn, when set, makes the child
 // func-backed: its value is read at scrape time (the bridge for subsystems
-// that keep their own per-shard atomics, like the shard cluster).
+// that keep their own per-shard atomics, like the shard cluster). hist, when
+// set, makes the child a per-label-set histogram (HistogramVec).
 type child struct {
 	values []string
 	c      Counter
 	g      Gauge
 	fn     func() float64
+	hist   *Histogram
 }
 
 // family is one named metric: its metadata plus either a single unlabeled
@@ -246,6 +248,37 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 // the labeled analogue of GaugeFunc. Re-binding replaces fn (last wins).
 func (v *GaugeVec) Func(fn func() float64, values ...string) {
 	v.f.childFor(values).fn = fn
+}
+
+// HistogramVec is a histogram family with labels: one bucket ladder shared
+// by every child, one histogram per label-value combination. Resolve
+// children once with With and cache the result — the child lookup takes the
+// family mutex, the cached *Histogram does not.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec returns (creating on first use) the labeled histogram family
+// over the given ascending upper bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label")
+	}
+	f := r.register(name, help, typeHistogram, labels)
+	return &HistogramVec{f: f, bounds: append([]float64(nil), bounds...)}
+}
+
+// With resolves the child histogram for the label values, subject to the
+// same cardinality bound as CounterVec.With.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	ch := v.f.childFor(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if ch.hist == nil {
+		ch.hist = NewHistogram(v.bounds)
+	}
+	return ch.hist
 }
 
 // childFor resolves or creates the child for the label values. Past the

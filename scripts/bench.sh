@@ -6,6 +6,7 @@
 #   ./scripts/bench.sh pr4        # micro-benchmarks only
 #   ./scripts/bench.sh pr6        # greenload throughput only
 #   ./scripts/bench.sh pr7        # bytecode-VM ablation only
+#   ./scripts/bench.sh pr9        # pipeline-parallel rendering only
 #
 # PR 4: re-runs the headline micro-benchmarks and records them against the
 # frozen pre-PR baselines (measured once on the seed tree, commit f26a6a2,
@@ -18,6 +19,11 @@
 # PR 7: runs the script-dominated warm ExecuteCell cell on the bytecode VM
 # and on the tree-walking interpreter (-no-vm path), plus the engine
 # micro-benchmarks and the one-time compile cost the asset cache amortizes.
+#
+# PR 9: runs the DOM-heavy SPA cell serially and stage-parallel (wall-clock
+# pair), plus the modeled virtual-time numbers — frame-latency improvement
+# from stage sharding, and GreenWeb-I energy at fixed QoS with and without
+# the per-stage configuration dimension.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +33,7 @@ BENCHTIME="${BENCHTIME:-3s}"
 OUT="${OUT:-BENCH_PR4.json}"
 OUT6="${OUT6:-BENCH_PR6.json}"
 OUT7="${OUT7:-BENCH_PR7.json}"
+OUT9="${OUT9:-BENCH_PR9.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -77,7 +84,52 @@ PY
   echo "wrote $OUT7" >&2
 }
 
+# -------------------------------------------------------------------------
+# PR 9: pipeline-parallel rendering (stage-split style/layout/paint).
+# -------------------------------------------------------------------------
+run_pr9() {
+  local raw9 metrics9
+  raw9="$(mktemp)"
+  metrics9="$(mktemp)"
+  echo "running staged-render benchmarks (benchtime=$BENCHTIME)..." >&2
+  go test -run '^$' -bench 'BenchmarkExecuteCellWarmSPA' -benchmem \
+    -benchtime="$BENCHTIME" ./internal/harness/ | tee -a "$raw9" >&2
+  echo "computing modeled virtual-time metrics..." >&2
+  GREENWEB_PR9_OUT="$metrics9" go test -run 'TestPR9Metrics' -count=1 ./internal/harness/ >&2
+
+  python3 - "$raw9" "$metrics9" > "$OUT9" <<'PY'
+import json, re, sys
+rows = {}
+for line in open(sys.argv[1]):
+    m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op', line)
+    if not m:
+        continue
+    rows[m.group(1)] = {"ns_op": float(m.group(2)),
+                        "bytes_op": float(m.group(3)),
+                        "allocs_op": float(m.group(4))}
+modeled = json.load(open(sys.argv[2]))
+out = {
+    "pr": 9,
+    "title": "pipeline-parallel rendering: stage-split style/layout/paint on heterogeneous cores",
+    "workload": ("warm ExecuteCell on the DOM-heavy SPA-Feed cell (220 components, "
+                 "~2.2k nodes, state-driven rerenders), serial vs 4 stage cores; "
+                 "serial mode is byte-identical to the pre-staging engine "
+                 "(CI diffs report and fault sweep)"),
+    "benchmarks": [dict(name=k, **v) for k, v in sorted(rows.items())],
+    "modeled": modeled,
+    "frame_latency_improvement": round(modeled["frame_latency_improvement"], 2),
+    "stage_vector_energy_saving_pct": round(
+        100.0 * (1 - modeled["energy_stage_vector_j"] / modeled["energy_uniform_j"]), 3),
+}
+json.dump(out, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+  rm -f "$raw9" "$metrics9"
+  echo "wrote $OUT9" >&2
+}
+
 if [ "$WHAT" = pr7 ]; then run_pr7; exit 0; fi
+if [ "$WHAT" = pr9 ]; then run_pr9; exit 0; fi
 
 # -------------------------------------------------------------------------
 # PR 6: greenload throughput at 1 vs 4 nodes.
