@@ -8,7 +8,8 @@
 //	greenload [-addr http://127.0.0.1:8080] [-sweeps N] [-concurrency C]
 //	          [-apps csv] [-kinds csv] [-phase micro|full] [-repeats N]
 //	          [-faults JSON] [-client-id ID] [-poll 25ms] [-timeout 2m]
-//	          [-max-retries 50] [-wait-persisted] [-json FILE]
+//	          [-max-retries 50] [-wait-persisted] [-trace-sample N]
+//	          [-json FILE]
 //
 // greenload is an honest client: a 429/503 rejection is parsed for its
 // retry_after_ms (falling back to the Retry-After header) and the
@@ -16,6 +17,13 @@
 // -wait-persisted additionally waits for each sweep's status to report
 // persisted=true — the handshake the CI distributed-smoke job uses before
 // SIGKILLing the server.
+//
+// -trace-sample N fetches the fleet trace (GET .../trace?fleet=1) for the
+// first N completed sweeps and splits the end-to-end latency into phases —
+// queue-wait (admission to first execution) and execute (job wall time on
+// its worker) — reported as their own quantile ladders next to submit RTT,
+// plus the sweeps' cumulative span_drops so a truncated trace is visible in
+// the report. Requires the server to run with tracing enabled.
 package main
 
 import (
@@ -78,6 +86,12 @@ type report struct {
 	EndToEndMS    quantiles `json:"e2e_ms"`
 	SweepIDs      []string  `json:"sweep_ids"`
 	WaitPersisted bool      `json:"wait_persisted,omitempty"`
+
+	// Per-phase breakdown from sampled fleet traces (-trace-sample N).
+	TraceSampled int        `json:"trace_sampled,omitempty"`
+	SpanDrops    int64      `json:"span_drops"`
+	QueueMS      *quantiles `json:"queue_ms,omitempty"`
+	ExecuteMS    *quantiles `json:"execute_ms,omitempty"`
 }
 
 // quantiles are histogram-interpolated estimates in milliseconds; -1 means
@@ -113,6 +127,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-sweep completion deadline")
 	maxRetries := flag.Int("max-retries", 50, "submission retries on 429/503 before giving up")
 	waitPersisted := flag.Bool("wait-persisted", false, "wait for persisted=true in each sweep's status")
+	traceSample := flag.Int("trace-sample", 0, "fetch fleet traces for this many completed sweeps and report per-phase latency")
 	jsonOut := flag.String("json", "", "write the machine-readable report to this file")
 	flag.Parse()
 
@@ -183,6 +198,9 @@ func main() {
 		EndToEndMS:    quantilesOf(e2eHist.Snapshot()),
 		SweepIDs:      ids,
 		WaitPersisted: *waitPersisted,
+	}
+	if *traceSample > 0 {
+		sampleTraces(client, *addr, ids, *traceSample, &rep)
 	}
 	printReport(rep)
 	if *jsonOut != "" {
@@ -316,6 +334,72 @@ func await(client *http.Client, addr, id string, poll, timeout time.Duration, pe
 	}
 }
 
+// fleetTrace is the slice of the Chrome trace_event artifact greenload
+// reads: complete-event names/durations plus the drop counter.
+type fleetTrace struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Dur  int64  `json:"dur"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		SpanDrops int64 `json:"span_drops"`
+	} `json:"otherData"`
+}
+
+// sampleTraces fetches up to n completed sweeps' fleet traces and folds
+// their queue-wait and execute span durations into per-phase histograms.
+// A 404 (tracing off server-side, or the trace evicted) skips that sweep
+// with a warning rather than failing the run — the load numbers stand on
+// their own.
+func sampleTraces(client *http.Client, addr string, ids []string, n int, rep *report) {
+	queueHist := obs.NewHistogram(loadBounds)
+	execHist := obs.NewHistogram(loadBounds)
+	sampled := 0
+	for _, id := range ids {
+		if sampled >= n {
+			break
+		}
+		resp, err := client.Get(addr + "/v1/sweeps/" + id + "/trace?fleet=1")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenload: trace:", err)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "greenload: trace %s = %d (tracing off?)\n", id, resp.StatusCode)
+			continue
+		}
+		var tf fleetTrace
+		err = json.NewDecoder(resp.Body).Decode(&tf)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "greenload: trace body:", err)
+			continue
+		}
+		for _, ev := range tf.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			switch ev.Name {
+			case "queue-wait":
+				queueHist.Observe(float64(ev.Dur) / 1e6)
+			case "execute":
+				execHist.Observe(float64(ev.Dur) / 1e6)
+			}
+		}
+		rep.SpanDrops += tf.OtherData.SpanDrops
+		sampled++
+	}
+	rep.TraceSampled = sampled
+	if sampled > 0 {
+		q := quantilesOf(queueHist.Snapshot())
+		e := quantilesOf(execHist.Snapshot())
+		rep.QueueMS, rep.ExecuteMS = &q, &e
+	}
+}
+
 func printReport(rep report) {
 	fmt.Printf("greenload: %d sweeps (%d jobs) in %.2fs — %.1f sweeps/s, %.1f jobs/s\n",
 		rep.Sweeps, rep.Jobs, rep.WallS, rep.SweepsPerSec, rep.JobsPerSec)
@@ -325,6 +409,14 @@ func printReport(rep report) {
 		fmtMS(rep.SubmitMS.P50), fmtMS(rep.SubmitMS.P99), fmtMS(rep.SubmitMS.P999))
 	fmt.Printf("  e2e     p50 %s  p99 %s  p999 %s\n",
 		fmtMS(rep.EndToEndMS.P50), fmtMS(rep.EndToEndMS.P99), fmtMS(rep.EndToEndMS.P999))
+	if rep.TraceSampled > 0 {
+		fmt.Printf("  phase breakdown from %d traced sweep(s), %d span(s) dropped:\n",
+			rep.TraceSampled, rep.SpanDrops)
+		fmt.Printf("  queue   p50 %s  p99 %s  p999 %s\n",
+			fmtMS(rep.QueueMS.P50), fmtMS(rep.QueueMS.P99), fmtMS(rep.QueueMS.P999))
+		fmt.Printf("  execute p50 %s  p99 %s  p999 %s\n",
+			fmtMS(rep.ExecuteMS.P50), fmtMS(rep.ExecuteMS.P99), fmtMS(rep.ExecuteMS.P999))
+	}
 }
 
 func fmtMS(v float64) string {

@@ -9,7 +9,20 @@
 //
 //	greennode [-addr :9090] [-workers N] [-name NAME] [-job-timeout 2m]
 //	          [-max-attempts N] [-retry-base 50ms] [-retry-max 2s]
-//	          [-retry-seed S] [-no-obs] [-no-vm]
+//	          [-retry-seed S] [-http ADDR] [-log-level LEVEL]
+//	          [-no-obs] [-no-vm]
+//
+// With -http ADDR the worker serves its own health surface:
+//
+//	GET /metrics  Prometheus text exposition (pool + transport counters,
+//	              span-drop totals)
+//	GET /healthz  liveness — 200 while the process accepts connections
+//	GET /readyz   readiness — 200 once the frame listener is bound
+//
+// Tracing: when a connecting greensrv negotiates tracing (and this process
+// has obs enabled), executed jobs record spans that ship back piggybacked on
+// result frames. -no-obs opts the worker out — the handshake then omits
+// trace support and the server degrades gracefully.
 //
 // On SIGINT/SIGTERM the worker stops accepting, closes its connections
 // (cancelling their in-flight jobs; the server re-homes them), and exits.
@@ -19,15 +32,18 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/slog"
 	"github.com/wattwiseweb/greenweb/internal/shard"
 )
 
@@ -40,9 +56,19 @@ func main() {
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubled per attempt)")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff cap")
 	retrySeed := flag.Int64("retry-seed", 0, "seed for deterministic backoff jitter")
-	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
+	httpAddr := flag.String("http", "", "health/metrics listen address (empty = no health surface)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	noObs := flag.Bool("no-obs", false, "disable decision recording and tracing (outputs must be byte-identical either way)")
 	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
 	flag.Parse()
+
+	log := slog.New("greennode")
+	lvl, err := slog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greennode:", err)
+		os.Exit(1)
+	}
+	slog.SetLevel(lvl)
 
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "greennode: -workers must be >= 0 (0 = GOMAXPROCS)")
@@ -73,11 +99,51 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "greennode:", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "greennode: listening on %s with %d workers\n",
-		l.Addr(), w.Workers())
+	log.Info("listening", "addr", l.Addr(), "workers", w.Workers(),
+		"pid", os.Getpid(), "obs", obs.Enabled())
+
+	// The health surface is a separate listener so scraping and probing
+	// never compete with the frame protocol, and a worker behind a private
+	// job port can still expose health on a public one.
+	var ready atomic.Bool
+	ready.Store(true)
+	var healthSrv *http.Server
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		w.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			obs.WriteAll(rw, reg, obs.Default())
+		})
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+			rw.WriteHeader(http.StatusOK)
+			fmt.Fprintln(rw, "ok")
+		})
+		mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, r *http.Request) {
+			if !ready.Load() {
+				rw.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(rw, "draining")
+				return
+			}
+			rw.WriteHeader(http.StatusOK)
+			fmt.Fprintln(rw, "ready")
+		})
+		healthSrv = &http.Server{
+			Addr: *httpAddr, Handler: mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Error("health listen failed", "addr", *httpAddr, "err", err)
+			os.Exit(1)
+		}
+		go healthSrv.Serve(hl)
+		log.Info("health surface up", "addr", hl.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -86,11 +152,15 @@ func main() {
 
 	select {
 	case <-sigc:
-		fmt.Fprintln(os.Stderr, "greennode: signal received, shutting down")
+		log.Info("signal received, shutting down")
+		ready.Store(false)
 		w.Close()
+		if healthSrv != nil {
+			healthSrv.Close()
+		}
 	case err := <-errc:
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "greennode:", err)
+			log.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	}

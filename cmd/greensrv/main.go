@@ -13,8 +13,8 @@
 //	         [-remote-nodes host:port,host:port,...]
 //	         [-store DIR] [-store-compact BYTES]
 //	         [-admit-queue N] [-admit-rate R] [-admit-burst B]
-//	         [-read-header-timeout 10s]
-//	         [-no-obs] [-no-vm] [-drain-timeout 30s] [-obs-dump FILE]
+//	         [-read-header-timeout 10s] [-log-level LEVEL]
+//	         [-no-obs] [-no-trace] [-no-vm] [-drain-timeout 30s] [-obs-dump FILE]
 //
 // With -remote-nodes the execution substrate is a cluster of greennode
 // worker processes reached over TCP instead of in-process pools: jobs ship
@@ -31,7 +31,12 @@
 //	GET  /v1/sweeps/{id}/results NDJSON rows in submission order
 //	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON (per-frame/per-event
-//	                             energy spans with nested decision spans)
+//	                             energy spans with nested decision spans);
+//	                             ?fleet=1 → the fleet-level distributed trace
+//	                             (admission, queue, steal, re-home, dispatch,
+//	                             and per-node execute spans, clock-aligned)
+//	GET  /v1/nodes               execution node federation: liveness,
+//	                             heartbeat RTT, queue depth, span drops
 //	GET  /healthz                liveness (503 while draining)
 //	GET  /metrics                Prometheus text exposition
 //	GET  /debug/pprof/           runtime profiles
@@ -58,6 +63,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/js"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/slog"
 	"github.com/wattwiseweb/greenweb/internal/shard"
 	"github.com/wattwiseweb/greenweb/internal/store"
 )
@@ -79,7 +85,9 @@ func main() {
 	admitRate := flag.Float64("admit-rate", 0, "per-client sweep submissions per second (0 = off)")
 	admitBurst := flag.Int("admit-burst", 10, "per-client token-bucket burst")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "cap on reading a request's headers (slowloris guard)")
-	noObs := flag.Bool("no-obs", false, "disable decision recording (outputs must be byte-identical either way)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	noObs := flag.Bool("no-obs", false, "disable decision recording and tracing (outputs must be byte-identical either way)")
+	noTrace := flag.Bool("no-trace", false, "disable fleet-level distributed tracing only (sweep bytes are identical either way)")
 	noVM := flag.Bool("no-vm", false, "run scripts on the tree-walking interpreter instead of the bytecode VM (outputs must be byte-identical either way)")
 	stageWorkers := flag.Int("stage-workers", 0, "default render-pipeline stage threads per engine (0 or 1 = serial; sweeps may override per job)")
 	noParallelRender := flag.Bool("no-parallel-render", false, "force serial frame production by default (outputs must be byte-identical to the default serial pipeline)")
@@ -95,6 +103,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "greensrv:", msg)
 		os.Exit(1)
 	}
+	log := slog.New("greensrv")
+	lvl, lvlErr := slog.ParseLevel(*logLevel)
+	if lvlErr != nil {
+		fail(lvlErr.Error())
+	}
+	slog.SetLevel(lvl)
 	switch {
 	case *nodes < 1:
 		fail("-nodes must be >= 1")
@@ -175,19 +189,22 @@ func main() {
 		runner = fleet.New(nodeOpts)
 	}
 	manager := fleet.NewManager(baseCtx, runner)
+	if *noTrace {
+		manager.SetTracing(false)
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		st, err = store.Open(*storeDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "greensrv:", err)
+			log.Error("store open failed", "dir", *storeDir, "err", err)
 			os.Exit(1)
 		}
 		st.SetCompactThreshold(*storeCompact)
 		manager.SetStore(st)
-		fmt.Fprintf(os.Stderr, "greensrv: store %s recovered %d sweeps (%d torn records, %d incomplete sweeps discarded)\n",
-			*storeDir, len(st.IDs()), st.Torn(), st.Dropped())
+		log.Info("store recovered", "dir", *storeDir, "sweeps", len(st.IDs()),
+			"torn_records", st.Torn(), "dropped_sweeps", st.Dropped())
 	}
 
 	api := fleet.NewServer(manager)
@@ -211,32 +228,33 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "greensrv: listening on %s with %d workers (%d node(s))\n",
-		*addr, runner.Workers(), nodeCount)
+	log.Info("listening", "addr", *addr, "workers", runner.Workers(),
+		"nodes", nodeCount, "pid", os.Getpid(),
+		"tracing", manager.TracingEnabled())
 
 	select {
 	case <-sigCtx.Done():
-		fmt.Fprintf(os.Stderr, "greensrv: signal received, draining (timeout %v)\n", *drainTimeout)
+		log.Info("signal received, draining", "timeout", *drainTimeout)
 		api.StartDrain()
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		if err := manager.Drain(drainCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "greensrv: drain expired, in-flight sweeps cancelled:", err)
+			log.Warn("drain expired, in-flight sweeps cancelled", "err", err)
 		}
 		cancel()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "greensrv: shutdown:", err)
+			log.Warn("shutdown", "err", err)
 		}
 		runner.Close()
 		if st != nil {
 			if err := st.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "greensrv: store:", err)
+				log.Warn("store close", "err", err)
 			}
 		}
 		flushMetrics(api, *obsDump)
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "greensrv:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 }

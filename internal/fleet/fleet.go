@@ -30,6 +30,7 @@ import (
 	"hash/fnv"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/faults"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 )
 
 // Phase selects which interaction trace a job replays.
@@ -64,6 +66,13 @@ type Job struct {
 	// this cell: 0 → the process default, 1 → force serial frame
 	// production, 2..browser.MaxStageWorkers → staged with that many cores.
 	StageWorkers int `json:"stage_workers,omitempty"`
+	// Trace is the distributed-tracing context (sweep id, job index,
+	// attempt, parent span id), stamped by the manager on traced sweeps.
+	// Out-of-band by construction: no output path reads it, the WAL never
+	// persists it (the manager strips it before persistMeta), and the shard
+	// transport strips it for workers that did not negotiate tracing in the
+	// handshake.
+	Trace *trace.Context `json:"trace,omitempty"`
 }
 
 func (j Job) String() string { return fmt.Sprintf("%s/%s/%s", j.App, j.Kind, j.Phase) }
@@ -147,6 +156,13 @@ type Result struct {
 	// timeout, fault storm) through every allowed attempt. Jobs killed by
 	// sweep-level cancellation are failed but not quarantined.
 	Quarantined bool
+
+	// Spans carries the executing process's trace spans for a traced job
+	// (execute attempts, backoff sleeps), shipped alongside the result —
+	// never inside any byte-compared output. SpanDrops counts spans the
+	// per-job budget discarded.
+	Spans     []trace.Span
+	SpanDrops int
 }
 
 // State reports the terminal state the result represents.
@@ -209,6 +225,9 @@ type Options struct {
 	// Execute overrides the cell executor; tests use it to inject slow,
 	// panicking, or instant jobs. nil → the real harness execution.
 	Execute func(ctx context.Context, j Job) (*harness.Run, error)
+	// SpanBudget caps one traced job's recorded spans; 0 →
+	// trace.DefaultJobBudget. Overflow increments the result's SpanDrops.
+	SpanBudget int
 }
 
 type task struct {
@@ -234,6 +253,7 @@ type Pool struct {
 	failed      atomic.Int64
 	retried     atomic.Int64 // attempts beyond each job's first
 	quarantined atomic.Int64 // jobs that exhausted every attempt
+	spanDrops   atomic.Int64 // trace spans discarded to per-job budgets
 	busy        atomic.Int64 // accumulated busy nanoseconds across workers
 	hist        *obs.Histogram
 }
@@ -355,15 +375,30 @@ func (p *Pool) worker(idx int) {
 // MaxAttempts exhaustion (→ quarantine), or sweep-level cancellation.
 func (p *Pool) runOne(ctx context.Context, worker int, job Job) Result {
 	res := Result{Job: job, Worker: worker}
+	// A traced job records its execute attempts and backoff sleeps into a
+	// bounded per-job recorder; the spans ride back beside the result. Nil
+	// recorder (untraced, or obs off) records nothing.
+	var rec *trace.JobRecorder
+	if job.Trace != nil && obs.EnabledIn(ctx) {
+		rec = trace.NewJobRecorder(*job.Trace, p.opts.SpanBudget)
+	}
 	max := p.opts.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
 	for attempt := 1; attempt <= max; attempt++ {
 		res.Attempts = attempt
+		t0 := time.Now()
 		run, err := p.attempt(ctx, job)
+		attrs := map[string]string{"try": strconv.Itoa(attempt), "worker": strconv.Itoa(worker)}
+		if err != nil {
+			attrs["err"] = err.Error()
+		}
+		rec.Record("execute", "execute", t0, time.Since(t0), attrs)
 		if err == nil {
 			res.Run, res.Err = run, nil
+			res.Spans, res.SpanDrops = rec.Drain()
+			p.spanDrops.Add(int64(res.SpanDrops))
 			return res
 		}
 		res.Err = err
@@ -372,17 +407,22 @@ func (p *Pool) runOne(ctx context.Context, worker int, job Job) Result {
 			break
 		}
 		p.retried.Add(1)
+		t0 = time.Now()
 		select {
 		case <-time.After(p.backoff(job, attempt)):
 		case <-ctx.Done():
 			// The sweep died while we waited; the attempt's own error
 			// stands as the job's cause of death.
 		}
+		rec.Record("backoff", "backoff", t0, time.Since(t0),
+			map[string]string{"try": strconv.Itoa(attempt)})
 	}
 	if ctx.Err() == nil {
 		res.Quarantined = true
 		p.quarantined.Add(1)
 	}
+	res.Spans, res.SpanDrops = rec.Drain()
+	p.spanDrops.Add(int64(res.SpanDrops))
 	return res
 }
 
@@ -530,6 +570,8 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry) {
 		"Job attempts beyond each job's first", func() float64 { return float64(p.retried.Load()) })
 	reg.CounterFunc("greenweb_fleet_quarantines_total",
 		"Jobs that exhausted every allowed attempt", func() float64 { return float64(p.quarantined.Load()) })
+	reg.CounterFunc("greenweb_fleet_span_drops_total",
+		"Trace spans discarded to per-job span budgets", func() float64 { return float64(p.spanDrops.Load()) })
 	reg.GaugeFunc("greenweb_fleet_utilization",
 		"Busy worker-time over available worker-time since start", func() float64 { return p.Stats().Utilization })
 	reg.AttachHistogram("greenweb_fleet_job_latency_seconds",

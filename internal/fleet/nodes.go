@@ -1,0 +1,54 @@
+package fleet
+
+// NodeInfo is one execution node's row in the GET /v1/nodes federation:
+// identity, liveness, transport health (remote nodes), and work/trace
+// accounting. The shard cluster fills every field it knows; a plain Pool
+// reports itself as a single always-up local node, so the endpoint's shape
+// does not depend on the topology.
+type NodeInfo struct {
+	ID      int    `json:"id"`
+	Kind    string `json:"kind"` // "local" | "remote"
+	Name    string `json:"name,omitempty"`
+	Workers int    `json:"workers"`
+	Up      bool   `json:"up"`
+	Dead    bool   `json:"dead,omitempty"`
+
+	// Transport health — remote nodes only.
+	HeartbeatRTTMS  float64 `json:"heartbeat_rtt_ms,omitempty"`
+	Reconnects      int64   `json:"reconnects,omitempty"`
+	HeartbeatMisses int64   `json:"heartbeat_misses,omitempty"`
+	// ClockOffsetUS is the handshake-estimated offset of the node's clock
+	// from the server's (positive = node clock ahead), used to align the
+	// node's trace spans.
+	ClockOffsetUS int64 `json:"clock_offset_us,omitempty"`
+
+	// Work accounting.
+	QueueDepth int64 `json:"queue_depth"`
+	Jobs       int64 `json:"jobs"`
+	Steals     int64 `json:"steals,omitempty"`
+	Rehomed    int64 `json:"rehomed,omitempty"`
+	// SpanDrops counts trace spans this node's jobs discarded to budget
+	// pressure (worker-side drops surface here even though the spans never
+	// reached the server).
+	SpanDrops int64 `json:"span_drops,omitempty"`
+}
+
+// NodeReporter is the optional Runner facet behind GET /v1/nodes. Both
+// Pool and shard.Cluster implement it.
+type NodeReporter interface {
+	NodeInfos() []NodeInfo
+}
+
+// NodeInfos implements NodeReporter: a Pool is one always-up local node.
+func (p *Pool) NodeInfos() []NodeInfo {
+	s := p.Stats()
+	return []NodeInfo{{
+		ID:         0,
+		Kind:       "local",
+		Workers:    s.Workers,
+		Up:         true,
+		QueueDepth: s.Queued,
+		Jobs:       s.Done + s.Failed,
+		SpanDrops:  p.spanDrops.Load(),
+	}}
+}

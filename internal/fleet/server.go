@@ -16,6 +16,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 )
 
 // SweepRequest is the POST /v1/sweeps body. Empty fields take defaults:
@@ -219,12 +220,20 @@ const maxSweepRequestBytes = 1 << 20
 //	                             byte-comparable streams across topologies)
 //	GET  /v1/sweeps/{id}/events  NDJSON per-frame decision log, streamed per job
 //	GET  /v1/sweeps/{id}/trace   Chrome trace-event JSON of the whole sweep
+//	                             (?fleet=1 serves the distributed fleet trace:
+//	                             admission/queue/steal/re-home/retry/execute
+//	                             spans merged across server and worker
+//	                             processes, clock-aligned)
+//	GET  /v1/nodes               per-node liveness, heartbeat RTT, queue depth,
+//	                             and span-drop federation
 //	GET  /healthz                liveness (503 while draining)
 //	GET  /metrics                Prometheus text exposition
 //	GET  /debug/pprof/           net/http/pprof profiles
 //
 // Method mismatches answer 405 (ServeMux method patterns); unknown sweep
-// IDs answer 404.
+// IDs answer 404. Trace and event endpoints on a WAL-replayed sweep answer
+// 404 with a machine-parsable body {"error":..., "code":"replayed_no_trace"}
+// — the replayed store keeps result rows, not the observability overlay.
 type Server struct {
 	m        *Manager
 	mux      *http.ServeMux
@@ -346,10 +355,17 @@ func NewServer(m *Manager) *Server {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		admitted := time.Now()
 		s, err := m.Enqueue(jobs)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
+		}
+		// Sweep-level admission span (job -1 → the trace's "sweep" lane):
+		// the HTTP-side cost of validating and registering the sweep.
+		if tr, ok := m.Traces().Get(string(s.ID)); ok {
+			tr.Record(-1, 0, "admission", "admission", admitted, time.Since(admitted),
+				map[string]string{"jobs": fmt.Sprintf("%d", s.Len()), "client": clientKey(r)})
 		}
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"id":          s.ID,
@@ -441,7 +457,7 @@ func NewServer(m *Manager) *Server {
 		s, ok := m.Get(SweepID(r.PathValue("id")))
 		if !ok {
 			if _, stored := m.StoredRows(SweepID(r.PathValue("id"))); stored {
-				httpError(w, http.StatusNotFound, fmt.Errorf(
+				httpErrorCode(w, http.StatusNotFound, CodeReplayedNoTrace, fmt.Errorf(
 					"sweep %q was replayed from the store; decision events are not persisted", r.PathValue("id")))
 				return
 			}
@@ -477,11 +493,34 @@ func NewServer(m *Manager) *Server {
 		s, ok := m.Get(SweepID(r.PathValue("id")))
 		if !ok {
 			if _, stored := m.StoredRows(SweepID(r.PathValue("id"))); stored {
-				httpError(w, http.StatusNotFound, fmt.Errorf(
+				httpErrorCode(w, http.StatusNotFound, CodeReplayedNoTrace, fmt.Errorf(
 					"sweep %q was replayed from the store; trace spans are not persisted", r.PathValue("id")))
 				return
 			}
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		// ?fleet=1 serves the distributed trace: the server's merged span
+		// buffer (admission, queue-wait, steal, re-home, dispatch) plus
+		// every worker's shipped spans, clock-aligned, one Chrome trace
+		// process row per real OS process.
+		if r.URL.Query().Get("fleet") == "1" {
+			tr, ok := m.Traces().Get(string(s.ID))
+			if !ok {
+				httpErrorCode(w, http.StatusNotFound, CodeNoFleetTrace, fmt.Errorf(
+					"sweep %q has no fleet trace (tracing disabled, -no-obs, or the buffer was evicted)", s.ID))
+				return
+			}
+			// Wait for the sweep so the artifact covers every job's spans.
+			select {
+			case <-s.Done():
+			case <-r.Context().Done():
+				return
+			}
+			spans, drops := tr.Snapshot()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			trace.WriteFleetTrace(w, string(s.ID), spans, drops)
 			return
 		}
 		// One trace process per job (pid = index+1), waiting for each result
@@ -507,6 +546,14 @@ func NewServer(m *Manager) *Server {
 		ledger.WriteTrace(w, procs...)
 	})
 
+	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		var infos []NodeInfo
+		if nr, ok := m.Runner().(NodeReporter); ok {
+			infos = nr.NodeInfos()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"nodes": infos})
+	})
+
 	return srv
 }
 
@@ -520,4 +567,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Machine-parsable error codes for observability endpoints (distinct from
+// the admission rejection codes, which carry retry hints).
+const (
+	// CodeReplayedNoTrace: the sweep exists but was replayed from the WAL,
+	// which persists result rows, not the trace/event overlay.
+	CodeReplayedNoTrace = "replayed_no_trace"
+	// CodeNoFleetTrace: the sweep ran without fleet tracing (disabled, or
+	// -no-obs) or its span buffer aged out of the collector.
+	CodeNoFleetTrace = "no_fleet_trace"
+)
+
+// httpErrorCode is httpError with a stable machine-parsable code field, so
+// clients distinguish "replayed, observability gone" from "never existed"
+// without parsing prose.
+func httpErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
 }

@@ -15,12 +15,16 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/acmp"
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 )
 
 func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
 	t.Helper()
 	pool := New(opts)
 	m := NewManager(context.Background(), pool)
+	// Isolated trace registry: managers share per-manager sequential sweep
+	// ids, so tests sharing the process-global collector would collide.
+	m.SetTraceCollector(trace.NewCollector())
 	srv := httptest.NewServer(NewServer(m))
 	t.Cleanup(func() {
 		srv.Close()

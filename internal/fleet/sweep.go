@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/harness"
+	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 	"github.com/wattwiseweb/greenweb/internal/store"
 )
 
@@ -178,6 +180,24 @@ type Manager struct {
 	st     *store.Store // nil → in-memory only
 	seq    atomic.Uint64
 	shards [registryShards]registryShard
+	// noTracing disables fleet-wide span recording (greensrv -no-trace).
+	// Zero value = tracing on; the obs gate still applies on top.
+	noTracing atomic.Bool
+	// traces is where this manager registers sweep span buffers. Production
+	// uses the process-global trace.Default() (so the shard layer, which only
+	// sees jobs, finds the buffers); tests inject isolated collectors because
+	// managers sharing a process would collide on their per-manager
+	// sequential sweep ids.
+	traces *trace.Collector
+}
+
+// SetTracing flips fleet-wide distributed tracing (default on). Tracing is
+// additionally gated by the obs enable state: -no-obs implies no tracing.
+func (m *Manager) SetTracing(on bool) { m.noTracing.Store(!on) }
+
+// TracingEnabled reports whether new sweeps will be traced.
+func (m *Manager) TracingEnabled() bool {
+	return !m.noTracing.Load() && obs.EnabledIn(m.ctx)
 }
 
 // NewManager builds a manager over any Runner (a Pool or a shard cluster);
@@ -187,12 +207,20 @@ func NewManager(ctx context.Context, r Runner) *Manager {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := &Manager{ctx: ctx, runner: r}
+	m := &Manager{ctx: ctx, runner: r, traces: trace.Default()}
 	for i := range m.shards {
 		m.shards[i].sweeps = make(map[SweepID]*Sweep)
 	}
 	return m
 }
+
+// SetTraceCollector swaps the trace registry (tests only — see the traces
+// field). Call before the first Enqueue.
+func (m *Manager) SetTraceCollector(c *trace.Collector) { m.traces = c }
+
+// Traces exposes the manager's trace registry (the /trace?fleet=1 handler
+// reads it).
+func (m *Manager) Traces() *trace.Collector { return m.traces }
 
 // Runner exposes the execution backend (for /metrics and admission).
 func (m *Manager) Runner() Runner { return m.runner }
@@ -349,18 +377,49 @@ func (m *Manager) Enqueue(jobs []Job) (*Sweep, error) {
 	if m.st != nil {
 		go m.persist(s)
 	}
+	// Traced sweeps get a merged span buffer; each job is fed to the runner
+	// as a copy carrying its trace context, so s.jobs (and therefore the
+	// WAL's persistMeta bytes) never see tracing fields.
+	var tr *trace.SweepTrace
+	if m.TracingEnabled() && len(jobs) > 0 {
+		tr = m.traces.Register(string(s.ID), len(jobs))
+	}
 	go func() {
 		for i, job := range s.jobs {
 			i := i
-			err := m.runner.Start(ctx, job,
-				func() {
-					s.mu.Lock()
-					if s.state[i] == StateQueued {
-						s.state[i] = StateRunning
-					}
-					s.mu.Unlock()
-				},
-				func(r Result) { s.finish(i, r) })
+			started := func() {
+				s.mu.Lock()
+				if s.state[i] == StateQueued {
+					s.state[i] = StateRunning
+				}
+				s.mu.Unlock()
+			}
+			deliver := func(r Result) { s.finish(i, r) }
+			if tr != nil {
+				// Root span id is minted up front so queue-wait, worker
+				// spans, and the root itself all agree on parentage.
+				rootID := tr.NewID()
+				job.Trace = &trace.Context{Sweep: string(s.ID), Job: i, Parent: rootID}
+				submitted := time.Now()
+				innerStarted := started
+				started = func() {
+					tr.Record(i, rootID, "queue-wait", "queue", submitted, time.Since(submitted), nil)
+					innerStarted()
+				}
+				deliver = func(r Result) {
+					tr.AddSpans(r.Spans, r.SpanDrops)
+					tr.RecordSpan(trace.Span{
+						ID: rootID, Name: "job", Cat: "job", Job: i,
+						StartUS: submitted.UnixMicro(),
+						DurUS:   int64(time.Since(submitted) / time.Microsecond),
+						Attrs: map[string]string{
+							"app": job.App, "kind": string(job.Kind), "state": string(r.State()),
+						},
+					})
+					s.finish(i, r)
+				}
+			}
+			err := m.runner.Start(ctx, job, started, deliver)
 			if err != nil {
 				s.finish(i, Result{Job: job, Worker: -1, Err: err})
 			}

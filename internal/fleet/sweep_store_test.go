@@ -110,10 +110,14 @@ func TestStoreReplayByteIdentical(t *testing.T) {
 		t.Fatalf("replayed status = %d %v, want replayed+persisted", code, status)
 	}
 	// Decision events are deliberately not persisted; the error must say so
-	// rather than pretend the sweep doesn't exist.
-	code, events := getBody(t, srv2.URL+"/v1/sweeps/"+id+"/events")
-	if code != http.StatusNotFound || !strings.Contains(events, "not persisted") {
-		t.Fatalf("replayed events = %d %q, want 404 explaining persistence", code, events)
+	// with a machine-parsable code rather than pretend the sweep doesn't
+	// exist. The trace endpoint shares the semantics.
+	for _, ep := range []string{"/events", "/trace"} {
+		code, body := getBody(t, srv2.URL+"/v1/sweeps/"+id+ep)
+		if code != http.StatusNotFound || !strings.Contains(body, "not persisted") ||
+			!strings.Contains(body, "replayed_no_trace") {
+			t.Fatalf("replayed %s = %d %q, want structured 404 with code replayed_no_trace", ep, code, body)
+		}
 	}
 
 	// The restarted manager must not reissue the persisted sweep's ID.

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetTraceDoc is the slice of the Chrome trace artifact these tests read.
+type fleetTraceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		Sweep     string `json:"sweep"`
+		SpanDrops int64  `json:"span_drops"`
+	} `json:"otherData"`
+}
+
+// TestFleetTraceEndpoint runs a sweep and pins the distributed trace
+// artifact's shape: admission + per-job queue-wait/execute/job spans, the
+// sweep id in otherData, and nondecreasing rebased timestamps starting at 0.
+func TestFleetTraceEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 2})
+	ack := postSweep(t, srv, `{"apps":["Todo","Google"],"kinds":["Perf"],"phase":"micro"}`)
+	id := ack["id"].(string)
+
+	// ?fleet=1 waits for sweep completion, so one GET covers submit-to-done.
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + id + "/trace?fleet=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("trace?fleet=1 = %d: %s", resp.StatusCode, body)
+	}
+	var doc fleetTraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData.Sweep != id {
+		t.Errorf("otherData.sweep = %q, want %q", doc.OtherData.Sweep, id)
+	}
+
+	counts := map[string]int{}
+	var lastTS int64
+	sawZero := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		counts[ev.Name]++
+		if ev.TS < lastTS {
+			t.Fatalf("timestamps regress: %q at %d after %d", ev.Name, ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		if ev.TS == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Error("no event at rebased ts=0")
+	}
+	if counts["admission"] != 1 {
+		t.Errorf("admission spans = %d, want 1", counts["admission"])
+	}
+	for _, name := range []string{"job", "queue-wait", "execute"} {
+		if counts[name] != 2 {
+			t.Errorf("%s spans = %d, want one per job (2)", name, counts[name])
+		}
+	}
+}
+
+// TestTracingOffReturnsNoFleetTrace: a manager with tracing disabled
+// (greensrv -no-trace) answers the fleet-trace endpoint with the structured
+// no_fleet_trace 404 — and the result stream is byte-identical to a traced
+// server's, the PR's hard invariant.
+func TestTracingOffReturnsNoFleetTrace(t *testing.T) {
+	srv, m := newTestServer(t, Options{Workers: 2})
+
+	// Same sweep twice on one manager (sweep ids are per-manager sequential,
+	// and the trace collector is process-global, so distinct servers would
+	// collide on ids): first traced, then with tracing flipped off.
+	const body = `{"apps":["Todo","BBC"],"kinds":["Perf","GreenWeb-U"],"phase":"micro"}`
+	idOn := postSweep(t, srv, body)["id"].(string)
+	m.SetTracing(false)
+	t.Cleanup(func() { m.SetTracing(true) })
+	idOff := postSweep(t, srv, body)["id"].(string)
+
+	stream := func(id string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + id + "/results?deterministic=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	on, off := stream(idOn), stream(idOff)
+	if on != off {
+		t.Fatalf("tracing changed sweep bytes:\n--- tracing on\n%s--- tracing off\n%s", on, off)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + idOff + "/trace?fleet=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(b), "no_fleet_trace") {
+		t.Fatalf("untraced fleet trace = %d %s, want structured no_fleet_trace 404", resp.StatusCode, b)
+	}
+}
+
+// TestNodesEndpoint: a single-pool server still federates /v1/nodes — one
+// always-up local row whose job count reflects finished work.
+func TestNodesEndpoint(t *testing.T) {
+	srv, m := newTestServer(t, Options{Workers: 2})
+	id := postSweep(t, srv, `{"apps":["Todo"],"kinds":["Perf"],"phase":"micro"}`)["id"].(string)
+	s, _ := m.Get(SweepID(id))
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep never finished")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/nodes = %d", resp.StatusCode)
+	}
+	var out struct {
+		Nodes []NodeInfo `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Nodes) != 1 {
+		t.Fatalf("nodes = %+v, want one local row", out.Nodes)
+	}
+	n := out.Nodes[0]
+	if n.Kind != "local" || !n.Up || n.Workers != 2 || n.Jobs < 1 {
+		t.Errorf("node row = %+v, want up local node with finished jobs", n)
+	}
+}

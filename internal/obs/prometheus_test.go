@@ -30,6 +30,22 @@ func goldenRegistry() *Registry {
 	h.Observe(0.0625) // binary-exact values keep _sum's rendering stable
 	h.Observe(0.25)
 	h.Observe(2) // overflow
+
+	// Vec cardinality overflow: maxCard forced low (in-package) so further
+	// distinct label values collapse into the shared "overflow" child, which
+	// must render once, last, and accumulate every collapsed sample.
+	gv := r.GaugeVec("app_queue_depth", "Queue depth by shard.", "shard")
+	gv.f.maxCard = 2
+	gv.With("0").Set(3)
+	gv.With("1").Set(5)
+	gv.With("7").Set(2)  // past the bound: lands on the overflow child
+	gv.With("9").Add(-1) // distinct value, same overflow child → 1
+
+	hv := r.HistogramVec("app_rtt_seconds", "RTT by node.", []float64{0.1, 1}, "node")
+	hv.f.maxCard = 1
+	hv.With("a").Observe(0.0625)
+	hv.With("b").Observe(0.25) // past the bound: overflow child
+	hv.With("c").Observe(2)    // distinct value, same overflow child
 	return r
 }
 

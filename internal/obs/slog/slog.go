@@ -1,0 +1,191 @@
+// Package slog is the fleet's structured logging layer: leveled, key-value
+// (logfmt-style) lines on stderr, with correlation ids drawn from the
+// distributed trace context so one sweep's log lines grep together across
+// greensrv, greennode, and the shard transport.
+//
+// Output goes to stderr only — never to any byte-compared artifact — so
+// logging, like the rest of internal/obs, is out-of-band by construction.
+// The package is deliberately tiny (no stdlib log/slog dependency): the
+// repo's logging needs are a handful of call sites, and a hand-rolled
+// emitter keeps the format pinned and the hot path one mutex + one write.
+package slog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severities, least to most urgent.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("slog: unknown level %q (want debug, info, warn, or error)", s)
+}
+
+// sink is the shared output: every Logger in the process writes through it,
+// so lines from different components never interleave mid-line.
+type sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	lvl atomic.Int32
+}
+
+var out = func() *sink {
+	s := &sink{w: os.Stderr}
+	s.lvl.Store(int32(LevelInfo))
+	return s
+}()
+
+// SetLevel sets the process-wide minimum level.
+func SetLevel(l Level) { out.lvl.Store(int32(l)) }
+
+// SetOutput redirects the process's log lines (tests capture them).
+func SetOutput(w io.Writer) {
+	out.mu.Lock()
+	out.w = w
+	out.mu.Unlock()
+}
+
+// now is swapped by tests for pinned timestamps.
+var now = time.Now
+
+// Logger emits lines for one component, carrying a fixed field set.
+type Logger struct {
+	component string
+	fields    []field
+}
+
+type field struct {
+	k string
+	v string
+}
+
+// New builds a logger for a component ("greensrv", "shard", ...).
+func New(component string) *Logger { return &Logger{component: component} }
+
+// With returns a child logger carrying extra key-value pairs (alternating
+// key, value — the value is formatted with %v).
+func (l *Logger) With(kv ...any) *Logger {
+	child := &Logger{component: l.component, fields: append([]field(nil), l.fields...)}
+	child.fields = append(child.fields, pairs(kv)...)
+	return child
+}
+
+// WithTrace returns a child logger stamped with the trace context's
+// correlation ids (sweep, job, attempt), so fleet log lines join the
+// distributed trace on the same keys.
+func (l *Logger) WithTrace(tc trace.Context) *Logger {
+	kv := []any{"sweep", tc.Sweep, "job", tc.Job}
+	if tc.Attempt > 0 {
+		kv = append(kv, "attempt", tc.Attempt)
+	}
+	return l.With(kv...)
+}
+
+// Debug/Info/Warn/Error emit one line at the respective level.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.emit(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.emit(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+func (l *Logger) emit(lvl Level, msg string, kv []any) {
+	if lvl < Level(out.lvl.Load()) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("ts=")
+	b.WriteString(now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	if l.component != "" {
+		b.WriteString(" comp=")
+		writeValue(&b, l.component)
+	}
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	for _, f := range l.fields {
+		b.WriteByte(' ')
+		b.WriteString(f.k)
+		b.WriteByte('=')
+		writeValue(&b, f.v)
+	}
+	for _, f := range pairs(kv) {
+		b.WriteByte(' ')
+		b.WriteString(f.k)
+		b.WriteByte('=')
+		writeValue(&b, f.v)
+	}
+	b.WriteByte('\n')
+	out.mu.Lock()
+	io.WriteString(out.w, b.String())
+	out.mu.Unlock()
+}
+
+// pairs folds an alternating key-value list into fields; a dangling key
+// gets "(missing)" rather than panicking a log call site.
+func pairs(kv []any) []field {
+	fields := make([]field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprintf("%v", kv[i])
+		}
+		v := "(missing)"
+		if i+1 < len(kv) {
+			v = fmt.Sprintf("%v", kv[i+1])
+		}
+		fields = append(fields, field{k: k, v: v})
+	}
+	return fields
+}
+
+// writeValue emits a logfmt value, quoting when it contains whitespace,
+// quotes, or '='.
+func writeValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		b.WriteString(strconv.Quote(v))
+		return
+	}
+	b.WriteString(v)
+}

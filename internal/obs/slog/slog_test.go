@@ -1,0 +1,88 @@
+package slog
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
+)
+
+func pin(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	oldNow := now
+	now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	lvl := Level(out.lvl.Load())
+	t.Cleanup(func() {
+		SetOutput(os.Stderr)
+		now = oldNow
+		SetLevel(lvl)
+	})
+	return &buf
+}
+
+func TestFormatAndQuoting(t *testing.T) {
+	buf := pin(t)
+	New("greensrv").Info("listening", "addr", "127.0.0.1:8080", "note", "two words")
+	got := buf.String()
+	want := `ts=2026-08-08T12:00:00.000Z level=info comp=greensrv msg=listening addr=127.0.0.1:8080 note="two words"` + "\n"
+	if got != want {
+		t.Fatalf("line =\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	buf := pin(t)
+	SetLevel(LevelWarn)
+	l := New("x")
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("emitted %d lines at warn, want 2:\n%s", lines, buf.String())
+	}
+}
+
+func TestWithAndWithTrace(t *testing.T) {
+	buf := pin(t)
+	l := New("fleet").With("node", 3).WithTrace(trace.Context{Sweep: "s-000007", Job: 4, Attempt: 2})
+	l.Info("re-homed")
+	got := buf.String()
+	for _, frag := range []string{"comp=fleet", "node=3", "sweep=s-000007", "job=4", "attempt=2", "msg=re-homed"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("line missing %q:\n%s", frag, got)
+		}
+	}
+	// Parent logger unaffected.
+	buf.Reset()
+	New("fleet").Info("clean")
+	if strings.Contains(buf.String(), "sweep=") {
+		t.Fatalf("parent logger inherited child fields:\n%s", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{"debug": LevelDebug, "": LevelInfo, "Warn": LevelWarn, "ERROR": LevelError} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestDanglingKey(t *testing.T) {
+	buf := pin(t)
+	New("x").Info("m", "k")
+	if !strings.Contains(buf.String(), `k=(missing)`) {
+		t.Fatalf("dangling key not surfaced:\n%s", buf.String())
+	}
+}

@@ -91,9 +91,9 @@ func TestChaosTransportDeterminism(t *testing.T) {
 	want := render(t, fleet.New(fleet.Options{Workers: 1, Execute: exec}), jobs)
 
 	spec := ChaosSpec{
-		Seed:     9,
-		DropProb: 0.04,
-		TearProb: 0.04,
+		Seed:      9,
+		DropProb:  0.04,
+		TearProb:  0.04,
 		StallProb: 0.05, Stall: 2 * time.Millisecond,
 		ReadDelayProb: 0.05, ReadDelay: time.Millisecond,
 	}

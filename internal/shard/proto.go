@@ -9,8 +9,9 @@
 // are observable to transport wrappers (the chaos injector keys its faults
 // on the write-side frame index). Frame types:
 //
-//	client → worker   {"t":"hello","proto":1}
-//	worker → client   {"t":"welcome","proto":1,"workers":N,"name":"..."}
+//	client → worker   {"t":"hello","proto":1,"trace":true}
+//	worker → client   {"t":"welcome","proto":1,"workers":N,"name":"...",
+//	                   "trace":true,"now_us":T,"pid":P}
 //	client → worker   {"t":"job","id":SEQ,"job":{...fleet.Job}}
 //	worker → client   {"t":"result","id":SEQ,"result":{...wireResult}}
 //	client → worker   {"t":"ping","id":SEQ}
@@ -20,6 +21,15 @@
 // Job and result frames are multiplexed by id; pings flow on the same
 // connection while jobs execute, so heartbeat RTT measures the transport,
 // not the work queue.
+//
+// Tracing is feature-negotiated, not versioned: the hello's trace field
+// advertises that the client can propagate span contexts, and a worker that
+// understands (and has obs enabled) echoes trace:true plus its clock
+// (now_us, for handshake-time offset estimation) and pid (the merged
+// trace's process row key) in the welcome. A worker that predates the field
+// simply omits it — JSON ignores unknown hello fields — and the client then
+// strips trace contexts from jobs it ships there, so mixed-version fleets
+// keep working with tracing degraded to the nodes that support it.
 package shard
 
 import (
@@ -59,6 +69,9 @@ type frame struct {
 	Proto   int         `json:"proto,omitempty"`   // hello/welcome
 	Workers int         `json:"workers,omitempty"` // welcome
 	Name    string      `json:"name,omitempty"`    // welcome: worker identity
+	Trace   bool        `json:"trace,omitempty"`   // hello/welcome: tracing negotiated
+	Now     int64       `json:"now_us,omitempty"`  // welcome: worker clock, unix µs
+	PID     int         `json:"pid,omitempty"`     // welcome: worker process id
 	Job     *fleet.Job  `json:"job,omitempty"`
 	Result  *wireResult `json:"result,omitempty"`
 	Err     string      `json:"err,omitempty"` // welcome refusal

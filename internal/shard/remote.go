@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 )
 
 // ErrNodeDown marks a result whose job never reached a terminal state
@@ -94,6 +95,15 @@ func (o *RemoteOptions) fill() {
 type session struct {
 	conn net.Conn
 
+	// Tracing negotiation, fixed at handshake: whether the worker echoed
+	// trace support, the handshake-estimated clock offset (worker − us,
+	// µs), the worker's pid, and its advertised name — everything needed to
+	// align and attribute the spans its results ship back.
+	traceOK  bool
+	offsetUS int64
+	pid      int
+	name     string
+
 	writeMu sync.Mutex
 	wt      time.Duration
 
@@ -144,7 +154,14 @@ func (s *session) deliver(id uint64, w *wireResult) {
 	}
 	s.mu.Unlock()
 	if ok {
-		ch <- decodeResult(w, job)
+		r := decodeResult(w, job)
+		// Worker spans arrive on the worker's clock; rebase them into the
+		// server timeline with the handshake offset and stamp the node
+		// identity only this side knows.
+		if len(r.Spans) > 0 {
+			trace.AlignSpans(r.Spans, s.offsetUS, s.name)
+		}
+		ch <- r
 	}
 }
 
@@ -165,11 +182,14 @@ func (s *session) fail(reason error) {
 // HealthSnapshot is a remote node's transport health, exported per node by
 // Cluster.RegisterMetrics.
 type HealthSnapshot struct {
-	Connected bool          `json:"connected"`
-	Dead      bool          `json:"dead"`
-	LastRTT   time.Duration `json:"last_rtt"` // most recent heartbeat round trip
-	Reconnects int64        `json:"reconnects"`
-	HeartbeatMisses int64   `json:"heartbeat_misses"`
+	Connected       bool          `json:"connected"`
+	Dead            bool          `json:"dead"`
+	LastRTT         time.Duration `json:"last_rtt"` // most recent heartbeat round trip
+	Reconnects      int64         `json:"reconnects"`
+	HeartbeatMisses int64         `json:"heartbeat_misses"`
+	// ClockOffsetUS is the handshake-estimated offset of the worker's clock
+	// from ours (positive = worker ahead), used to align its trace spans.
+	ClockOffsetUS int64 `json:"clock_offset_us"`
 }
 
 // healthReporter is the optional Node facet the cluster polls for health
@@ -203,17 +223,18 @@ type RemoteNode struct {
 	workers int
 	name    string
 
-	mu      sync.Mutex
-	sess    *session
-	change  chan struct{} // closed and replaced on every connect/disconnect/death
-	dead    bool
-	closed  bool
-	onDead  []func()
+	mu     sync.Mutex
+	sess   *session
+	change chan struct{} // closed and replaced on every connect/disconnect/death
+	dead   bool
+	closed bool
+	onDead []func()
 
 	seq        atomic.Uint64
 	rttNS      atomic.Int64
 	reconnects atomic.Int64 // completed re-dial attempts (successful or not) after the first session
 	misses     atomic.Int64
+	offsetUS   atomic.Int64 // latest handshake-estimated clock offset
 
 	loopDone chan struct{}
 }
@@ -264,8 +285,12 @@ func (n *RemoteNode) Health() HealthSnapshot {
 		LastRTT:         time.Duration(n.rttNS.Load()),
 		Reconnects:      n.reconnects.Load(),
 		HeartbeatMisses: n.misses.Load(),
+		ClockOffsetUS:   n.offsetUS.Load(),
 	}
 }
+
+// Name reports the worker's advertised identity from the handshake.
+func (n *RemoteNode) Name() string { return n.name }
 
 // OnDead registers fn to run (once, on its own goroutine) when the node is
 // declared dead. If the node is already dead, fn fires immediately.
@@ -356,11 +381,15 @@ func (n *RemoteNode) dialAndShake() (*session, int, string, error) {
 	}
 	deadline := time.Now().Add(n.opts.DialTimeout)
 	conn.SetDeadline(deadline)
-	if err := writeFrame(conn, frame{T: frameHello, Proto: protoVersion}); err != nil {
+	// t0/t1 bracket the exchange for the clock-offset estimate: the
+	// worker's now_us was read between our send and our receive.
+	t0 := time.Now()
+	if err := writeFrame(conn, frame{T: frameHello, Proto: protoVersion, Trace: true}); err != nil {
 		conn.Close()
 		return nil, 0, "", fmt.Errorf("handshake: %w", err)
 	}
 	f, err := readFrame(conn)
+	t1 := time.Now()
 	if err != nil {
 		conn.Close()
 		return nil, 0, "", fmt.Errorf("handshake: %w", err)
@@ -373,12 +402,23 @@ func (n *RemoteNode) dialAndShake() (*session, int, string, error) {
 		return nil, 0, "", fmt.Errorf("handshake: unexpected %q frame", f.T)
 	}
 	conn.SetDeadline(time.Time{})
-	return &session{
+	sess := &session{
 		conn:  conn,
 		wt:    n.opts.WriteTimeout,
 		calls: map[uint64]chan fleet.Result{},
 		jobs:  map[uint64]fleet.Job{},
-	}, f.Workers, f.Name, nil
+		name:  f.Name,
+	}
+	// A worker that echoed trace support sent its clock and pid; a worker
+	// that predates the field (or runs -no-obs) did not, and this session
+	// will strip trace contexts from the jobs it ships.
+	if f.Trace {
+		sess.traceOK = true
+		sess.pid = f.PID
+		sess.offsetUS = trace.EstimateOffsetUS(t0, t1, f.Now)
+		n.offsetUS.Store(sess.offsetUS)
+	}
+	return sess, f.Workers, f.Name, nil
 }
 
 // loop is the connection manager: it runs the current session until it
@@ -534,7 +574,14 @@ func (n *RemoteNode) Run(ctx context.Context, job fleet.Job) fleet.Result {
 		if !sess.register(id, job, ch) {
 			continue // session broke between lookup and register
 		}
-		if err := sess.write(frame{T: frameJob, ID: id, Job: &job}); err != nil {
+		// A session that did not negotiate tracing ships the job without
+		// its trace context — old or obs-disabled workers must never see
+		// (and choke on, or half-honor) fields they did not agree to.
+		wireJob := job
+		if wireJob.Trace != nil && !sess.traceOK {
+			wireJob.Trace = nil
+		}
+		if err := sess.write(frame{T: frameJob, ID: id, Job: &wireJob}); err != nil {
 			sess.unregister(id)
 			sess.conn.Close() // wake the reader; the loop handles teardown
 			return fleet.Result{Job: job, Worker: -1,

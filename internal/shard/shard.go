@@ -41,6 +41,7 @@ import (
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 )
 
 // Node is one execution backend of the cluster. Run executes a single job
@@ -262,6 +263,7 @@ type Cluster struct {
 	steals    []atomic.Int64 // per stealing node
 	pulled    []atomic.Int64 // jobs executed per node
 	rehomed   []atomic.Int64 // jobs re-homed off each node (queued + in-flight)
+	spanDrops []atomic.Int64 // worker-side trace span drops per node
 	evictions atomic.Int64
 	start     time.Time
 	busy      atomic.Int64
@@ -297,14 +299,15 @@ func NewWithNodes(nodes []Node, queueDepth int) *Cluster {
 		queueDepth = 4 * total
 	}
 	c := &Cluster{
-		nodes:   nodes,
-		q:       newQueue(len(nodes)),
-		slots:   make(chan struct{}, queueDepth),
-		steals:  make([]atomic.Int64, len(nodes)),
-		pulled:  make([]atomic.Int64, len(nodes)),
-		rehomed: make([]atomic.Int64, len(nodes)),
-		start:   time.Now(),
-		hist:    obs.NewLatencyHistogram(),
+		nodes:     nodes,
+		q:         newQueue(len(nodes)),
+		slots:     make(chan struct{}, queueDepth),
+		steals:    make([]atomic.Int64, len(nodes)),
+		pulled:    make([]atomic.Int64, len(nodes)),
+		rehomed:   make([]atomic.Int64, len(nodes)),
+		spanDrops: make([]atomic.Int64, len(nodes)),
+		start:     time.Now(),
+		hist:      obs.NewLatencyHistogram(),
 	}
 	for _, n := range nodes {
 		for w := 0; w < n.Workers(); w++ {
@@ -362,6 +365,19 @@ func (c *Cluster) Evictions() int64 { return c.evictions.Load() }
 // Rehomed reports how many jobs have been re-homed off node id.
 func (c *Cluster) Rehomed(id int) int64 { return c.rehomed[id].Load() }
 
+// sweepTrace resolves a traced job's server-side span buffer; nil for
+// untraced jobs (or a trace already evicted from the collector), so every
+// call site stays a single nil check.
+func sweepTrace(job fleet.Job) *trace.SweepTrace {
+	if job.Trace == nil {
+		return nil
+	}
+	if tr, ok := trace.Default().Get(job.Trace.Sweep); ok {
+		return tr
+	}
+	return nil
+}
+
 // puller is one node execution slot: pop (home first, then steal), run on
 // the owning node, deliver — or re-home when the node died under the job.
 func (c *Cluster) puller(n Node) {
@@ -375,8 +391,18 @@ func (c *Cluster) puller(n Node) {
 			<-c.slots
 		}
 		c.queued.Add(-1)
+		tr := sweepTrace(it.job)
 		if from != n.ID() {
 			c.steals[n.ID()].Add(1)
+			if tr != nil {
+				// Steals are instants: the interesting fact is that the job
+				// changed hands, not how long the handoff took.
+				tr.Record(it.job.Trace.Job, it.job.Trace.Parent, "steal", "sched",
+					time.Now(), 0, map[string]string{
+						"thief":  strconv.Itoa(n.ID()),
+						"victim": strconv.Itoa(from),
+					})
+			}
 		}
 		c.pulled[n.ID()].Add(1)
 		if it.started != nil {
@@ -384,8 +410,19 @@ func (c *Cluster) puller(n Node) {
 			it.started = nil // fires once, even across re-homes
 		}
 		c.running.Add(1)
+		dispatched := time.Now()
 		res := n.Run(it.ctx, it.job)
 		c.running.Add(-1)
+		if tr != nil {
+			// The dispatch span brackets the node round trip as the server
+			// saw it; the gap between it and the worker's execute span is
+			// transport plus worker-pool queueing.
+			tr.Record(it.job.Trace.Job, it.job.Trace.Parent, "dispatch", "sched",
+				dispatched, time.Since(dispatched), map[string]string{
+					"node": strconv.Itoa(n.ID()),
+				})
+		}
+		c.spanDrops[n.ID()].Add(int64(res.SpanDrops))
 		if errors.Is(res.Err, ErrNodeDown) && it.ctx.Err() == nil {
 			// The transport died under the job, not the job under the node.
 			// Re-home instead of delivering a failure: the cell is a
@@ -393,6 +430,21 @@ func (c *Cluster) puller(n Node) {
 			// produces the identical result, and the WAL absorbs any
 			// replayed row idempotently keyed on (sweep, index).
 			it.rehomed = true
+			if it.job.Trace != nil {
+				// Bump the attempt on a fresh context copy so the job's next
+				// home records spans under the new attempt number (the item
+				// may be shared-read by metrics snapshots, never mutated).
+				tc := *it.job.Trace
+				tc.Attempt++
+				it.job.Trace = &tc
+				if tr != nil {
+					tr.Record(tc.Job, tc.Parent, "re-home", "sched",
+						time.Now(), 0, map[string]string{
+							"from":    strconv.Itoa(n.ID()),
+							"attempt": strconv.Itoa(tc.Attempt),
+						})
+				}
+			}
 			if c.requeue(it) {
 				c.rehomed[n.ID()].Add(1)
 				continue
@@ -496,6 +548,42 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 // Steals reports how many jobs node id has stolen from sibling partitions.
 func (c *Cluster) Steals(id int) int64 { return c.steals[id].Load() }
 
+// NodeInfos implements fleet.NodeReporter: one row per node with the
+// cluster's work accounting, plus transport health and identity for nodes
+// that can report them (RemoteNode). The GET /v1/nodes federation is this,
+// verbatim.
+func (c *Cluster) NodeInfos() []fleet.NodeInfo {
+	infos := make([]fleet.NodeInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		info := fleet.NodeInfo{
+			ID:         i,
+			Kind:       "local",
+			Workers:    n.Workers(),
+			Up:         true,
+			QueueDepth: int64(c.q.depth(i)),
+			Jobs:       c.pulled[i].Load(),
+			Steals:     c.steals[i].Load(),
+			Rehomed:    c.rehomed[i].Load(),
+			SpanDrops:  c.spanDrops[i].Load(),
+		}
+		if hr, ok := n.(healthReporter); ok {
+			h := hr.Health()
+			info.Kind = "remote"
+			info.Up = h.Connected
+			info.Dead = h.Dead
+			info.HeartbeatRTTMS = float64(h.LastRTT) / float64(time.Millisecond)
+			info.Reconnects = h.Reconnects
+			info.HeartbeatMisses = h.HeartbeatMisses
+			info.ClockOffsetUS = h.ClockOffsetUS
+		}
+		if named, ok := n.(interface{ Name() string }); ok {
+			info.Name = named.Name()
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
 // Close stops intake, drains queued jobs, waits for the pullers, and shuts
 // the nodes down.
 func (c *Cluster) Close() {
@@ -578,6 +666,8 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 		"Jobs waiting in each partition", "partition")
 	rehomeVec := reg.CounterVec("greenweb_shard_rehomed_jobs_total",
 		"Jobs re-homed off each node (queued at eviction plus in-flight at death)", "node")
+	dropVec := reg.CounterVec("greenweb_shard_span_drops_total",
+		"Trace spans each node's jobs dropped to budget pressure", "node")
 	for i := range c.nodes {
 		i := i
 		label := strconv.Itoa(i)
@@ -585,6 +675,7 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 		jobsVec.Func(func() float64 { return float64(c.pulled[i].Load()) }, label)
 		depthVec.Func(func() float64 { return float64(c.q.depth(i)) }, label)
 		rehomeVec.Func(func() float64 { return float64(c.rehomed[i].Load()) }, label)
+		dropVec.Func(func() float64 { return float64(c.spanDrops[i].Load()) }, label)
 	}
 	reg.CounterFunc("greenweb_shard_evictions_total",
 		"Nodes evicted after being declared dead",

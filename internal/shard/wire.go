@@ -11,6 +11,7 @@ import (
 	"github.com/wattwiseweb/greenweb/internal/harness"
 	"github.com/wattwiseweb/greenweb/internal/ledger"
 	"github.com/wattwiseweb/greenweb/internal/obs"
+	"github.com/wattwiseweb/greenweb/internal/obs/trace"
 	"github.com/wattwiseweb/greenweb/internal/sim"
 )
 
@@ -25,6 +26,12 @@ type wireResult struct {
 	Attempts    int      `json:"attempts,omitempty"`
 	History     []string `json:"history,omitempty"`
 	Quarantined bool     `json:"quarantined,omitempty"`
+	// Spans piggybacks the worker's trace spans for a traced job (on the
+	// worker's clock; the client aligns them), with the worker-side
+	// dropped-span count. Empty for untraced jobs, so the wire cost is zero
+	// when tracing is off.
+	Spans     []trace.Span `json:"spans,omitempty"`
+	SpanDrops int          `json:"span_drops,omitempty"`
 }
 
 // wireResidency is one entry of the per-configuration residency map,
@@ -37,11 +44,11 @@ type wireResidency struct {
 // wireConfigMark mirrors ledger.ConfigMark, whose From/To fields are
 // deliberately excluded from its own JSON form.
 type wireConfigMark struct {
-	At           sim.Time `json:"at_us"`
-	FromCluster  int      `json:"fc"`
-	FromMHz      int      `json:"fm"`
-	ToCluster    int      `json:"tc"`
-	ToMHz        int      `json:"tm"`
+	At          sim.Time `json:"at_us"`
+	FromCluster int      `json:"fc"`
+	FromMHz     int      `json:"fm"`
+	ToCluster   int      `json:"tc"`
+	ToMHz       int      `json:"tm"`
 }
 
 // wireRun carries every harness.Run field greensrv's result, event, and
@@ -88,6 +95,8 @@ func encodeResult(r fleet.Result) *wireResult {
 		Attempts:    r.Attempts,
 		History:     r.History,
 		Quarantined: r.Quarantined,
+		Spans:       r.Spans,
+		SpanDrops:   r.SpanDrops,
 	}
 	if r.Err != nil {
 		w.Err = r.Err.Error()
@@ -108,6 +117,8 @@ func decodeResult(w *wireResult, job fleet.Job) fleet.Result {
 		Attempts:    w.Attempts,
 		History:     w.History,
 		Quarantined: w.Quarantined,
+		Spans:       w.Spans,
+		SpanDrops:   w.SpanDrops,
 	}
 	if w.Err != "" {
 		r.Err = errors.New(w.Err)

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/wattwiseweb/greenweb/internal/fleet"
+	"github.com/wattwiseweb/greenweb/internal/obs"
 )
 
 // WorkerOptions configures a Worker process (the greennode side of the
@@ -42,6 +45,10 @@ type Worker struct {
 	conns  map[net.Conn]context.CancelFunc
 	closed bool
 	wg     sync.WaitGroup
+
+	connsTotal atomic.Int64 // connections ever accepted
+	jobsTotal  atomic.Int64 // job frames executed
+	spanDrops  atomic.Int64 // trace spans dropped to per-job budgets
 }
 
 // NewWorker builds the worker and its pool.
@@ -58,6 +65,25 @@ func NewWorker(opts WorkerOptions) *Worker {
 
 // Workers reports the pool's execution slots (advertised in welcome frames).
 func (w *Worker) Workers() int { return w.pool.Workers() }
+
+// RegisterMetrics exposes the worker's transport counters plus its pool's
+// greenweb_fleet_* family on an obs registry — the greennode -http health
+// surface serves exactly this.
+func (w *Worker) RegisterMetrics(reg *obs.Registry) {
+	w.pool.RegisterMetrics(reg)
+	reg.GaugeFunc("greenweb_node_connections",
+		"Client connections currently served", func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(len(w.conns))
+		})
+	reg.CounterFunc("greenweb_node_connections_total",
+		"Client connections ever accepted", func() float64 { return float64(w.connsTotal.Load()) })
+	reg.CounterFunc("greenweb_node_jobs_total",
+		"Job frames executed", func() float64 { return float64(w.jobsTotal.Load()) })
+	reg.CounterFunc("greenweb_node_span_drops_total",
+		"Trace spans dropped to per-job budgets", func() float64 { return float64(w.spanDrops.Load()) })
+}
 
 // Serve accepts connections on l until Close (or Kill). It returns the
 // listener's terminal error, nil after an orderly Close.
@@ -93,6 +119,7 @@ func (w *Worker) Serve(l net.Listener) error {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		w.conns[conn] = cancel
+		w.connsTotal.Add(1)
 		w.wg.Add(1)
 		w.mu.Unlock()
 		go func() {
@@ -156,8 +183,19 @@ func (w *Worker) serveConn(ctx context.Context, conn net.Conn, name string) {
 			hello.T, hello.Proto, frameHello, protoVersion)})
 		return
 	}
-	if err := write(frame{T: frameWelcome, Proto: protoVersion,
-		Workers: w.pool.Workers(), Name: name}); err != nil {
+	// Tracing negotiation: echo trace only when the client asked for it and
+	// this process has obs enabled (greennode -no-obs keeps the fleet trace
+	// honest about which nodes contributed). The clock read (now_us) is
+	// taken as late as possible so the client's offset estimate brackets
+	// it; pid keys this worker's process row in the merged trace.
+	welcome := frame{T: frameWelcome, Proto: protoVersion,
+		Workers: w.pool.Workers(), Name: name}
+	if hello.Trace && obs.Enabled() {
+		welcome.Trace = true
+		welcome.PID = os.Getpid()
+		welcome.Now = time.Now().UnixMicro()
+	}
+	if err := write(welcome); err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
@@ -193,6 +231,7 @@ func (w *Worker) serveConn(ctx context.Context, conn net.Conn, name string) {
 				continue
 			}
 			id, job := f.ID, *f.Job
+			w.jobsTotal.Add(1)
 			jobCtx, cancel := context.WithCancel(ctx)
 			jobMu.Lock()
 			cancels[id] = cancel
@@ -206,6 +245,7 @@ func (w *Worker) serveConn(ctx context.Context, conn net.Conn, name string) {
 					delete(cancels, id)
 					jobMu.Unlock()
 					cancel()
+					w.spanDrops.Add(int64(r.SpanDrops))
 					write(frame{T: frameResult, ID: id, Result: encodeResult(r)})
 				})
 				if err != nil {

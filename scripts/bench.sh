@@ -7,6 +7,7 @@
 #   ./scripts/bench.sh pr6        # greenload throughput only
 #   ./scripts/bench.sh pr7        # bytecode-VM ablation only
 #   ./scripts/bench.sh pr9        # pipeline-parallel rendering only
+#   ./scripts/bench.sh pr10       # distributed-tracing overhead only
 #
 # PR 4: re-runs the headline micro-benchmarks and records them against the
 # frozen pre-PR baselines (measured once on the seed tree, commit f26a6a2,
@@ -24,6 +25,10 @@
 # pair), plus the modeled virtual-time numbers — frame-latency improvement
 # from stage sharding, and GreenWeb-I energy at fixed QoS with and without
 # the per-stage configuration dimension.
+#
+# PR 10: drives identical greenload runs against a greensrv with fleet
+# tracing on and with -no-trace, and records the throughput delta (the
+# tracing tax must stay under 3%) plus the traced run's per-phase breakdown.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +39,7 @@ OUT="${OUT:-BENCH_PR4.json}"
 OUT6="${OUT6:-BENCH_PR6.json}"
 OUT7="${OUT7:-BENCH_PR7.json}"
 OUT9="${OUT9:-BENCH_PR9.json}"
+OUT10="${OUT10:-BENCH_PR10.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -128,8 +134,101 @@ PY
   echo "wrote $OUT9" >&2
 }
 
+# -------------------------------------------------------------------------
+# PR 10: fleet-tracing overhead ablation (tracing on vs -no-trace).
+# -------------------------------------------------------------------------
+run_pr10() {
+  local bin_srv bin_load pid addr=127.0.0.1:18109
+  bin_srv="$(mktemp -u)" bin_load="$(mktemp -u)"
+  go build -o "$bin_srv" ./cmd/greensrv
+  go build -o "$bin_load" ./cmd/greenload
+
+  # One load run against a fresh 2-node in-process server; extra server
+  # flags (e.g. -no-trace) come after the report path. A discarded warmup
+  # pass precedes the measured one so neither mode pays first-run costs
+  # (page cache, asset parse) inside its measurement. The traced run
+  # samples fleet traces so the report carries the phase breakdown.
+  load_traced() {
+    local report=$1 sample=$2; shift 2
+    "$bin_srv" -addr "$addr" -nodes 2 -workers 2 -admit-queue 1024 \
+      "$@" >/dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 50); do
+      curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+      sleep 0.1
+    done
+    "$bin_load" -addr "http://$addr" \
+      -sweeps "${WARM_SWEEPS:-20}" -concurrency "${LOAD_CONC:-12}" \
+      -apps Todo,MSN -kinds Perf,GreenWeb-I -phase micro \
+      -client-id bench-warm -json /dev/null >/dev/null 2>&1
+    "$bin_load" -addr "http://$addr" \
+      -sweeps "${LOAD_SWEEPS:-120}" -concurrency "${LOAD_CONC:-12}" \
+      -apps Todo,MSN -kinds Perf,GreenWeb-I -phase micro \
+      -client-id bench -trace-sample "$sample" -json "$report" >&2
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  }
+
+  # Machine noise on shared runners dwarfs the tracing tax, so measure
+  # interleaved best-of-N per mode rather than one pair.
+  local reps="${BENCH_REPS:-3}" i files=()
+  for i in $(seq 1 "$reps"); do
+    local ron roff
+    ron="$(mktemp)" roff="$(mktemp)"
+    echo "rep $i/$reps: greenload vs traced greensrv..." >&2
+    load_traced "$ron" 20
+    echo "rep $i/$reps: greenload vs greensrv -no-trace..." >&2
+    load_traced "$roff" 0 -no-trace
+    files+=("$ron" "$roff")
+  done
+
+  python3 - "${files[@]}" > "$OUT10" <<'PY'
+import json, sys
+runs = [json.load(open(p)) for p in sys.argv[1:]]
+ons, offs = runs[0::2], runs[1::2]
+# Best-of-N throughput per mode; the best traced run also supplies the
+# phase-breakdown quantiles.
+on = max(ons, key=lambda r: r["sweeps_per_sec"])
+off = max(offs, key=lambda r: r["sweeps_per_sec"])
+def row(mode, r):
+    out = {
+        "mode": mode, "nodes": 2, "workers_per_node": 2,
+        "sweeps": r["sweeps"], "concurrency": 12,
+        "sweeps_per_sec": r["sweeps_per_sec"],
+        "jobs_per_sec": r["jobs_per_sec"],
+        "e2e_p50_ms": r["e2e_ms"]["p50"],
+        "e2e_p99_ms": r["e2e_ms"]["p99"],
+        "span_drops": r.get("span_drops", 0),
+    }
+    if r.get("trace_sampled"):
+        out["trace_sampled"] = r["trace_sampled"]
+        for phase in ("queue_ms", "execute_ms"):
+            if r.get(phase):
+                out[phase] = r[phase]
+    return out
+delta = 100.0 * (off["sweeps_per_sec"] - on["sweeps_per_sec"]) / off["sweeps_per_sec"]
+out = {
+    "pr": 10,
+    "title": "fleet-wide distributed tracing, structured logging, worker health surface",
+    "workload": ("greenload micro-phase sweeps (Todo,MSN x Perf,GreenWeb-I) against a "
+                 "2-node greensrv, fleet tracing on (with 20 sampled fleet traces) vs "
+                 "-no-trace; sweep bytes are identical either way (CI cmps them)"),
+    "reps_per_mode": len(ons),
+    "rows": [row("tracing", on), row("no-trace", off)],
+    "tracing_overhead_pct": round(delta, 2),
+    "overhead_budget_pct": 3.0,
+    "within_budget": delta < 3.0,
+}
+json.dump(out, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+  rm -f "${files[@]}" "$bin_srv" "$bin_load"
+  echo "wrote $OUT10" >&2
+}
+
 if [ "$WHAT" = pr7 ]; then run_pr7; exit 0; fi
 if [ "$WHAT" = pr9 ]; then run_pr9; exit 0; fi
+if [ "$WHAT" = pr10 ]; then run_pr10; exit 0; fi
 
 # -------------------------------------------------------------------------
 # PR 6: greenload throughput at 1 vs 4 nodes.
